@@ -1,0 +1,44 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short bench tables report sweeps examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+tables:
+	$(GO) run ./cmd/table1
+	$(GO) run ./cmd/table2
+
+report:
+	$(GO) run ./cmd/report -fast
+
+sweeps:
+	$(GO) run ./cmd/sweep
+
+examples:
+	@for e in quickstart cg tiled recolor ipc lrpc dbscan scripted; do \
+		echo "=== examples/$$e ==="; \
+		$(GO) run ./examples/$$e || exit 1; \
+	done
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,58 @@
+// Command sweep runs the extension and ablation experiments indexed in
+// DESIGN.md: the DRAM scheduler ablation (§2.2's sketched future work vs
+// the evaluated in-order scheduler), the superpage TLB experiment ([21]),
+// the IPC message-gather scenario (§6), the controller prefetch-SRAM
+// sweep, and the gather-stride sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"impulse/internal/harness"
+	"impulse/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	exp := flag.String("exp", "all", "experiment: scheduler|superpage|ipc|sram|stride|policy|geometry|cholesky|spark|superscalar|db|all")
+	flag.Parse()
+
+	cgPar := workloads.CGParams{N: 4096, Nonzer: 6, Niter: 1, CGIts: 4, Shift: 10, RCond: 0.1}
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println()
+	}
+
+	run("scheduler", func() error { return harness.SchedulerAblation(cgPar, os.Stdout) })
+	run("superpage", func() error { return harness.SuperpageExperiment(2048, 4, os.Stdout) })
+	run("ipc", func() error { return harness.IPCExperiment(32, 1024, 4, os.Stdout) })
+	run("sram", func() error {
+		return harness.PrefetchBufferSweep([]uint64{128, 256, 512, 1024, 2048, 4096, 8192}, os.Stdout)
+	})
+	run("stride", func() error {
+		return harness.GatherStrideSweep([]int{1, 2, 4, 8, 16, 32}, 16384, os.Stdout)
+	})
+	run("policy", func() error { return harness.PagePolicyAblation(cgPar, os.Stdout) })
+	run("geometry", func() error {
+		return harness.CacheGeometrySweep(cgPar, []uint64{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}, os.Stdout)
+	})
+	run("cholesky", func() error { return harness.CholeskyExperiment(256, 32, os.Stdout) })
+	run("spark", func() error { return harness.SparkExperiment(300, 300, 1, os.Stdout) })
+	run("db", func() error {
+		return harness.DBExperiment(workloads.DBDefault(), 16, os.Stdout)
+	})
+	run("superscalar", func() error {
+		// Larger geometry: the prediction is about memory-bound runs.
+		par := workloads.CGParams{N: 14000, Nonzer: 7, Niter: 1, CGIts: 3, Shift: 20, RCond: 0.1}
+		return harness.SuperscalarExperiment(par, []uint64{1, 2, 4, 8}, os.Stdout)
+	})
+}

@@ -1,0 +1,53 @@
+// Example ipc: the paper's §6 sketch of system-level uses — no-copy
+// message assembly for interprocess communication.
+//
+// "A major chore of remote IPC is collecting message data from multiple
+// user buffers and protocol headers. Impulse's support for scatter/gather
+// can remove the overhead of gathering data in software."
+//
+// A sender owns a ring of scattered buffers; each message must be
+// consumed as one contiguous stream. The software path copies every word
+// into a staging area; the Impulse path builds a gather alias over the
+// ring once and the "message" simply is that alias.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"impulse"
+)
+
+func main() {
+	log.SetFlags(0)
+	const bufs, words, msgs = 32, 1024, 4
+
+	conv, err := impulse.NewSystem(impulse.Options{Controller: impulse.Conventional})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw, err := impulse.RunIPC(conv, bufs, words, msgs, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	imp, err := impulse.NewSystem(impulse.Options{Controller: impulse.Impulse})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hw, err := impulse.RunIPC(imp, bufs, words, msgs, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sw.Checksum != hw.Checksum {
+		log.Fatalf("checksums differ: %v vs %v", sw.Checksum, hw.Checksum)
+	}
+
+	fmt.Printf("%d messages of %d buffers x %d words each:\n\n", msgs, bufs, words)
+	fmt.Printf("software gather: %8d cycles, %7d loads, %7d stores\n",
+		sw.Row.Cycles, sw.Row.Stats.Loads, sw.Row.Stats.Stores)
+	fmt.Printf("impulse gather:  %8d cycles, %7d loads, %7d stores\n",
+		hw.Row.Cycles, hw.Row.Stats.Loads, hw.Row.Stats.Stores)
+	fmt.Printf("\nspeedup %.2fx; the copy loop's load+store per word is gone\n",
+		impulse.Speedup(sw.Row, hw.Row))
+}

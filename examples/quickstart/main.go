@@ -1,0 +1,63 @@
+// Quickstart: the paper's Figure 1 scenario.
+//
+// A program sums the diagonal of a dense matrix. On a conventional memory
+// system every diagonal element drags a full cache line of its row
+// neighbors across the bus; with Impulse, the OS and memory controller
+// remap the diagonal into a dense shadow alias, so every transferred byte
+// is useful and the diagonal caches densely.
+//
+// This example shows both levels of the API: the one-call harness
+// (impulse.Figure1) and the underlying remapping operations
+// (NewStridedAlias / Retarget) used directly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"impulse"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// High-level: regenerate the Figure 1 comparison table.
+	if err := impulse.Figure1(512, 4, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// Low-level: do the remapping by hand on an Impulse system.
+	sys, err := impulse.NewSystem(impulse.Options{Controller: impulse.Impulse})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const dim = 64
+	rowBytes := uint64(dim * 8)
+	mat := sys.MustAlloc(uint64(dim)*rowBytes, 0)
+	for i := 0; i < dim; i++ {
+		// A[i][i] = i — stores run through the simulated hierarchy.
+		sys.StoreF64(mat+impulse.VAddr(uint64(i)*rowBytes+uint64(i)*8), float64(i))
+	}
+
+	// One descriptor: 8-byte objects, one per matrix row plus one column
+	// (the diagonal's stride), packed densely in shadow space.
+	diag, err := sys.NewStridedAlias(8, rowBytes+8, dim, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Retarget(diag, mat, uint64(dim)*rowBytes, impulse.Purge); err != nil {
+		log.Fatal(err)
+	}
+
+	before := sys.Snapshot()
+	var sum float64
+	for i := 0; i < dim; i++ {
+		sum += sys.LoadF64(diag.VA + impulse.VAddr(8*i))
+	}
+	after := sys.Snapshot()
+	fmt.Printf("diagonal sum = %v (expect %v)\n", sum, float64(dim*(dim-1)/2))
+	fmt.Printf("%d loads -> %d went to memory (a dense alias: 16 doubles per gathered line)\n",
+		after.Loads-before.Loads, after.MemLoads-before.MemLoads)
+}

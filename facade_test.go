@@ -1,0 +1,73 @@
+package impulse_test
+
+import (
+	"strings"
+	"testing"
+
+	"impulse"
+)
+
+// The façade re-exports; exercise each wrapper once with tiny geometry.
+func TestFacadeTable1(t *testing.T) {
+	par := impulse.CGParams{N: 240, Nonzer: 4, Niter: 1, CGIts: 3, Shift: 10, RCond: 0.1}
+	g, err := impulse.Table1(par, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := g.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Table 1") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFacadeTable2AndFigure1(t *testing.T) {
+	g, err := impulse.Table2(impulse.MMPParams{N: 64, Tile: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Baseline().Row.Cycles == 0 {
+		t.Error("empty baseline")
+	}
+	var b strings.Builder
+	if err := impulse.Figure1(64, 2, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Figure 1") {
+		t.Error("figure render incomplete")
+	}
+}
+
+func TestFacadeWorkloadWrappers(t *testing.T) {
+	sys, err := impulse.NewSystem(impulse.Options{Controller: impulse.Impulse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := impulse.RunDiagonal(sys, 64, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	sys2, _ := impulse.NewSystem(impulse.Options{Controller: impulse.Impulse})
+	if _, err := impulse.RunIPC(sys2, 4, 16, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	sys3, _ := impulse.NewSystem(impulse.Options{Controller: impulse.Conventional})
+	par := impulse.CGClassS()
+	par.Niter, par.CGIts, par.N, par.Nonzer = 1, 2, 240, 4
+	m := impulse.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
+	if _, err := impulse.RunCG(sys3, par, impulse.CGConventional, m); err != nil {
+		t.Fatal(err)
+	}
+	sys4, _ := impulse.NewSystem(impulse.Options{Controller: impulse.Conventional})
+	if _, err := impulse.RunMMP(sys4, impulse.MMPParams{N: 32, Tile: 16}, impulse.MMPNoCopyTiled); err != nil {
+		t.Fatal(err)
+	}
+	if impulse.CGPaperGeometry().N != 14000 || impulse.MMPDefault().N != 256 {
+		t.Error("default geometries changed unexpectedly")
+	}
+	base := impulse.Row{Cycles: 100}
+	if impulse.Speedup(base, impulse.Row{Cycles: 50}) != 2 {
+		t.Error("Speedup wrapper")
+	}
+}

@@ -1,0 +1,3 @@
+module impulse
+
+go 1.22

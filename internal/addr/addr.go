@@ -1,0 +1,114 @@
+// Package addr defines the address spaces of an Impulse system and the
+// geometry helpers shared by every component.
+//
+// Four address spaces exist (paper Figure 2):
+//
+//   - Virtual addresses (VAddr): what applications use. Translated by the
+//     processor MMU into bus addresses.
+//   - Bus / "physical" addresses (PAddr): what appears on the system bus.
+//     A PAddr is either *real* (backed by DRAM) or *shadow* (a legitimate
+//     address not backed by DRAM; the Impulse controller intercepts it).
+//   - Pseudo-virtual addresses (PVAddr): the intermediate space the
+//     controller's AddrCalc produces, so that remapped data structures may
+//     span multiple non-contiguous physical pages. PVAddrs are translated
+//     to real PAddrs by the controller page table.
+//   - DRAM addresses: bank/row/column coordinates inside the memory system
+//     (package dram).
+package addr
+
+import "fmt"
+
+// VAddr is a virtual address as issued by application code.
+type VAddr uint64
+
+// PAddr is a bus address: either real (DRAM-backed) or shadow.
+type PAddr uint64
+
+// PVAddr is a pseudo-virtual address inside the Impulse controller.
+type PVAddr uint64
+
+// Page geometry. The paper's system uses 4 KB pages; the simulator keeps
+// this fixed (it is baked into OS page tables and the controller PgTbl).
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	PageMask  = PageSize - 1
+)
+
+// PageNum returns the virtual page number of v.
+func (v VAddr) PageNum() uint64 { return uint64(v) >> PageShift }
+
+// PageOff returns the offset of v within its page.
+func (v VAddr) PageOff() uint64 { return uint64(v) & PageMask }
+
+// PageNum returns the physical frame number of p.
+func (p PAddr) PageNum() uint64 { return uint64(p) >> PageShift }
+
+// PageOff returns the offset of p within its frame.
+func (p PAddr) PageOff() uint64 { return uint64(p) & PageMask }
+
+// PageNum returns the pseudo-virtual page number of pv.
+func (pv PVAddr) PageNum() uint64 { return uint64(pv) >> PageShift }
+
+// PageOff returns the offset of pv within its page.
+func (pv PVAddr) PageOff() uint64 { return uint64(pv) & PageMask }
+
+func (v VAddr) String() string   { return fmt.Sprintf("v:%#x", uint64(v)) }
+func (p PAddr) String() string   { return fmt.Sprintf("p:%#x", uint64(p)) }
+func (pv PVAddr) String() string { return fmt.Sprintf("pv:%#x", uint64(pv)) }
+
+// Layout describes the bus-address-space split between installed DRAM and
+// shadow space. The paper's example: 4 GB of physical address space with
+// 1 GB of installed DRAM leaves 3 GB of shadow addresses. The simulator
+// keeps the same structure with configurable sizes: real memory occupies
+// [0, DRAMBytes), shadow space occupies [ShadowBase, ShadowBase+ShadowBytes).
+type Layout struct {
+	DRAMBytes   uint64 // installed DRAM, starting at bus address 0
+	ShadowBase  uint64 // first shadow bus address; must be >= DRAMBytes
+	ShadowBytes uint64 // size of the shadow region
+}
+
+// DefaultLayout mirrors the paper's flavor at simulator-friendly scale:
+// 256 MB of installed DRAM and a 1 GB shadow window starting at 1 GB.
+func DefaultLayout() Layout {
+	return Layout{
+		DRAMBytes:   256 << 20,
+		ShadowBase:  1 << 30,
+		ShadowBytes: 1 << 30,
+	}
+}
+
+// Validate checks internal consistency of the layout.
+func (l Layout) Validate() error {
+	if l.DRAMBytes == 0 {
+		return fmt.Errorf("addr: layout has no installed DRAM")
+	}
+	if l.DRAMBytes%PageSize != 0 || l.ShadowBase%PageSize != 0 || l.ShadowBytes%PageSize != 0 {
+		return fmt.Errorf("addr: layout regions must be page-aligned")
+	}
+	if l.ShadowBase < l.DRAMBytes {
+		return fmt.Errorf("addr: shadow region %#x overlaps installed DRAM (%#x bytes)",
+			l.ShadowBase, l.DRAMBytes)
+	}
+	if l.ShadowBytes == 0 {
+		return fmt.Errorf("addr: layout has no shadow space")
+	}
+	if l.ShadowBase+l.ShadowBytes < l.ShadowBase {
+		return fmt.Errorf("addr: shadow region wraps the address space")
+	}
+	return nil
+}
+
+// IsShadow reports whether p falls inside the shadow region.
+func (l Layout) IsShadow(p PAddr) bool {
+	return uint64(p) >= l.ShadowBase && uint64(p) < l.ShadowBase+l.ShadowBytes
+}
+
+// IsDRAM reports whether p is backed by installed DRAM.
+func (l Layout) IsDRAM(p PAddr) bool { return uint64(p) < l.DRAMBytes }
+
+// DRAMFrames returns the number of installed physical page frames.
+func (l Layout) DRAMFrames() uint64 { return l.DRAMBytes >> PageShift }
+
+// ShadowPages returns the number of pages in the shadow region.
+func (l Layout) ShadowPages() uint64 { return l.ShadowBytes >> PageShift }

@@ -1,0 +1,101 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageSplit(t *testing.T) {
+	v := VAddr(0x12345)
+	if v.PageNum() != 0x12 || v.PageOff() != 0x345 {
+		t.Errorf("VAddr split: num=%#x off=%#x", v.PageNum(), v.PageOff())
+	}
+	p := PAddr(0xABCDE)
+	if p.PageNum() != 0xAB || p.PageOff() != 0xCDE {
+		t.Errorf("PAddr split: num=%#x off=%#x", p.PageNum(), p.PageOff())
+	}
+}
+
+func TestPageSplitRoundTrip(t *testing.T) {
+	f := func(x uint64) bool {
+		v := VAddr(x)
+		if v.PageNum()<<PageShift|v.PageOff() != x {
+			return false
+		}
+		p := PAddr(x)
+		if p.PageNum()<<PageShift|p.PageOff() != x {
+			return false
+		}
+		pv := PVAddr(x)
+		return pv.PageNum()<<PageShift|pv.PageOff() == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultLayoutValid(t *testing.T) {
+	l := DefaultLayout()
+	if err := l.Validate(); err != nil {
+		t.Fatalf("default layout invalid: %v", err)
+	}
+	if l.DRAMFrames() != (256<<20)/PageSize {
+		t.Errorf("DRAMFrames = %d", l.DRAMFrames())
+	}
+	if l.ShadowPages() != (1<<30)/PageSize {
+		t.Errorf("ShadowPages = %d", l.ShadowPages())
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		l    Layout
+		ok   bool
+	}{
+		{"default", DefaultLayout(), true},
+		{"no dram", Layout{0, 1 << 30, 1 << 30}, false},
+		{"unaligned dram", Layout{4097, 1 << 30, 1 << 30}, false},
+		{"unaligned shadow base", Layout{1 << 20, (1 << 30) + 1, 1 << 30}, false},
+		{"shadow overlaps dram", Layout{1 << 30, 1 << 29, 1 << 30}, false},
+		{"no shadow", Layout{1 << 20, 1 << 30, 0}, false},
+		{"shadow wraps", Layout{1 << 20, ^uint64(0) &^ PageMask, 1 << 30}, false},
+		{"shadow adjacent to dram", Layout{1 << 20, 1 << 20, 1 << 20}, true},
+	}
+	for _, c := range cases {
+		err := c.l.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestShadowDRAMDisjoint(t *testing.T) {
+	l := DefaultLayout()
+	f := func(x uint64) bool {
+		p := PAddr(x)
+		return !(l.IsShadow(p) && l.IsDRAM(p))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShadowBoundaries(t *testing.T) {
+	l := DefaultLayout()
+	if l.IsShadow(PAddr(l.ShadowBase - 1)) {
+		t.Error("address below shadow base classified as shadow")
+	}
+	if !l.IsShadow(PAddr(l.ShadowBase)) {
+		t.Error("shadow base not classified as shadow")
+	}
+	if !l.IsShadow(PAddr(l.ShadowBase + l.ShadowBytes - 1)) {
+		t.Error("last shadow byte not classified as shadow")
+	}
+	if l.IsShadow(PAddr(l.ShadowBase + l.ShadowBytes)) {
+		t.Error("address past shadow top classified as shadow")
+	}
+	if !l.IsDRAM(0) || !l.IsDRAM(PAddr(l.DRAMBytes-1)) || l.IsDRAM(PAddr(l.DRAMBytes)) {
+		t.Error("IsDRAM boundaries wrong")
+	}
+}

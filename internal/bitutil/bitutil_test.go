@@ -1,0 +1,117 @@
+package bitutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPow2(t *testing.T) {
+	cases := []struct {
+		x    uint64
+		want bool
+	}{
+		{0, false}, {1, true}, {2, true}, {3, false}, {4, true},
+		{7, false}, {8, true}, {1 << 40, true}, {(1 << 40) + 1, false},
+		{^uint64(0), false}, {1 << 63, true},
+	}
+	for _, c := range cases {
+		if got := IsPow2(c.x); got != c.want {
+			t.Errorf("IsPow2(%d) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := []struct {
+		x    uint64
+		want uint
+	}{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {5, 2}, {1024, 10}, {1 << 63, 63},
+	}
+	for _, c := range cases {
+		if got := Log2(c.x); got != c.want {
+			t.Errorf("Log2(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLog2ZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log2(0) did not panic")
+		}
+	}()
+	Log2(0)
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := []struct{ x, want uint64 }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024},
+		{1 << 62, 1 << 62}, {(1 << 62) - 1, 1 << 62},
+	}
+	for _, c := range cases {
+		if got := CeilPow2(c.x); got != c.want {
+			t.Errorf("CeilPow2(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestCeilPow2Property(t *testing.T) {
+	f := func(x uint32) bool {
+		p := CeilPow2(uint64(x))
+		return IsPow2(p) && p >= uint64(x) && (p == 1 || p/2 < uint64(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlign(t *testing.T) {
+	if AlignDown(0x1234, 0x100) != 0x1200 {
+		t.Error("AlignDown")
+	}
+	if AlignUp(0x1234, 0x100) != 0x1300 {
+		t.Error("AlignUp")
+	}
+	if AlignUp(0x1200, 0x100) != 0x1200 {
+		t.Error("AlignUp exact")
+	}
+	if !IsAligned(0x1200, 0x100) || IsAligned(0x1201, 0x100) {
+		t.Error("IsAligned")
+	}
+}
+
+func TestAlignProperty(t *testing.T) {
+	f := func(x uint64, shift uint8) bool {
+		align := uint64(1) << (shift % 20)
+		d, u := AlignDown(x, align), AlignUp(x, align)
+		if d > x || !IsAligned(d, align) || x-d >= align {
+			return false
+		}
+		if u < d { // AlignUp may wrap only at the very top of the space.
+			return x > ^uint64(0)-align
+		}
+		return IsAligned(u, align) && u-d <= align
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsMask(t *testing.T) {
+	if Bits(0xDEADBEEF, 8, 15) != 0xBE {
+		t.Errorf("Bits = %x", Bits(0xDEADBEEF, 8, 15))
+	}
+	if Bits(^uint64(0), 0, 63) != ^uint64(0) {
+		t.Error("Bits full width")
+	}
+	if Mask(0) != 0 || Mask(8) != 0xFF || Mask(64) != ^uint64(0) {
+		t.Error("Mask")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 || Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Min/Max")
+	}
+}

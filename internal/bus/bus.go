@@ -1,0 +1,91 @@
+// Package bus models the system bus connecting the processor to the
+// Impulse memory controller (the HP Runway bus in the paper's simulated
+// machine: 120 MHz, 64 bits wide).
+//
+// The model is a split-transaction occupancy model: a transaction has an
+// address/request phase and a later data phase, both of which occupy the
+// shared bus. Bytes moved are accounted so experiments can report the bus
+// bandwidth saved by remapping — the heart of the paper's Figure 1
+// argument (a conventional system wastes bus bandwidth moving non-diagonal
+// elements; Impulse moves only useful data).
+package bus
+
+import (
+	"fmt"
+
+	"impulse/internal/stats"
+	"impulse/internal/timeline"
+)
+
+// Config describes the bus.
+type Config struct {
+	RequestCycles uint64 // occupancy of the address/request phase
+	BytesPerCycle uint64 // data-phase bandwidth (Runway: 8 bytes/cycle)
+}
+
+// DefaultConfig returns the Runway-like parameters used for the paper
+// reproduction.
+func DefaultConfig() Config {
+	return Config{RequestCycles: 4, BytesPerCycle: 8}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.RequestCycles == 0 || c.BytesPerCycle == 0 {
+		return fmt.Errorf("bus: zero-valued config %+v", c)
+	}
+	return nil
+}
+
+// Bus is the shared processor-memory interconnect.
+type Bus struct {
+	cfg Config
+	res timeline.Resource
+	st  *stats.MemStats
+}
+
+// New builds a bus. st may be nil.
+func New(cfg Config, st *stats.MemStats) (*Bus, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if st == nil {
+		st = &stats.MemStats{}
+	}
+	return &Bus{cfg: cfg, st: st}, nil
+}
+
+// Config returns the bus configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// Request schedules the address phase of a transaction starting no earlier
+// than at, and returns the time the request reaches the other side.
+func (b *Bus) Request(at timeline.Time) timeline.Time {
+	start, end := b.res.Acquire(at, b.cfg.RequestCycles)
+	_ = start
+	b.st.BusTransactions++
+	b.st.BusBusyCycles += b.cfg.RequestCycles
+	return end
+}
+
+// Transfer schedules a data phase moving n bytes, starting no earlier than
+// ready (when the data exists at the sender), and returns its completion
+// time.
+func (b *Bus) Transfer(ready timeline.Time, n uint64) timeline.Time {
+	cycles := (n + b.cfg.BytesPerCycle - 1) / b.cfg.BytesPerCycle
+	if cycles == 0 {
+		cycles = 1
+	}
+	_, end := b.res.Acquire(ready, cycles)
+	b.st.BusBytes += n
+	b.st.BusBusyCycles += cycles
+	return end
+}
+
+// BusyUntil reports when the bus goes idle.
+func (b *Bus) BusyUntil() timeline.Time { return b.res.BusyUntil() }
+
+// Utilization returns bus busy cycles divided by elapsed cycles.
+func (b *Bus) Utilization(elapsed uint64) float64 {
+	return stats.Ratio(b.res.BusyCycles(), elapsed)
+}

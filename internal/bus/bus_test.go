@@ -1,0 +1,79 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"impulse/internal/stats"
+)
+
+func TestRequestTransferTiming(t *testing.T) {
+	st := &stats.MemStats{}
+	b, err := New(DefaultConfig(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.Request(10)
+	if got != 14 {
+		t.Errorf("Request done at %d, want 14", got)
+	}
+	// 128 bytes at 8 B/cycle = 16 cycles; data ready at 50.
+	done := b.Transfer(50, 128)
+	if done != 66 {
+		t.Errorf("Transfer done at %d, want 66", done)
+	}
+	if st.BusTransactions != 1 || st.BusBytes != 128 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestTransferMinimumOneCycle(t *testing.T) {
+	b, _ := New(DefaultConfig(), nil)
+	if done := b.Transfer(0, 0); done != 1 {
+		t.Errorf("zero-byte transfer done at %d, want 1", done)
+	}
+	if done := b.Transfer(100, 4); done != 101 {
+		t.Errorf("4-byte transfer done at %d, want 101", done)
+	}
+}
+
+func TestOccupancySerializes(t *testing.T) {
+	b, _ := New(DefaultConfig(), nil)
+	b.Transfer(0, 80) // busy until 10
+	got := b.Request(5)
+	if got != 14 {
+		t.Errorf("request during transfer completes at %d, want 14", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if (Config{0, 8}).Validate() == nil || (Config{4, 0}).Validate() == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := New(Config{}, nil); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	b, _ := New(DefaultConfig(), nil)
+	b.Request(0)       // 4 cycles
+	b.Transfer(4, 128) // 16 cycles
+	if u := b.Utilization(40); u != 0.5 {
+		t.Errorf("Utilization = %v, want 0.5", u)
+	}
+}
+
+func TestByteAccountingProperty(t *testing.T) {
+	st := &stats.MemStats{}
+	b, _ := New(DefaultConfig(), st)
+	var total uint64
+	f := func(n uint16) bool {
+		total += uint64(n)
+		b.Transfer(0, uint64(n))
+		return st.BusBytes == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

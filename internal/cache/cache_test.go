@@ -1,0 +1,308 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDefaultGeometries(t *testing.T) {
+	l1 := L1Default()
+	if l1.Sets() != 1024 { // 32KB / 32B / 1 way
+		t.Errorf("L1 sets = %d, want 1024", l1.Sets())
+	}
+	l2 := L2Default()
+	if l2.Sets() != 1024 { // 256KB / 128B / 2 ways
+		t.Errorf("L2 sets = %d, want 1024", l2.Sets())
+	}
+	if err := l1.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := l2.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{Name: "x", Bytes: 1000, LineBytes: 32, Ways: 1},
+		{Name: "x", Bytes: 1024, LineBytes: 33, Ways: 1},
+		{Name: "x", Bytes: 1024, LineBytes: 32, Ways: 3},
+		{Name: "x", Bytes: 64, LineBytes: 64, Ways: 2},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := mustNew(t, L1Default())
+	if c.Lookup(0x1000, 0x1000).Hit {
+		t.Fatal("cold cache hit")
+	}
+	c.Insert(0x1000, 0x1000, false, false)
+	if !c.Lookup(0x1000, 0x1000).Hit {
+		t.Fatal("miss after insert")
+	}
+	// Same line, different offset.
+	if !c.Lookup(0x101F, 0x101F).Hit {
+		t.Fatal("miss within same line")
+	}
+	// Next line.
+	if c.Lookup(0x1020, 0x1020).Hit {
+		t.Fatal("hit on different line")
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := mustNew(t, L1Default())
+	sz := L1Default().Bytes
+	c.Insert(0x40, 0x40, false, false)
+	// Same index, different tag: must evict.
+	ev := c.Insert(0x40+sz, 0x40+sz, false, false)
+	if !ev.Valid || ev.LineAddr != 0x40/32 {
+		t.Errorf("eviction = %+v", ev)
+	}
+	if c.Lookup(0x40, 0x40).Hit {
+		t.Error("conflicting line still present")
+	}
+	if !c.Lookup(0x40+sz, 0x40+sz).Hit {
+		t.Error("new line absent")
+	}
+}
+
+func TestTwoWayLRU(t *testing.T) {
+	cfg := Config{Name: "t", Bytes: 512, LineBytes: 64, Ways: 2, HitCycles: 1}
+	c := mustNew(t, cfg)
+	// Set count = 512/64/2 = 4. Lines with same index: stride 256.
+	a, b, d := uint64(0), uint64(256), uint64(512)
+	c.Insert(a, a, false, false)
+	c.Insert(b, b, false, false)
+	c.Lookup(a, a) // a most recently used
+	ev := c.Insert(d, d, false, false)
+	if !ev.Valid || ev.LineAddr != b/64 {
+		t.Errorf("LRU victim = %+v, want line %d", ev, b/64)
+	}
+	if !c.Lookup(a, a).Hit || !c.Lookup(d, d).Hit || c.Lookup(b, b).Hit {
+		t.Error("LRU state wrong after eviction")
+	}
+}
+
+func TestDirtyEvictionAndFlush(t *testing.T) {
+	c := mustNew(t, L1Default())
+	c.Insert(0x80, 0x80, false, false)
+	if !c.MarkDirty(0x80, 0x80) {
+		t.Fatal("MarkDirty missed present line")
+	}
+	if c.MarkDirty(0xFFFF80, 0xFFFF80) {
+		t.Fatal("MarkDirty hit absent line")
+	}
+	sz := L1Default().Bytes
+	ev := c.Insert(0x80+sz, 0x80+sz, false, false)
+	if !ev.Dirty {
+		t.Error("dirty victim not reported dirty")
+	}
+	c.Insert(0x80, 0x80, true, false)
+	present, dirty := c.FlushLine(0x80, 0x80)
+	if !present || !dirty {
+		t.Errorf("FlushLine = (%v, %v)", present, dirty)
+	}
+	if c.Lookup(0x80, 0x80).Hit {
+		t.Error("line present after flush")
+	}
+	present, _ = c.FlushLine(0x80, 0x80)
+	if present {
+		t.Error("flush of absent line reported present")
+	}
+}
+
+func TestInsertRefreshPreservesDirty(t *testing.T) {
+	c := mustNew(t, L2Default())
+	c.Insert(0x100, 0x100, true, false)
+	ev := c.Insert(0x100, 0x100, false, false)
+	if ev.Valid {
+		t.Error("refresh evicted something")
+	}
+	_, dirty := c.FlushLine(0x100, 0x100)
+	if !dirty {
+		t.Error("refresh lost dirty bit")
+	}
+}
+
+func TestPrefetchedBit(t *testing.T) {
+	c := mustNew(t, L1Default())
+	c.Insert(0x200, 0x200, false, true)
+	r := c.Lookup(0x200, 0x200)
+	if !r.Hit || !r.WasPrefetched {
+		t.Errorf("first use of prefetched line: %+v", r)
+	}
+	r = c.Lookup(0x200, 0x200)
+	if !r.Hit || r.WasPrefetched {
+		t.Errorf("second use still flagged prefetched: %+v", r)
+	}
+}
+
+func TestVirtualIndexAliasing(t *testing.T) {
+	// VIPT: same physical line inserted under two virtual indexes lives in
+	// two sets; lookup under each index finds it, under others not.
+	c := mustNew(t, L1Default())
+	paddr := uint64(0x5000)
+	v1, v2 := uint64(0x10000), uint64(0x24000) // different L1 indexes
+	if c.SetIndex(v1) == c.SetIndex(v2) {
+		t.Fatal("test addresses alias; pick others")
+	}
+	c.Insert(v1, paddr, false, false)
+	if !c.Lookup(v1, paddr).Hit {
+		t.Error("miss under inserting alias")
+	}
+	if c.Lookup(v2, paddr).Hit {
+		t.Error("hit under other alias (different set)")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	c := mustNew(t, L2Default())
+	c.Insert(0, 0, true, false)
+	c.Insert(1<<20, 1<<20, false, false)
+	var dirtyCount, total int
+	c.FlushAll(func(lineAddr uint64, dirty bool) {
+		total++
+		if dirty {
+			dirtyCount++
+		}
+	})
+	if total != 2 || dirtyCount != 1 {
+		t.Errorf("FlushAll visited %d lines, %d dirty", total, dirtyCount)
+	}
+	if c.ValidLines() != 0 {
+		t.Error("lines remain after FlushAll")
+	}
+}
+
+func TestContainsDoesNotTouchState(t *testing.T) {
+	cfg := Config{Name: "t", Bytes: 512, LineBytes: 64, Ways: 2, HitCycles: 1}
+	c := mustNew(t, cfg)
+	a, b, d := uint64(0), uint64(256), uint64(512)
+	c.Insert(a, a, false, false)
+	c.Insert(b, b, false, false)
+	if !c.Contains(a, a) {
+		t.Fatal("Contains missed present line")
+	}
+	// Contains must not refresh a's LRU position: a is still the victim.
+	ev := c.Insert(d, d, false, false)
+	if ev.LineAddr != a/64 {
+		t.Errorf("Contains disturbed LRU: victim %+v", ev)
+	}
+}
+
+// refModel is an independent reference implementation: set-associative LRU
+// over (set, lineAddr) with exact tag identity.
+type refModel struct {
+	cfg   Config
+	sets  []map[uint64]uint64 // lineAddr -> lastUse
+	dirty []map[uint64]bool
+	tick  uint64
+}
+
+func newRef(cfg Config) *refModel {
+	r := &refModel{cfg: cfg}
+	for i := uint64(0); i < cfg.Sets(); i++ {
+		r.sets = append(r.sets, map[uint64]uint64{})
+		r.dirty = append(r.dirty, map[uint64]bool{})
+	}
+	return r
+}
+
+func (r *refModel) idx(a uint64) uint64 { return (a / r.cfg.LineBytes) % r.cfg.Sets() }
+func (r *refModel) la(a uint64) uint64  { return a / r.cfg.LineBytes }
+
+func (r *refModel) lookup(a uint64) bool {
+	s := r.idx(a)
+	if _, ok := r.sets[s][r.la(a)]; ok {
+		r.tick++
+		r.sets[s][r.la(a)] = r.tick
+		return true
+	}
+	return false
+}
+
+func (r *refModel) insert(a uint64, dirty bool) {
+	s := r.idx(a)
+	la := r.la(a)
+	r.tick++
+	if _, ok := r.sets[s][la]; ok {
+		r.sets[s][la] = r.tick
+		r.dirty[s][la] = r.dirty[s][la] || dirty
+		return
+	}
+	if uint64(len(r.sets[s])) >= r.cfg.Ways {
+		var victim uint64
+		best := ^uint64(0)
+		for l, use := range r.sets[s] {
+			if use < best {
+				best, victim = use, l
+			}
+		}
+		delete(r.sets[s], victim)
+		delete(r.dirty[s], victim)
+	}
+	r.sets[s][la] = r.tick
+	r.dirty[s][la] = dirty
+}
+
+// TestReferenceEquivalence drives the cache and the reference model with
+// the same random access stream (PIPT, so index == physical) and demands
+// identical hit/miss classification throughout.
+func TestReferenceEquivalence(t *testing.T) {
+	cfg := Config{Name: "t", Bytes: 4096, LineBytes: 64, Ways: 4, HitCycles: 1}
+	c := mustNew(t, cfg)
+	ref := newRef(cfg)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200000; i++ {
+		a := uint64(rng.Intn(4 * 4096)) // 4x capacity working set
+		isStore := rng.Intn(4) == 0
+		got := c.Lookup(a, a).Hit
+		want := ref.lookup(a)
+		if got != want {
+			t.Fatalf("step %d addr %#x: cache hit=%v ref hit=%v", i, a, got, want)
+		}
+		if !got {
+			// Fill on miss (loads always; stores only if write-allocate).
+			if !isStore || cfg.WriteAllocate {
+				c.Insert(a, a, isStore, false)
+				ref.insert(a, isStore)
+			}
+		} else if isStore {
+			c.MarkDirty(a, a)
+			s := ref.idx(a)
+			ref.dirty[s][ref.la(a)] = true
+		}
+	}
+}
+
+func TestEvictionPAddr(t *testing.T) {
+	ev := Eviction{Valid: true, LineAddr: 5}
+	if ev.PAddr(32) != 160 {
+		t.Errorf("PAddr = %d", ev.PAddr(32))
+	}
+}
+
+func TestInsertRefreshClearsPrefetchOnDemand(t *testing.T) {
+	c := mustNew(t, L1Default())
+	c.Insert(0x100, 0x100, false, true)  // prefetched
+	c.Insert(0x100, 0x100, false, false) // refreshed by a demand fill
+	r := c.Lookup(0x100, 0x100)
+	if !r.Hit || r.WasPrefetched {
+		t.Errorf("refresh did not clear prefetched bit: %+v", r)
+	}
+}

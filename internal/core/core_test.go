@@ -1,0 +1,440 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"impulse/internal/addr"
+)
+
+func newSys(t *testing.T, kind ControllerKind, pf PrefetchPolicy) *System {
+	t.Helper()
+	s, err := NewSystem(Options{Controller: kind, Prefetch: pf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPrefetchWiring(t *testing.T) {
+	for _, pf := range []PrefetchPolicy{PrefetchNone, PrefetchMC, PrefetchL1, PrefetchBoth} {
+		s := newSys(t, Impulse, pf)
+		if s.Prefetch() != pf {
+			t.Errorf("Prefetch() = %v, want %v", s.Prefetch(), pf)
+		}
+	}
+	s := newSys(t, Conventional, PrefetchNone)
+	if s.IsImpulse() {
+		t.Error("conventional system claims Impulse")
+	}
+}
+
+func TestRemapRequiresImpulse(t *testing.T) {
+	s := newSys(t, Conventional, PrefetchNone)
+	x := s.MustAlloc(4096, 0)
+	v := s.MustAlloc(4096, 0)
+	if _, err := s.MapScatterGather(x, 4096, 8, v, 16, 0); err != ErrNotImpulse {
+		t.Errorf("MapScatterGather on conventional: %v", err)
+	}
+	if _, err := s.NewStridedAlias(8, 64, 16, 0); err != ErrNotImpulse {
+		t.Errorf("NewStridedAlias on conventional: %v", err)
+	}
+	if err := s.Recolor(x, 4096, 0, 3); err != ErrNotImpulse {
+		t.Errorf("Recolor on conventional: %v", err)
+	}
+	if err := s.MapSuperpage(x, 4096); err != ErrNotImpulse {
+		t.Errorf("MapSuperpage on conventional: %v", err)
+	}
+}
+
+func TestScatterGatherFunctional(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+	const n = 1400 // deliberately not a page multiple (tail clamping)
+	xN := uint64(5000)
+	x := s.MustAlloc(xN*8, 0)
+	vec := s.MustAlloc(n*4, 0)
+	rng := rand.New(rand.NewSource(7))
+	idx := make([]uint32, n)
+	for k := range idx {
+		idx[k] = uint32(rng.Intn(int(xN)))
+		s.Store32(vec+addr.VAddr(4*k), idx[k])
+	}
+	for j := uint64(0); j < xN; j++ {
+		s.StoreF64(x+addr.VAddr(8*j), float64(j)*0.5)
+	}
+	alias, err := s.MapScatterGather(x, xN*8, 8, vec, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		got := s.LoadF64(alias + addr.VAddr(8*k))
+		want := float64(idx[k]) * 0.5
+		if got != want {
+			t.Fatalf("x'[%d] = %v, want %v (idx %d)", k, got, want, idx[k])
+		}
+	}
+	if s.St.ShadowReads == 0 {
+		t.Error("gather path not exercised")
+	}
+	if err := s.St.CheckLoadClassification(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScatterGatherImprovesLocality(t *testing.T) {
+	// The paper's core claim (§3.1): gathered access has far better L1
+	// behaviour and lower bus traffic than sparse indirect access.
+	const n = 4096
+	xN := uint64(64 << 10) // 512 KB of doubles: misses everywhere
+	idx := make([]uint32, n)
+	rng := rand.New(rand.NewSource(11))
+	for k := range idx {
+		idx[k] = uint32(rng.Intn(int(xN)))
+	}
+
+	setup := func(s *System) (addr.VAddr, addr.VAddr) {
+		x := s.MustAlloc(xN*8, 0)
+		vec := s.MustAlloc(n*4, 0)
+		for k := range idx {
+			s.Store32(vec+addr.VAddr(4*k), idx[k])
+		}
+		for j := uint64(0); j < xN; j++ {
+			s.StoreF64(x+addr.VAddr(8*j), float64(j))
+		}
+		return x, vec
+	}
+
+	// Conventional: x[vec[k]] with CPU-issued indirection loads.
+	conv := newSys(t, Conventional, PrefetchNone)
+	x, vec := setup(conv)
+	convStart := conv.Snapshot()
+	convT0 := conv.Now()
+	var sum float64
+	for k := 0; k < n; k++ {
+		j := conv.Load32(vec + addr.VAddr(4*k))
+		sum += conv.LoadF64(x + addr.VAddr(8*uint64(j)))
+	}
+	convCycles := conv.Now() - convT0
+	convSt := conv.Snapshot()
+	convBus := convSt.BusBytes - convStart.BusBytes
+	convLoads := convSt.Loads - convStart.Loads
+
+	// Impulse: gathered x', no CPU indirection loads.
+	imp := newSys(t, Impulse, PrefetchNone)
+	x, vec = setup(imp)
+	alias, err := imp.MapScatterGather(x, xN*8, 8, vec, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impStart := imp.Snapshot()
+	impT0 := imp.Now()
+	var sum2 float64
+	for k := 0; k < n; k++ {
+		sum2 += imp.LoadF64(alias + addr.VAddr(8*k))
+	}
+	impCycles := imp.Now() - impT0
+	impSt := imp.Snapshot()
+	impBus := impSt.BusBytes - impStart.BusBytes
+	impLoads := impSt.Loads - impStart.Loads
+
+	if sum != sum2 {
+		t.Fatalf("results differ: %v vs %v", sum, sum2)
+	}
+	if impLoads >= convLoads {
+		t.Errorf("Impulse issued %d loads, conventional %d (should be fewer)", impLoads, convLoads)
+	}
+	if impBus >= convBus {
+		t.Errorf("Impulse moved %d bus bytes, conventional %d (should be fewer)", impBus, convBus)
+	}
+	l1Imp := float64(impSt.L1LoadHits-impStart.L1LoadHits) / float64(impLoads)
+	l1Conv := float64(convSt.L1LoadHits-convStart.L1LoadHits) / float64(convLoads)
+	if l1Imp <= l1Conv {
+		t.Errorf("Impulse L1 ratio %.3f not above conventional %.3f", l1Imp, l1Conv)
+	}
+	if impCycles >= convCycles {
+		t.Errorf("Impulse %d cycles, conventional %d (gather should win)", impCycles, convCycles)
+	}
+}
+
+func TestStridedAliasDiagonal(t *testing.T) {
+	// Figure 1: remap the diagonal of a dense matrix into dense lines.
+	s := newSys(t, Impulse, PrefetchNone)
+	const dim = 64
+	rowBytes := uint64(dim * 8)
+	mat := s.MustAlloc(dim*rowBytes, 0)
+	for i := 0; i < dim; i++ {
+		s.StoreF64(mat+addr.VAddr(uint64(i)*rowBytes+uint64(i)*8), float64(i)+0.25)
+	}
+	diag, err := s.NewStridedAlias(8, rowBytes+8, dim, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Retarget(diag, mat, dim*rowBytes, Purge); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < dim; i++ {
+		got := s.LoadF64(diag.VA + addr.VAddr(8*i))
+		if got != float64(i)+0.25 {
+			t.Fatalf("diag[%d] = %v", i, got)
+		}
+	}
+	// 64 dense doubles = 4 L2 lines -> at most 4 memory accesses.
+	if s.St.MemLoads > 8 {
+		t.Errorf("diagonal reads caused %d memory accesses", s.St.MemLoads)
+	}
+}
+
+func TestStridedAliasWriteScatter(t *testing.T) {
+	// The C-tile case: write through the alias, flush, and observe the
+	// values landing in the strided structure.
+	s := newSys(t, Impulse, PrefetchNone)
+	const count = 32
+	stride := uint64(256)
+	target := s.MustAlloc(count*stride, 0)
+	a, err := s.NewStridedAlias(8, stride, count, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Retarget(a, target, count*stride, Purge); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < count; i++ {
+		s.StoreF64(a.VA+addr.VAddr(8*i), float64(i)*3.0)
+	}
+	s.FlushVRange(a.VA, a.Bytes) // dirty shadow lines scatter back
+	for i := 0; i < count; i++ {
+		got := s.LoadF64(target + addr.VAddr(uint64(i)*stride))
+		if got != float64(i)*3.0 {
+			t.Fatalf("target[%d] = %v, want %v", i, got, float64(i)*3.0)
+		}
+	}
+}
+
+func TestRetargetMovesAlias(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+	stride := uint64(128)
+	t1 := s.MustAlloc(16*stride, 0)
+	t2 := s.MustAlloc(16*stride, 0)
+	for i := 0; i < 16; i++ {
+		s.StoreF64(t1+addr.VAddr(uint64(i)*stride), 100+float64(i))
+		s.StoreF64(t2+addr.VAddr(uint64(i)*stride), 200+float64(i))
+	}
+	a, err := s.NewStridedAlias(8, stride, 16, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Retarget(a, t1, 16*stride, Purge); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LoadF64(a.VA); got != 100 {
+		t.Fatalf("alias on t1 = %v", got)
+	}
+	if err := s.Retarget(a, t2, 16*stride, Purge); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LoadF64(a.VA); got != 200 {
+		t.Fatalf("alias on t2 = %v (stale cache or mapping)", got)
+	}
+	s.Release(a)
+	if _, err := s.MC.FreeSlot(); err != nil {
+		t.Errorf("slot not released: %v", err)
+	}
+}
+
+func TestStridedAliasL1Placement(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+	l1 := s.Config().L1.Bytes
+	a, err := s.NewStridedAlias(8, 128, 512, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(a.VA)%l1 != 8192 {
+		t.Errorf("alias VA %#x not at L1 offset 8192", uint64(a.VA))
+	}
+	if _, err := s.NewStridedAlias(8, 128, 16, 4097); err == nil {
+		t.Error("unaligned l1Offset accepted")
+	}
+	if _, err := s.NewStridedAlias(8, 128, 16, l1); err == nil {
+		t.Error("l1Offset beyond L1 accepted")
+	}
+	if _, err := s.NewStridedAlias(12, 128, 16, 0); err == nil {
+		t.Error("non-pow2 object size accepted")
+	}
+}
+
+func TestRecolorPreservesValues(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+	bytes := uint64(16 * addr.PageSize)
+	x := s.MustAlloc(bytes, 0)
+	for i := uint64(0); i < bytes/8; i += 64 {
+		s.StoreF64(x+addr.VAddr(8*i), float64(i))
+	}
+	if err := s.Recolor(x, bytes, 0, 15); err != nil {
+		t.Fatal(err)
+	}
+	// Pages now map to shadow space.
+	p, ok := s.TranslateNoFault(x)
+	if !ok || !s.MC.IsShadow(p) {
+		t.Fatalf("recolored page not shadow-backed: %v %v", p, ok)
+	}
+	for i := uint64(0); i < bytes/8; i += 64 {
+		if got := s.LoadF64(x + addr.VAddr(8*i)); got != float64(i) {
+			t.Fatalf("x[%d] = %v after recolor", i, got)
+		}
+	}
+	if err := s.St.CheckLoadClassification(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecolorColors(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+	bytes := uint64(8 * addr.PageSize)
+	x := s.MustAlloc(bytes, 0)
+	if err := s.Recolor(x, bytes, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	nc := s.K.NumColors()
+	for i := uint64(0); i < 8; i++ {
+		p, ok := s.TranslateNoFault(x + addr.VAddr(i*addr.PageSize))
+		if !ok {
+			t.Fatal("page unmapped")
+		}
+		color := p.PageNum() & (nc - 1)
+		if color != 4 && color != 5 {
+			t.Errorf("page %d landed on color %d, want 4 or 5", i, color)
+		}
+	}
+	if err := s.Recolor(x, bytes, 5, 4); err == nil {
+		t.Error("inverted color range accepted")
+	}
+	if err := s.Recolor(x, bytes, 0, nc); err == nil {
+		t.Error("out-of-range color accepted")
+	}
+}
+
+func TestRecolorEliminatesConflicts(t *testing.T) {
+	// Two streams whose physical pages collide in the L2 thrash; after
+	// recoloring them apart, repeated sweeps hit in L2.
+	run := func(recolor bool) uint64 {
+		s := newSys(t, Impulse, PrefetchNone)
+		// Allocate both arrays on the SAME colors to force conflicts.
+		bytes := uint64(16 * addr.PageSize) // 64 KB each
+		a, err := s.K.AllocAndMapColored(bytes, 0, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.K.AllocAndMapColored(bytes, 0, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recolor {
+			if err := s.Recolor(addr.VAddr(a), bytes, 8, 15); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Recolor(addr.VAddr(b), bytes, 16, 23); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st0 := s.Snapshot()
+		for sweep := 0; sweep < 4; sweep++ {
+			for off := uint64(0); off < bytes; off += 8 {
+				s.LoadF64(addr.VAddr(a) + addr.VAddr(off))
+				s.LoadF64(addr.VAddr(b) + addr.VAddr(off))
+			}
+		}
+		return s.St.MemLoads - st0.MemLoads
+	}
+	base := run(false)
+	rec := run(true)
+	if rec >= base {
+		t.Errorf("recoloring did not reduce memory accesses: %d vs %d", rec, base)
+	}
+}
+
+func TestSuperpageReducesTLBMisses(t *testing.T) {
+	run := func(super bool) uint64 {
+		s := newSys(t, Impulse, PrefetchNone)
+		bytes := uint64(512 * addr.PageSize) // 2 MB: far beyond TLB reach
+		x := s.MustAlloc(bytes, 0)
+		if super {
+			if err := s.MapSuperpage(x, bytes); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st0 := s.Snapshot()
+		// Page-strided walk: worst case for a 128-entry TLB.
+		for sweep := 0; sweep < 4; sweep++ {
+			for off := uint64(0); off < bytes; off += addr.PageSize {
+				s.Load64(x + addr.VAddr(off))
+			}
+		}
+		return s.St.TLBMisses - st0.TLBMisses
+	}
+	base := run(false)
+	sp := run(true)
+	if sp != 0 {
+		t.Errorf("superpage walk still took %d TLB misses", sp)
+	}
+	if base == 0 {
+		t.Error("baseline walk unexpectedly TLB-resident")
+	}
+}
+
+func TestSuperpagePreservesValues(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+	bytes := uint64(16 * addr.PageSize)
+	x := s.MustAlloc(bytes, 0)
+	for i := uint64(0); i < 16; i++ {
+		s.StoreF64(x+addr.VAddr(i*addr.PageSize+8), float64(i)+0.125)
+	}
+	if err := s.MapSuperpage(x, bytes); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 16; i++ {
+		if got := s.LoadF64(x + addr.VAddr(i*addr.PageSize+8)); got != float64(i)+0.125 {
+			t.Fatalf("x page %d = %v", i, got)
+		}
+	}
+	if err := s.MapSuperpage(x+1, bytes); err == nil {
+		t.Error("unaligned superpage accepted")
+	}
+}
+
+func TestResultAndSpeedup(t *testing.T) {
+	s := newSys(t, Conventional, PrefetchNone)
+	x := s.MustAlloc(4096, 0)
+	for i := 0; i < 512; i++ {
+		s.LoadF64(x + addr.VAddr(8*(i%512)))
+	}
+	r, err := s.Result("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 || r.L1Ratio == 0 || r.AvgLoad < 1 {
+		t.Errorf("implausible row: %+v", r)
+	}
+	base := Row{Cycles: 2000}
+	fast := Row{Cycles: 1000}
+	if Speedup(base, fast) != 2.0 {
+		t.Error("Speedup")
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSyscallCostsCharged(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+	x := s.MustAlloc(64*addr.PageSize, 0)
+	before := s.Now()
+	if err := s.Recolor(x, 64*addr.PageSize, 0, 31); err != nil {
+		t.Fatal(err)
+	}
+	if s.St.Syscalls == 0 || s.St.SyscallCycles == 0 {
+		t.Error("syscall costs not charged")
+	}
+	if s.Now() == before {
+		t.Error("remap advanced no time")
+	}
+}

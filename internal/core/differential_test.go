@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"impulse/internal/addr"
+)
+
+// differential testing: a randomly generated program of loads, stores,
+// flushes, and gathered reads must compute bit-identical results on every
+// memory-system configuration — conventional or Impulse, any prefetch
+// policy, with or without recoloring and superpages applied. The memory
+// system may only change *when* data moves, never *what* the program
+// computes.
+
+type fuzzProgram struct {
+	seed    int64
+	nA      uint64 // gathered array elements
+	nVec    uint64 // indirection vector entries
+	nB      uint64 // recolored array elements
+	nC      uint64 // superpaged array elements
+	ops     []fuzzOp
+	vecVals []uint32
+}
+
+type fuzzOp struct {
+	kind int // 0: store A, 1: load A, 2: store B, 3: load C, 4: gathered read, 5: flush range
+	idx  uint64
+	val  float64
+}
+
+func genProgram(seed int64, nops int) *fuzzProgram {
+	rng := rand.New(rand.NewSource(seed))
+	p := &fuzzProgram{
+		seed: seed,
+		nA:   uint64(rng.Intn(4000) + 512),
+		nVec: uint64(rng.Intn(1000) + 64),
+		nB:   uint64(rng.Intn(3000) + 512),
+		nC:   uint64(rng.Intn(2000) + 512),
+	}
+	p.vecVals = make([]uint32, p.nVec)
+	for k := range p.vecVals {
+		p.vecVals[k] = uint32(rng.Intn(int(p.nA)))
+	}
+	for i := 0; i < nops; i++ {
+		op := fuzzOp{kind: rng.Intn(6), val: rng.NormFloat64()}
+		switch op.kind {
+		case 0, 1:
+			op.idx = uint64(rng.Intn(int(p.nA)))
+		case 2:
+			op.idx = uint64(rng.Intn(int(p.nB)))
+		case 3:
+			op.idx = uint64(rng.Intn(int(p.nC)))
+		case 4:
+			op.idx = uint64(rng.Intn(int(p.nVec)))
+		case 5:
+			op.idx = uint64(rng.Intn(int(p.nA)))
+		}
+		p.ops = append(p.ops, op)
+	}
+	return p
+}
+
+// run executes the program; on Impulse systems the three remapping
+// optimizations are applied and gathered reads go through the alias.
+func (p *fuzzProgram) run(t *testing.T, s *System) float64 {
+	t.Helper()
+	a := s.MustAlloc(p.nA*8, 0)
+	vec := s.MustAlloc(p.nVec*4, 0)
+	b := s.MustAlloc(p.nB*8, 0)
+	c := s.MustAlloc(p.nC*8, 0)
+	for k, v := range p.vecVals {
+		s.Store32(vec+addr.VAddr(4*k), v)
+	}
+	// Deterministic initial contents.
+	for i := uint64(0); i < p.nA; i++ {
+		s.StoreF64(a+addr.VAddr(8*i), float64(i)*0.5)
+	}
+
+	var alias addr.VAddr
+	if s.IsImpulse() {
+		var err error
+		alias, err = s.MapScatterGather(a, p.nA*8, 8, vec, p.nVec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Recolor(b, p.nB*8, 4, 11); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.MapSuperpage(c, p.nC*8); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var checksum float64
+	for _, op := range p.ops {
+		switch op.kind {
+		case 0:
+			s.StoreF64(a+addr.VAddr(8*op.idx), op.val)
+		case 1:
+			checksum += s.LoadF64(a + addr.VAddr(8*op.idx))
+		case 2:
+			s.StoreF64(b+addr.VAddr(8*op.idx), op.val)
+			checksum += s.LoadF64(b + addr.VAddr(8*op.idx))
+		case 3:
+			s.StoreF64(c+addr.VAddr(8*op.idx), op.val*2)
+			checksum += s.LoadF64(c + addr.VAddr(8*op.idx))
+		case 4:
+			if s.IsImpulse() {
+				// Consistency protocol, then read through the alias.
+				s.FlushVRange(a, p.nA*8)
+				s.PurgeVRange(alias+addr.VAddr(8*op.idx), 8)
+				s.MC.InvalidateBuffers()
+				checksum += s.LoadF64(alias + addr.VAddr(8*op.idx))
+			} else {
+				j := s.Load32(vec + addr.VAddr(4*op.idx))
+				checksum += s.LoadF64(a + addr.VAddr(8*uint64(j)))
+			}
+		case 5:
+			span := p.nA*8 - op.idx*8
+			if span > 512 {
+				span = 512
+			}
+			s.FlushVRange(a+addr.VAddr(8*op.idx), span)
+		}
+	}
+	// Fold final contents of every array.
+	for i := uint64(0); i < p.nA; i++ {
+		checksum += s.LoadF64(a+addr.VAddr(8*i)) * float64(i%13+1)
+	}
+	for i := uint64(0); i < p.nB; i++ {
+		checksum += s.LoadF64(b+addr.VAddr(8*i)) * float64(i%7+1)
+	}
+	for i := uint64(0); i < p.nC; i++ {
+		checksum += s.LoadF64(c+addr.VAddr(8*i)) * float64(i%5+1)
+	}
+	if err := s.St.CheckLoadClassification(); err != nil {
+		t.Errorf("seed %d: %v", p.seed, err)
+	}
+	return checksum
+}
+
+func TestDifferentialRandomPrograms(t *testing.T) {
+	configs := []Options{
+		{Controller: Conventional, Prefetch: PrefetchNone},
+		{Controller: Conventional, Prefetch: PrefetchL1},
+		{Controller: Impulse, Prefetch: PrefetchNone},
+		{Controller: Impulse, Prefetch: PrefetchMC},
+		{Controller: Impulse, Prefetch: PrefetchBoth},
+	}
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		prog := genProgram(seed, 400)
+		var want float64
+		for ci, opt := range configs {
+			s, err := NewSystem(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := prog.run(t, s)
+			if ci == 0 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("seed %d: config %d (%v/%v) checksum %v != baseline %v",
+					seed, ci, opt.Controller, opt.Prefetch, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialDeterminism: the same configuration run twice must give
+// identical cycle counts (the simulator has no hidden nondeterminism).
+func TestDifferentialDeterminism(t *testing.T) {
+	prog := genProgram(99, 300)
+	run := func() (float64, uint64) {
+		s, err := NewSystem(Options{Controller: Impulse, Prefetch: PrefetchBoth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := prog.run(t, s)
+		return sum, s.Now()
+	}
+	sum1, cyc1 := run()
+	sum2, cyc2 := run()
+	if sum1 != sum2 || cyc1 != cyc2 {
+		t.Errorf("nondeterminism: (%v, %d) vs (%v, %d)", sum1, cyc1, sum2, cyc2)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"impulse/internal/addr"
+	"impulse/internal/mc"
+)
+
+func TestDescriptorSlotExhaustionViaAPI(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+	x := s.MustAlloc(4096, 0)
+	vec := s.MustAlloc(4096, 0)
+	for i := 0; i < mc.NumDescriptors; i++ {
+		if _, err := s.MapScatterGather(x, 4096, 8, vec, 16, 0); err != nil {
+			t.Fatalf("gather %d: %v", i, err)
+		}
+	}
+	_, err := s.MapScatterGather(x, 4096, 8, vec, 16, 0)
+	if err == nil || !strings.Contains(err.Error(), "descriptors") {
+		t.Errorf("ninth gather: %v", err)
+	}
+}
+
+func TestMapScatterGatherValidation(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+	x := s.MustAlloc(4096, 0)
+	vec := s.MustAlloc(4096, 0)
+	if _, err := s.MapScatterGather(x, 4096, 12, vec, 16, 0); err == nil {
+		t.Error("non-pow2 element size accepted")
+	}
+	if _, err := s.MapScatterGather(x, 4096, 8, vec, 16, 4097); err == nil {
+		t.Error("unaligned l1Offset accepted")
+	}
+	if _, err := s.MapScatterGather(x, 4096, 8, vec, 16, s.Config().L1.Bytes); err == nil {
+		t.Error("out-of-range l1Offset accepted")
+	}
+	// Unmapped target pages.
+	if _, err := s.MapScatterGather(x+addr.VAddr(1<<20), 4096, 8, vec, 16, 0); err == nil {
+		t.Error("unmapped target accepted")
+	}
+}
+
+func TestShadowSpaceExhaustionViaAlias(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+	// The default layout has 1 GB of shadow space; ask for more than
+	// remains in one alias.
+	if _, err := s.NewStridedAlias(8, 64, (2<<30)/8, 0); err == nil {
+		t.Error("2 GB alias in a 1 GB shadow window accepted")
+	}
+}
+
+func TestRecolorUnmappedTarget(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+	if err := s.Recolor(0xDEAD000, 4096, 0, 3); err == nil {
+		t.Error("recolor of unmapped range accepted")
+	}
+}
+
+func TestSuperpageOnRecoloredPagesRejected(t *testing.T) {
+	// Recoloring makes the pages shadow-backed; a superpage over them
+	// would double-remap, which FramesOf correctly refuses.
+	s := newSys(t, Impulse, PrefetchNone)
+	x := s.MustAlloc(8*addr.PageSize, 0)
+	if err := s.Recolor(x, 8*addr.PageSize, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MapSuperpage(x, 8*addr.PageSize); err == nil {
+		t.Error("superpage over recolored (shadow-backed) pages accepted")
+	}
+}
+
+func TestSectionDeltaIsolation(t *testing.T) {
+	s := newSys(t, Conventional, PrefetchNone)
+	x := s.MustAlloc(64<<10, 0)
+	// Heavy pre-section activity.
+	for i := uint64(0); i < 4096; i++ {
+		s.LoadF64(x + addr.VAddr(8*i))
+	}
+	sec := s.BeginSection()
+	for i := uint64(0); i < 8; i++ {
+		s.LoadF64(x + addr.VAddr(8*i)) // warm: L1 hits
+	}
+	row, err := sec.End("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Stats.Loads != 8 {
+		t.Errorf("section loads = %d, want 8", row.Stats.Loads)
+	}
+	if row.L1Ratio != 1.0 {
+		t.Errorf("section L1 ratio = %v, want 1.0", row.L1Ratio)
+	}
+	if row.Stats.LoadLatency.Count != 8 {
+		t.Errorf("section latency histogram count = %d", row.Stats.LoadLatency.Count)
+	}
+}
+
+func TestDRAMExhaustionSurfaces(t *testing.T) {
+	// A machine with tiny DRAM runs out of frames cleanly.
+	s := newSys(t, Impulse, PrefetchNone)
+	// Default DRAM is 256 MB with ~1 MB reserved; allocate until failure.
+	var err error
+	for i := 0; i < 4096; i++ {
+		if _, err = s.Alloc(1<<20, 0); err != nil {
+			break
+		}
+	}
+	if err == nil || !strings.Contains(err.Error(), "color") && !strings.Contains(err.Error(), "memory") {
+		t.Errorf("DRAM exhaustion error = %v", err)
+	}
+}

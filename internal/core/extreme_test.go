@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"impulse/internal/addr"
+	"impulse/internal/dram"
+	"impulse/internal/sim"
+)
+
+// Extreme-configuration tests: shrinking every hardware structure to its
+// minimum must degrade timing, never correctness. This is the
+// reproduction's failure-injection suite — the structures under pressure
+// (PgTbl TLB, prefetch buffers, DRAM banks, processor TLB) are exactly
+// the ones whose misbehavior would corrupt remapped data silently.
+
+func extremeConfig(mutate func(*sim.Config)) Options {
+	cfg := sim.DefaultConfig()
+	mutate(&cfg)
+	return Options{Controller: Impulse, Prefetch: PrefetchBoth, Config: &cfg}
+}
+
+// runGatherProgram builds a gather over a scattered vector and verifies
+// every element, returning total cycles.
+func runGatherProgram(t *testing.T, opts Options) uint64 {
+	t.Helper()
+	s, err := NewSystem(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, xN = 2048, 16384
+	x := s.MustAlloc(xN*8, 0)
+	vec := s.MustAlloc(n*4, 0)
+	for k := uint64(0); k < n; k++ {
+		s.Store32(vec+addr.VAddr(4*k), uint32((k*509)%xN))
+	}
+	for j := uint64(0); j < xN; j++ {
+		s.StoreF64(x+addr.VAddr(8*j), float64(j)*0.25)
+	}
+	alias, err := s.MapScatterGather(x, xN*8, 8, vec, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := s.Now()
+	for k := uint64(0); k < n; k++ {
+		got := s.LoadF64(alias + addr.VAddr(8*k))
+		want := float64((k*509)%xN) * 0.25
+		if got != want {
+			t.Fatalf("element %d = %v, want %v", k, got, want)
+		}
+	}
+	if err := s.St.CheckLoadClassification(); err != nil {
+		t.Fatal(err)
+	}
+	return s.Now() - t0
+}
+
+func TestExtremeTinyPgTbl(t *testing.T) {
+	base := runGatherProgram(t, Options{Controller: Impulse, Prefetch: PrefetchBoth})
+	tiny := runGatherProgram(t, extremeConfig(func(c *sim.Config) {
+		c.MC.PgTblEntries = 1
+	}))
+	if tiny <= base {
+		t.Errorf("1-entry PgTbl (%d cycles) not slower than 64-entry (%d)", tiny, base)
+	}
+}
+
+func TestExtremeMinimumBuffers(t *testing.T) {
+	runGatherProgram(t, extremeConfig(func(c *sim.Config) {
+		c.MC.SRAMBytes = c.MC.LineBytes    // one line of prefetch SRAM
+		c.MC.DescBufBytes = c.MC.LineBytes // one line per descriptor
+	}))
+}
+
+func TestExtremeSingleDRAMBank(t *testing.T) {
+	base := runGatherProgram(t, Options{Controller: Impulse, Prefetch: PrefetchBoth})
+	serial := runGatherProgram(t, extremeConfig(func(c *sim.Config) {
+		c.DRAM.Banks = 1
+	}))
+	if serial <= base {
+		t.Errorf("single-bank DRAM (%d cycles) not slower than 16-bank (%d)", serial, base)
+	}
+}
+
+func TestExtremeTinyTLB(t *testing.T) {
+	runGatherProgram(t, extremeConfig(func(c *sim.Config) {
+		c.TLBEntries = 1
+		c.TLBMissPenalty = 100
+	}))
+}
+
+func TestExtremeSlowDRAM(t *testing.T) {
+	fast := runGatherProgram(t, Options{Controller: Impulse, Prefetch: PrefetchBoth})
+	slow := runGatherProgram(t, extremeConfig(func(c *sim.Config) {
+		c.DRAM.RowHit = 80
+		c.DRAM.RowMiss = 200
+	}))
+	if slow <= fast {
+		t.Errorf("10x DRAM latency (%d cycles) not slower than default (%d)", slow, fast)
+	}
+}
+
+func TestExtremeRowMajorScheduler(t *testing.T) {
+	runGatherProgram(t, extremeConfig(func(c *sim.Config) {
+		c.MC.Order = dram.RowMajor
+	}))
+}
+
+func TestExtremeDirectMappedL2(t *testing.T) {
+	runGatherProgram(t, extremeConfig(func(c *sim.Config) {
+		c.L2.Ways = 1
+	}))
+}
+
+func TestExtremeInvalidConfigsRejected(t *testing.T) {
+	bad := []func(*sim.Config){
+		func(c *sim.Config) { c.MC.SRAMBytes = 8 },      // smaller than a line
+		func(c *sim.Config) { c.MC.PgTblEntries = 0 },   //
+		func(c *sim.Config) { c.DRAM.Banks = 0 },        //
+		func(c *sim.Config) { c.TLBEntries = 0 },        //
+		func(c *sim.Config) { c.L1.Ways = 3 },           // non-pow2
+		func(c *sim.Config) { c.Bus.BytesPerCycle = 0 }, //
+	}
+	for i, mutate := range bad {
+		cfg := sim.DefaultConfig()
+		mutate(&cfg)
+		if _, err := NewSystem(Options{Controller: Impulse, Config: &cfg}); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

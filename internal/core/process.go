@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"impulse/internal/addr"
+)
+
+// ContextSwitchCycles is the base cost of a context switch (kernel entry,
+// register save/restore, scheduler) beyond the TLB refill costs the
+// switched-to process pays on its own.
+const ContextSwitchCycles = 400
+
+// SpawnProcess creates a new process address space and returns its pid.
+// The new process starts with nothing mapped; switch to it to allocate.
+func (s *System) SpawnProcess() int {
+	pid := s.K.CreateProcess()
+	s.chargeSyscall(0)
+	return pid
+}
+
+// SwitchProcess makes pid the running process: the page-table base
+// changes and the processor TLB's user entries are flushed. Block-TLB
+// (superpage) entries are also dropped — they belong to the old address
+// space.
+func (s *System) SwitchProcess(pid int) error {
+	if err := s.K.SwitchProcess(pid); err != nil {
+		return err
+	}
+	s.St.Syscalls++
+	s.St.SyscallCycles += ContextSwitchCycles
+	s.Tick(ContextSwitchCycles)
+	s.FlushTLB()
+	s.ClearBlockTLB()
+	return nil
+}
+
+// CurrentProcess returns the running pid.
+func (s *System) CurrentProcess() int { return s.K.CurrentProcess() }
+
+// GrantShadow authorizes pid to map the shadow region containing base —
+// the mediated sharing the paper's §6 LRPC scenario needs ("use shared
+// memory to map buffers into sender and receiver address spaces, and
+// Impulse could be used to support fast, no-copy scatter/gather into
+// shared shadow address spaces"). Only the region's owner may grant.
+func (s *System) GrantShadow(base addr.PAddr, pid int) error {
+	if !s.IsImpulse() {
+		return ErrNotImpulse
+	}
+	if err := s.K.GrantShadow(base, pid); err != nil {
+		return err
+	}
+	s.chargeSyscall(0)
+	return nil
+}
+
+// ShadowRegionOf returns the shadow region backing the current process's
+// virtual address v, so a granted peer can be told what to map. Fails if
+// v is not shadow-mapped.
+func (s *System) ShadowRegionOf(v addr.VAddr) (addr.PAddr, error) {
+	p, ok := s.K.Translate(v)
+	if !ok {
+		return 0, fmt.Errorf("core: %v not mapped", v)
+	}
+	if !s.MC.IsShadow(p) {
+		return 0, fmt.Errorf("core: %v is not shadow-backed", v)
+	}
+	return p, nil
+}
+
+// MapForeignShadow maps `bytes` of the (granted) shadow region starting
+// at sh into the current process's address space and returns the new
+// virtual base. This is the receiver side of an LRPC-style shared
+// buffer: the mapping succeeds only if the owner granted access.
+func (s *System) MapForeignShadow(sh addr.PAddr, bytes uint64) (addr.VAddr, error) {
+	if !s.IsImpulse() {
+		return 0, ErrNotImpulse
+	}
+	if sh.PageOff() != 0 {
+		return 0, fmt.Errorf("core: foreign shadow base %v not page-aligned", sh)
+	}
+	pages := (bytes + addr.PageSize - 1) >> addr.PageShift
+	va, err := s.K.AllocVirtual(pages<<addr.PageShift, 0)
+	if err != nil {
+		return 0, err
+	}
+	for i := uint64(0); i < pages; i++ {
+		if err := s.K.MapShadowPage(va.PageNum()+i, sh+addr.PAddr(i<<addr.PageShift)); err != nil {
+			return 0, err
+		}
+	}
+	s.chargeSyscall(0)
+	return va, nil
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"impulse/internal/addr"
+)
+
+func TestProcessIsolation(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+	// Process 0 allocates and writes.
+	x0 := s.MustAlloc(4096, 0)
+	s.StoreF64(x0, 1.5)
+
+	pid := s.SpawnProcess()
+	if pid == 0 {
+		t.Fatal("spawn returned pid 0")
+	}
+	if err := s.SwitchProcess(pid); err != nil {
+		t.Fatal(err)
+	}
+	if s.CurrentProcess() != pid {
+		t.Fatalf("CurrentProcess = %d", s.CurrentProcess())
+	}
+	// The new process has an empty address space: x0 is unmapped here.
+	if _, ok := s.TranslateNoFault(x0); ok {
+		t.Error("foreign mapping visible in fresh process")
+	}
+	// Its own allocations work and do not alias process 0's data.
+	x1 := s.MustAlloc(4096, 0)
+	s.StoreF64(x1, 2.5)
+	if err := s.SwitchProcess(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LoadF64(x0); got != 1.5 {
+		t.Errorf("process 0 data clobbered: %v", got)
+	}
+}
+
+func TestSwitchProcessFlushesTLB(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+	x := s.MustAlloc(4096, 0)
+	s.Load64(x)
+	misses := s.St.TLBMisses
+	s.Load64(x + 8)
+	if s.St.TLBMisses != misses {
+		t.Fatal("warm TLB missed")
+	}
+	pid := s.SpawnProcess()
+	if err := s.SwitchProcess(pid); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SwitchProcess(0); err != nil {
+		t.Fatal(err)
+	}
+	s.Load64(x)
+	if s.St.TLBMisses == misses {
+		t.Error("TLB survived context switch")
+	}
+}
+
+func TestSwitchProcessUnknownPid(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+	if err := s.SwitchProcess(99); err == nil {
+		t.Error("switch to unknown pid succeeded")
+	}
+}
+
+func TestFrameProtection(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+	f, err := s.K.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := s.SpawnProcess()
+	if err := s.SwitchProcess(pid); err != nil {
+		t.Fatal(err)
+	}
+	// The new process cannot map or free process 0's frame.
+	va, _ := s.K.AllocVirtual(addr.PageSize, 0)
+	if err := s.K.MapPage(va.PageNum(), f); err == nil {
+		t.Error("mapped a foreign frame")
+	}
+	if err := s.K.FreeFrame(f); err == nil {
+		t.Error("freed a foreign frame")
+	}
+}
+
+// TestLRPCSharedShadow is the paper's §6 scenario: a server process
+// builds a gather alias over its scattered buffers, grants the shadow
+// region to a client, and the client maps it and reads the gathered
+// message with zero copies — while an ungranted process is refused.
+func TestLRPCSharedShadow(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+
+	// Server (process 0): scattered buffers + indirection vector.
+	const n = 512
+	x := s.MustAlloc(n*8*4, 0)
+	vec := s.MustAlloc(n*4, 0)
+	for k := uint64(0); k < n; k++ {
+		idx := uint32(k * 3) // every third word
+		s.Store32(vec+addr.VAddr(4*k), idx)
+		s.StoreF64(x+addr.VAddr(8*uint64(idx)), float64(k)+0.25)
+	}
+	alias, err := s.MapScatterGather(x, n*8*4, 8, vec, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := s.ShadowRegionOf(alias)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := s.SpawnProcess()
+	intruder := s.SpawnProcess()
+	if err := s.GrantShadow(sh, client); err != nil {
+		t.Fatal(err)
+	}
+
+	// The client maps the granted shadow region and reads the message.
+	if err := s.SwitchProcess(client); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := s.MapForeignShadow(sh, n*8)
+	if err != nil {
+		t.Fatalf("granted client denied: %v", err)
+	}
+	for k := 0; k < n; k++ {
+		if got := s.LoadF64(msg + addr.VAddr(8*k)); got != float64(k)+0.25 {
+			t.Fatalf("msg[%d] = %v", k, got)
+		}
+	}
+
+	// The intruder was not granted access.
+	if err := s.SwitchProcess(intruder); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MapForeignShadow(sh, n*8); err == nil {
+		t.Error("ungranted process mapped foreign shadow")
+	}
+
+	// Revocation works: owner revokes, client can no longer map anew.
+	if err := s.SwitchProcess(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.K.RevokeShadow(sh, client); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SwitchProcess(client); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MapForeignShadow(sh, n*8); err == nil {
+		t.Error("revoked client mapped foreign shadow")
+	}
+}
+
+func TestGrantRequiresOwner(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+	sh, err := s.K.ShadowAlloc(addr.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.SpawnProcess()
+	b := s.SpawnProcess()
+	if err := s.SwitchProcess(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GrantShadow(sh, b); err == nil {
+		t.Error("non-owner granted a shadow region")
+	}
+	if err := s.K.RevokeShadow(sh, b); err == nil {
+		t.Error("non-owner revoked a shadow region")
+	}
+}
+
+func TestMapForeignShadowValidation(t *testing.T) {
+	s := newSys(t, Impulse, PrefetchNone)
+	if _, err := s.MapForeignShadow(addr.PAddr(1<<30)+1, 8); err == nil {
+		t.Error("unaligned foreign shadow base accepted")
+	}
+	conv := newSys(t, Conventional, PrefetchNone)
+	if _, err := conv.MapForeignShadow(addr.PAddr(1<<30), 8); err != ErrNotImpulse {
+		t.Error("conventional system mapped foreign shadow")
+	}
+	x := s.MustAlloc(4096, 0)
+	if _, err := s.ShadowRegionOf(x); err == nil {
+		t.Error("ShadowRegionOf accepted a DRAM-backed address")
+	}
+}

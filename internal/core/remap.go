@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+
+	"impulse/internal/addr"
+	"impulse/internal/bitutil"
+	"impulse/internal/mc"
+)
+
+// ErrNotImpulse is returned when a remapping operation is attempted on a
+// conventional memory system.
+var ErrNotImpulse = fmt.Errorf("core: remapping requires an Impulse memory controller")
+
+// FlushMode selects cache-consistency handling when an alias is retargeted.
+type FlushMode int
+
+const (
+	// Purge invalidates the alias's cache lines without write-back
+	// (correct for read-only tiles, e.g. the A and B inputs in §3.2).
+	Purge FlushMode = iota
+	// Flush writes dirty alias lines back through the controller's
+	// scatter path before invalidating (the C output tile).
+	Flush
+)
+
+// MapScatterGather implements §2.3's indirection-vector remapping: it
+// returns a new virtual alias x' of n elements (elemBytes each, a power of
+// two) such that x'[k] aliases target[vec[k]], where vec is an array of n
+// uint32 indices. This is the "setup x', where x'[k] = x[COLUMN[k]]" call
+// of §3.1.
+//
+// targetBytes is the size of the target structure (bounds the controller
+// page mappings). The target range is flushed from the caches so DRAM is
+// current when the controller gathers (§2.3's consistency rule).
+//
+// l1Offset places the alias at that byte offset (page-aligned) within the
+// virtually-indexed L1 — §2.1 step 1's "appropriate alignment and offset
+// characteristics". It matters: an alias that lines up with another
+// stream walked at the same index (CG reads DATA[j] and x'[j] together)
+// ping-pongs a direct-mapped L1 set on every iteration.
+func (s *System) MapScatterGather(target addr.VAddr, targetBytes, elemBytes uint64, vec addr.VAddr, n, l1Offset uint64) (addr.VAddr, error) {
+	if !s.IsImpulse() {
+		return 0, ErrNotImpulse
+	}
+	if !bitutil.IsPow2(elemBytes) {
+		return 0, fmt.Errorf("core: element size %d must be a power of two", elemBytes)
+	}
+	l1Bytes := s.Config().L1.Bytes
+	if l1Offset%addr.PageSize != 0 || l1Offset >= l1Bytes {
+		return 0, fmt.Errorf("core: l1Offset %d must be page-aligned and below L1 size %d", l1Offset, l1Bytes)
+	}
+	aliasBytes := bitutil.AlignUp(n*elemBytes, addr.PageSize)
+
+	// Step 1: contiguous virtual range for the alias, placed in the L1.
+	base, err := s.K.AllocVirtual(aliasBytes+l1Bytes, l1Bytes)
+	if err != nil {
+		return 0, err
+	}
+	alias := base + addr.VAddr(l1Offset)
+	// Step 2: shadow region.
+	sh, err := s.K.ShadowAlloc(aliasBytes, addr.PageSize)
+	if err != nil {
+		return 0, err
+	}
+	// Steps 3+4: download the mapping function and page mappings.
+	pvTarget, err := s.downloadMappings(target, targetBytes)
+	if err != nil {
+		return 0, err
+	}
+	pvVec, err := s.downloadMappings(vec, 4*n)
+	if err != nil {
+		return 0, err
+	}
+	slot, err := s.MC.FreeSlot()
+	if err != nil {
+		return 0, err
+	}
+	d := mc.Descriptor{
+		Kind:       mc.Gather,
+		ShadowBase: sh,
+		// Exact size, not page-rounded: the controller clamps tail-line
+		// gathers to Bytes, keeping vector reads within the mapped range.
+		Bytes:       n * elemBytes,
+		PVBase:      pvTarget,
+		ObjBytes:    elemBytes,
+		StrideBytes: elemBytes,
+		VecPV:       pvVec,
+	}
+	if err := s.MC.SetDescriptor(slot, d); err != nil {
+		return 0, err
+	}
+	// Step 5: map the alias onto shadow memory and flush the original.
+	for p := uint64(0); p < aliasBytes>>addr.PageShift; p++ {
+		if err := s.K.MapShadowPage(alias.PageNum()+p, sh+addr.PAddr(p<<addr.PageShift)); err != nil {
+			return 0, err
+		}
+	}
+	s.chargeSyscall(s.costs.DescriptorDL)
+	s.FlushVRange(target, targetBytes)
+	return alias, nil
+}
+
+// StridedAlias is a reusable dense alias of a strided structure (§2.3
+// "Strided physical memory"): count objects of objBytes each, drawn from
+// the target at strideBytes intervals. Created once, then retargeted as
+// the computation walks tiles — keeping the alias's virtual placement
+// (and therefore its L1 cache segment) fixed, as §3.2 requires.
+type StridedAlias struct {
+	VA    addr.VAddr
+	Bytes uint64
+
+	slot        int
+	shadow      addr.PAddr
+	objBytes    uint64
+	strideBytes uint64
+	count       uint64
+}
+
+// NewStridedAlias creates a strided alias of count objects of objBytes
+// (a power of two) at pseudo-virtual stride strideBytes. l1Offset places
+// the alias at the given byte offset within the virtually-indexed L1
+// cache ("an application can allocate virtual addresses with appropriate
+// alignment and offset characteristics", §2.1 step 1); it must be
+// page-aligned.
+func (s *System) NewStridedAlias(objBytes, strideBytes, count, l1Offset uint64) (*StridedAlias, error) {
+	if !s.IsImpulse() {
+		return nil, ErrNotImpulse
+	}
+	if !bitutil.IsPow2(objBytes) {
+		return nil, fmt.Errorf("core: object size %d must be a power of two", objBytes)
+	}
+	if l1Offset%addr.PageSize != 0 {
+		return nil, fmt.Errorf("core: l1Offset %d must be page-aligned", l1Offset)
+	}
+	l1Bytes := s.Config().L1.Bytes
+	if l1Offset >= l1Bytes {
+		return nil, fmt.Errorf("core: l1Offset %d beyond L1 (%d bytes)", l1Offset, l1Bytes)
+	}
+	aliasBytes := bitutil.AlignUp(objBytes*count, addr.PageSize)
+
+	base, err := s.K.AllocVirtual(aliasBytes+l1Bytes, l1Bytes)
+	if err != nil {
+		return nil, err
+	}
+	alias := base + addr.VAddr(l1Offset)
+	sh, err := s.K.ShadowAlloc(aliasBytes, addr.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	slot, err := s.MC.FreeSlot()
+	if err != nil {
+		return nil, err
+	}
+	for p := uint64(0); p < aliasBytes>>addr.PageShift; p++ {
+		if err := s.K.MapShadowPage(alias.PageNum()+p, sh+addr.PAddr(p<<addr.PageShift)); err != nil {
+			return nil, err
+		}
+	}
+	// Occupy the descriptor slot now (with a placeholder target) so a
+	// second alias cannot claim it; Retarget installs the real target.
+	placeholder := mc.Descriptor{
+		Kind:        mc.Strided,
+		ShadowBase:  sh,
+		Bytes:       objBytes * count,
+		PVBase:      s.allocPV(count*strideBytes, 0),
+		ObjBytes:    objBytes,
+		StrideBytes: strideBytes,
+	}
+	if err := s.MC.SetDescriptor(slot, placeholder); err != nil {
+		return nil, err
+	}
+	s.chargeSyscall(0)
+	return &StridedAlias{
+		VA:          alias,
+		Bytes:       objBytes * count,
+		slot:        slot,
+		shadow:      sh,
+		objBytes:    objBytes,
+		strideBytes: strideBytes,
+		count:       count,
+	}, nil
+}
+
+// Retarget points the alias at a new target (e.g. the next tile): it
+// flushes or purges the alias's cache lines (under the old mapping, so
+// dirty data scatters to the right place), downloads fresh page mappings
+// and the descriptor, and leaves the alias ready to use. This is the
+// "when we finish with one tile, we remap the virtual tile to the next
+// physical tile" operation of §3.2.
+func (s *System) Retarget(a *StridedAlias, target addr.VAddr, targetBytes uint64, mode FlushMode) error {
+	if !s.IsImpulse() {
+		return ErrNotImpulse
+	}
+	switch mode {
+	case Flush:
+		s.FlushVRange(a.VA, a.Bytes)
+	case Purge:
+		s.PurgeVRange(a.VA, a.Bytes)
+	}
+	pv, err := s.downloadMappings(target, targetBytes)
+	if err != nil {
+		return err
+	}
+	d := mc.Descriptor{
+		Kind:        mc.Strided,
+		ShadowBase:  a.shadow,
+		Bytes:       a.objBytes * a.count,
+		PVBase:      pv,
+		ObjBytes:    a.objBytes,
+		StrideBytes: a.strideBytes,
+	}
+	if err := s.MC.SetDescriptor(a.slot, d); err != nil {
+		return err
+	}
+	s.chargeSyscall(s.costs.DescriptorDL)
+	return nil
+}
+
+// Release frees the alias's descriptor slot.
+func (s *System) Release(a *StridedAlias) {
+	s.MC.ClearDescriptor(a.slot)
+	s.chargeSyscall(0)
+}
+
+// Recolor dynamically recolors the physical pages of the virtual range
+// [target, target+bytes) so their L2 cache colors rotate through
+// [colorLo, colorHi] — without copying (§2.3 "Direct mapping", used by
+// §3.1's page recoloring). The data's frames do not move; the range is
+// re-mapped through shadow addresses whose index bits land in the chosen
+// part of the physically-indexed L2.
+func (s *System) Recolor(target addr.VAddr, bytes uint64, colorLo, colorHi uint64) error {
+	if !s.IsImpulse() {
+		return ErrNotImpulse
+	}
+	numColors := s.K.NumColors()
+	if colorLo > colorHi || colorHi >= numColors {
+		return fmt.Errorf("core: bad color range [%d,%d] of %d", colorLo, colorHi, numColors)
+	}
+	frames, err := s.K.FramesOf(target, bytes)
+	if err != nil {
+		return err
+	}
+	span := colorHi - colorLo + 1
+	windows := (uint64(len(frames)) + span - 1) / span
+	windowBytes := numColors * addr.PageSize
+	sh, err := s.K.ShadowAlloc(windows*windowBytes, windowBytes)
+	if err != nil {
+		return err
+	}
+
+	// The data must leave the caches under its old addresses first.
+	s.FlushVRange(target, bytes)
+
+	slot, err := s.MC.FreeSlot()
+	if err != nil {
+		return err
+	}
+	pvBase := s.allocPV(windows*windowBytes, 0)
+	d := mc.Descriptor{
+		Kind:       mc.Direct,
+		ShadowBase: sh,
+		Bytes:      windows * windowBytes,
+		PVBase:     pvBase,
+	}
+	if err := s.MC.SetDescriptor(slot, d); err != nil {
+		return err
+	}
+	for i, frame := range frames {
+		w := uint64(i) / span
+		c := colorLo + uint64(i)%span
+		pageIdx := w*numColors + c
+		s.MC.MapPV(pvBase.PageNum()+pageIdx, frame)
+		shPage := sh + addr.PAddr(pageIdx<<addr.PageShift)
+		if err := s.K.RemapToShadow(target.PageNum()+uint64(i), shPage); err != nil {
+			return err
+		}
+		s.FlushTLBPage(target + addr.VAddr(uint64(i)<<addr.PageShift))
+	}
+	s.chargeSyscall(s.costs.DescriptorDL + uint64(len(frames))*s.costs.PerPageMapping)
+	return nil
+}
+
+// MapSuperpage builds a superpage over the virtual range
+// [target, target+bytes): the scattered physical frames are made
+// contiguous in shadow space by a direct mapping, and a single block TLB
+// entry covers the whole range — the optimization of the authors'
+// companion paper [21] ("Increasing TLB reach using superpages backed by
+// shadow memory").
+func (s *System) MapSuperpage(target addr.VAddr, bytes uint64) error {
+	if !s.IsImpulse() {
+		return ErrNotImpulse
+	}
+	if target.PageOff() != 0 {
+		return fmt.Errorf("core: superpage base %v not page-aligned", target)
+	}
+	frames, err := s.K.FramesOf(target, bytes)
+	if err != nil {
+		return err
+	}
+	size := uint64(len(frames)) << addr.PageShift
+	sh, err := s.K.ShadowAlloc(size, bitutil.CeilPow2(size))
+	if err != nil {
+		return err
+	}
+	s.FlushVRange(target, bytes)
+	slot, err := s.MC.FreeSlot()
+	if err != nil {
+		return err
+	}
+	pvBase := s.allocPV(size, 0)
+	d := mc.Descriptor{Kind: mc.Direct, ShadowBase: sh, Bytes: size, PVBase: pvBase}
+	if err := s.MC.SetDescriptor(slot, d); err != nil {
+		return err
+	}
+	for i, frame := range frames {
+		s.MC.MapPV(pvBase.PageNum()+uint64(i), frame)
+		if err := s.K.RemapToShadow(target.PageNum()+uint64(i), sh+addr.PAddr(uint64(i)<<addr.PageShift)); err != nil {
+			return err
+		}
+		s.FlushTLBPage(target + addr.VAddr(uint64(i)<<addr.PageShift))
+	}
+	s.InstallBlockTLB(target, sh, size)
+	s.chargeSyscall(s.costs.DescriptorDL + uint64(len(frames))*s.costs.PerPageMapping)
+	return nil
+}

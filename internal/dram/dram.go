@@ -1,0 +1,269 @@
+// Package dram models the machine's banked DRAM subsystem with open-row
+// (page-mode) timing.
+//
+// The paper's memory controller includes "a DRAM scheduler that will
+// optimize the dynamic ordering of accesses" (§2.2) but its design was
+// incomplete, so all published results use "a simple scheduler that issues
+// accesses in order". This package implements both: InOrder reproduces the
+// paper's evaluated configuration; RowMajor implements the sketched future
+// work (reorder word-grained requests for DRAM page locality and bank
+// parallelism) and is used only by ablation benchmarks.
+//
+// Geometry: bus addresses are line-interleaved across banks. For line size
+// L and B banks, line index i = p/L maps to bank i mod B, and the row is
+// (i/B)/(RowBytes/L). Sequential streams therefore spread across banks,
+// and a dense structure of a few tens of KB enjoys high row-hit rates when
+// gathered — which is what lets Impulse's scatter/gather fill a cache line
+// with many DRAM accesses at far less than 16x the cost of one.
+package dram
+
+import (
+	"fmt"
+
+	"impulse/internal/addr"
+	"impulse/internal/bitutil"
+	"impulse/internal/stats"
+	"impulse/internal/timeline"
+)
+
+// Order selects the scheduling policy for batched access.
+type Order int
+
+const (
+	// InOrder issues accesses in request order (the paper's evaluated
+	// scheduler).
+	InOrder Order = iota
+	// RowMajor reorders a batch to group accesses by bank and row,
+	// exploiting page locality and bank parallelism (the paper's sketched
+	// future-work scheduler; ablation only).
+	RowMajor
+)
+
+func (o Order) String() string {
+	switch o {
+	case InOrder:
+		return "in-order"
+	case RowMajor:
+		return "row-major"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// PagePolicy selects the row-buffer management policy.
+type PagePolicy int
+
+const (
+	// OpenPage leaves the accessed row open (the paper-era default this
+	// reproduction is calibrated for): later accesses to the same row
+	// cost RowHit, a different row costs RowMiss (precharge+activate).
+	OpenPage PagePolicy = iota
+	// ClosedPage precharges after every access: all accesses cost
+	// RowClosed (activate only, no demand precharge). Better for random
+	// traffic, worse for streams — exposed for ablation.
+	ClosedPage
+)
+
+func (p PagePolicy) String() string {
+	if p == ClosedPage {
+		return "closed-page"
+	}
+	return "open-page"
+}
+
+// Config describes DRAM geometry and timing (CPU cycles).
+type Config struct {
+	Banks     uint64 // number of banks; power of two
+	RowBytes  uint64 // row (DRAM page) size per bank; power of two
+	LineBytes uint64 // access granule (one line transfer); power of two
+	RowHit    uint64 // data-ready latency when the row is open
+	RowMiss   uint64 // data-ready latency when a row must be opened
+	RowClosed uint64 // closed-page latency (activate, no demand precharge)
+	IssueGap  uint64 // minimum cycles between command issues
+	WriteBusy uint64 // cycles a bank is occupied by a write
+	Policy    PagePolicy
+}
+
+// DefaultConfig gives the timing calibrated in DESIGN.md §5: an isolated
+// read is ready at the controller ~22 cycles after arrival, which together
+// with bus and controller overheads reproduces the paper's 40-cycle memory
+// access.
+func DefaultConfig() Config {
+	return Config{
+		Banks:     16,
+		RowBytes:  4096,
+		LineBytes: 128,
+		RowHit:    8,
+		RowMiss:   20,
+		RowClosed: 14,
+		IssueGap:  1,
+		WriteBusy: 8,
+		Policy:    OpenPage,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if !bitutil.IsPow2(c.Banks) || !bitutil.IsPow2(c.RowBytes) || !bitutil.IsPow2(c.LineBytes) {
+		return fmt.Errorf("dram: banks/row/line sizes must be powers of two: %+v", c)
+	}
+	if c.LineBytes > c.RowBytes {
+		return fmt.Errorf("dram: line (%d) larger than row (%d)", c.LineBytes, c.RowBytes)
+	}
+	if c.RowHit == 0 || c.RowMiss < c.RowHit {
+		return fmt.Errorf("dram: implausible timing rowHit=%d rowMiss=%d", c.RowHit, c.RowMiss)
+	}
+	if c.Policy == ClosedPage && c.RowClosed == 0 {
+		return fmt.Errorf("dram: closed-page policy needs RowClosed timing")
+	}
+	return nil
+}
+
+type bank struct {
+	busy    timeline.Resource
+	openRow uint64
+	hasOpen bool
+}
+
+// DRAM is the timing model of the memory parts behind the controller.
+type DRAM struct {
+	cfg       Config
+	banks     []bank
+	issue     timeline.Resource // command-issue serialization at the scheduler
+	lineShift uint
+	bankMask  uint64
+	rowShift  uint // applied to in-bank line index
+	st        *stats.MemStats
+}
+
+// New builds a DRAM model. st may be nil (no accounting).
+func New(cfg Config, st *stats.MemStats) (*DRAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if st == nil {
+		st = &stats.MemStats{}
+	}
+	return &DRAM{
+		cfg:       cfg,
+		banks:     make([]bank, cfg.Banks),
+		lineShift: bitutil.Log2(cfg.LineBytes),
+		bankMask:  cfg.Banks - 1,
+		rowShift:  bitutil.Log2(cfg.RowBytes / cfg.LineBytes),
+		st:        st,
+	}, nil
+}
+
+// Config returns the DRAM configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Decode splits a bus address into (bank, row) coordinates.
+func (d *DRAM) Decode(p addr.PAddr) (bankIdx, row uint64) {
+	line := uint64(p) >> d.lineShift
+	return line & d.bankMask, (line >> bitutil.Log2(d.cfg.Banks)) >> d.rowShift
+}
+
+// Read schedules a read of the line containing p, with the command issued
+// no earlier than at. It returns the time the line's data is available at
+// the controller.
+func (d *DRAM) Read(at timeline.Time, p addr.PAddr) timeline.Time {
+	return d.access(at, p, false)
+}
+
+// Write schedules a write of the line containing p. The returned time is
+// when the bank becomes free again; callers normally ignore it (writes are
+// posted), but the bank occupancy delays later reads.
+func (d *DRAM) Write(at timeline.Time, p addr.PAddr) timeline.Time {
+	return d.access(at, p, true)
+}
+
+func (d *DRAM) access(at timeline.Time, p addr.PAddr, write bool) timeline.Time {
+	bi, row := d.Decode(p)
+	b := &d.banks[bi]
+	// Command issue is serialized at the scheduler.
+	_, issued := d.issue.Acquire(at, d.cfg.IssueGap)
+	var lat uint64
+	if d.cfg.Policy == ClosedPage {
+		// Every access activates a closed row; no row ever stays open.
+		lat = d.cfg.RowClosed
+		d.st.DRAMRowMisses++
+	} else if b.hasOpen && b.openRow == row {
+		lat = d.cfg.RowHit
+		d.st.DRAMRowHits++
+	} else {
+		lat = d.cfg.RowMiss
+		d.st.DRAMRowMisses++
+		b.openRow = row
+		b.hasOpen = true
+	}
+	if write {
+		d.st.DRAMWrites++
+		if d.cfg.WriteBusy > lat {
+			lat = d.cfg.WriteBusy
+		}
+	} else {
+		d.st.DRAMReads++
+	}
+	_, done := b.busy.Acquire(issued, lat)
+	return done
+}
+
+// ReadBatch schedules reads for every line address in lines (which should
+// be line-aligned and deduplicated by the caller) and returns the time at
+// which the last one completes. With RowMajor ordering the batch is
+// reordered to group same-bank-same-row accesses together; with InOrder it
+// is issued exactly as given.
+func (d *DRAM) ReadBatch(at timeline.Time, lines []addr.PAddr, order Order) timeline.Time {
+	if len(lines) == 0 {
+		return at
+	}
+	if order == RowMajor {
+		lines = d.rowMajor(lines)
+	}
+	var done timeline.Time = at
+	for _, p := range lines {
+		if t := d.Read(at, p); t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// rowMajor stable-groups lines by (bank, row) without allocating per call
+// beyond the output slice: counting sort over banks, then row-grouping by
+// insertion order within each bank.
+func (d *DRAM) rowMajor(lines []addr.PAddr) []addr.PAddr {
+	type key struct{ bank, row uint64 }
+	groups := make(map[key][]addr.PAddr, len(lines))
+	var order []key
+	for _, p := range lines {
+		b, r := d.Decode(p)
+		k := key{b, r}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], p)
+	}
+	out := make([]addr.PAddr, 0, len(lines))
+	for _, k := range order {
+		out = append(out, groups[k]...)
+	}
+	return out
+}
+
+// BusyCycles returns total bank-busy cycles (utilization accounting).
+func (d *DRAM) BusyCycles() uint64 {
+	var c uint64
+	for i := range d.banks {
+		c += d.banks[i].busy.BusyCycles()
+	}
+	return c
+}
+
+// LineBytes returns the DRAM access granule.
+func (d *DRAM) LineBytes() uint64 { return d.cfg.LineBytes }
+
+// LineAlign rounds p down to a DRAM line boundary.
+func (d *DRAM) LineAlign(p addr.PAddr) addr.PAddr {
+	return addr.PAddr(bitutil.AlignDown(uint64(p), d.cfg.LineBytes))
+}

@@ -1,0 +1,266 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"impulse/internal/addr"
+	"impulse/internal/stats"
+)
+
+func mustNew(t *testing.T) (*DRAM, *stats.MemStats) {
+	t.Helper()
+	st := &stats.MemStats{}
+	d, err := New(DefaultConfig(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, st
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Banks = 3
+	if bad.Validate() == nil {
+		t.Error("non-pow2 banks accepted")
+	}
+	bad = good
+	bad.LineBytes = good.RowBytes * 2
+	if bad.Validate() == nil {
+		t.Error("line > row accepted")
+	}
+	bad = good
+	bad.RowMiss = bad.RowHit - 1
+	if bad.Validate() == nil {
+		t.Error("rowMiss < rowHit accepted")
+	}
+}
+
+func TestDecodeInterleaving(t *testing.T) {
+	d, _ := mustNew(t)
+	cfg := d.Config()
+	// Consecutive lines land on consecutive banks.
+	for i := uint64(0); i < 2*cfg.Banks; i++ {
+		b, _ := d.Decode(addr.PAddr(i * cfg.LineBytes))
+		if b != i%cfg.Banks {
+			t.Fatalf("line %d on bank %d, want %d", i, b, i%cfg.Banks)
+		}
+	}
+	// Same line, different offsets: same coordinates.
+	b0, r0 := d.Decode(addr.PAddr(5 * cfg.LineBytes))
+	b1, r1 := d.Decode(addr.PAddr(5*cfg.LineBytes + cfg.LineBytes - 1))
+	if b0 != b1 || r0 != r1 {
+		t.Error("offsets within a line decode differently")
+	}
+}
+
+func TestRowHitVsMiss(t *testing.T) {
+	d, st := mustNew(t)
+	cfg := d.Config()
+	p := addr.PAddr(0)
+	t1 := d.Read(0, p)
+	if t1 != cfg.IssueGap+cfg.RowMiss {
+		t.Errorf("first read done at %d, want %d", t1, cfg.IssueGap+cfg.RowMiss)
+	}
+	if st.DRAMRowMisses != 1 || st.DRAMRowHits != 0 {
+		t.Fatalf("stats after first read: %+v", st)
+	}
+	// Second read in the same row of the same bank: row hit, and it queues
+	// behind the first access on that bank.
+	t2 := d.Read(t1, p+addr.PAddr(cfg.LineBytes*cfg.Banks))
+	if st.DRAMRowHits != 1 {
+		t.Errorf("expected a row hit, stats %+v", st)
+	}
+	if t2 != t1+cfg.IssueGap+cfg.RowHit {
+		t.Errorf("row hit done at %d, want %d", t2, t1+cfg.IssueGap+cfg.RowHit)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	d, _ := mustNew(t)
+	cfg := d.Config()
+	// N reads to N different banks issued at t=0 overlap: total time is
+	// issue serialization + one latency, far less than N*latency.
+	lines := make([]addr.PAddr, cfg.Banks)
+	for i := range lines {
+		lines[i] = addr.PAddr(uint64(i) * cfg.LineBytes)
+	}
+	done := d.ReadBatch(0, lines, InOrder)
+	serial := cfg.Banks * (cfg.IssueGap + cfg.RowMiss)
+	want := cfg.Banks*cfg.IssueGap + cfg.RowMiss
+	if done != want {
+		t.Errorf("parallel batch done at %d, want %d (serial would be %d)", done, want, serial)
+	}
+}
+
+func TestSameBankSerializes(t *testing.T) {
+	d, _ := mustNew(t)
+	cfg := d.Config()
+	// Two reads to the same bank, different rows: second waits for first.
+	rowStride := cfg.RowBytes * cfg.Banks
+	lines := []addr.PAddr{0, addr.PAddr(rowStride)}
+	done := d.ReadBatch(0, lines, InOrder)
+	want := cfg.IssueGap + cfg.RowMiss + cfg.RowMiss // bank busy back-to-back
+	if done != want {
+		t.Errorf("same-bank batch done at %d, want %d", done, want)
+	}
+}
+
+func TestRowMajorBeatsInOrderOnPingPong(t *testing.T) {
+	cfgSt1, cfgSt2 := &stats.MemStats{}, &stats.MemStats{}
+	d1, _ := New(DefaultConfig(), cfgSt1)
+	d2, _ := New(DefaultConfig(), cfgSt2)
+	cfg := DefaultConfig()
+	// Alternate between two rows of bank 0: in-order thrashes the row
+	// buffer; row-major groups and gets hits.
+	rowStride := addr.PAddr(cfg.RowBytes * cfg.Banks)
+	var lines []addr.PAddr
+	for i := 0; i < 8; i++ {
+		lines = append(lines, addr.PAddr(uint64(i%2)*uint64(rowStride))+addr.PAddr(uint64(i)*cfg.LineBytes*cfg.Banks))
+	}
+	tIn := d1.ReadBatch(0, lines, InOrder)
+	tRow := d2.ReadBatch(0, lines, RowMajor)
+	if tRow >= tIn {
+		t.Errorf("row-major (%d) not faster than in-order (%d)", tRow, tIn)
+	}
+	if cfgSt2.DRAMRowHits <= cfgSt1.DRAMRowHits {
+		t.Errorf("row-major hits %d <= in-order hits %d", cfgSt2.DRAMRowHits, cfgSt1.DRAMRowHits)
+	}
+}
+
+func TestRowMajorPreservesMultiset(t *testing.T) {
+	d, _ := mustNew(t)
+	f := func(raw []uint32) bool {
+		lines := make([]addr.PAddr, len(raw))
+		for i, r := range raw {
+			lines[i] = d.LineAlign(addr.PAddr(r))
+		}
+		out := d.rowMajor(lines)
+		if len(out) != len(lines) {
+			return false
+		}
+		count := map[addr.PAddr]int{}
+		for _, p := range lines {
+			count[p]++
+		}
+		for _, p := range out {
+			count[p]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompletionMonotonicity(t *testing.T) {
+	d, _ := mustNew(t)
+	f := func(reqs []uint32) bool {
+		var at uint64
+		for _, r := range reqs {
+			at += uint64(r % 16)
+			done := d.Read(at, addr.PAddr(r))
+			if done <= at {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteOccupiesBank(t *testing.T) {
+	d, st := mustNew(t)
+	cfg := d.Config()
+	d.Write(0, 0)
+	if st.DRAMWrites != 1 {
+		t.Fatal("write not counted")
+	}
+	// A read right behind the write on the same bank queues.
+	done := d.Read(0, addr.PAddr(cfg.LineBytes*cfg.Banks))
+	first := cfg.IssueGap + max64(cfg.RowMiss, cfg.WriteBusy)
+	if done <= first {
+		t.Errorf("read done at %d, should queue after write (%d)", done, first)
+	}
+}
+
+func TestLineAlign(t *testing.T) {
+	d, _ := mustNew(t)
+	if d.LineAlign(addr.PAddr(300)) != addr.PAddr(256) {
+		t.Error("LineAlign")
+	}
+	if d.LineBytes() != DefaultConfig().LineBytes {
+		t.Error("LineBytes")
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestClosedPagePolicy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = ClosedPage
+	st := &stats.MemStats{}
+	d, err := New(cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two accesses to the same row: both cost RowClosed, no row hits.
+	t1 := d.Read(0, 0)
+	if t1 != cfg.IssueGap+cfg.RowClosed {
+		t.Errorf("closed-page read done at %d, want %d", t1, cfg.IssueGap+cfg.RowClosed)
+	}
+	d.Read(t1, addr.PAddr(cfg.LineBytes*cfg.Banks))
+	if st.DRAMRowHits != 0 || st.DRAMRowMisses != 2 {
+		t.Errorf("closed-page stats: %+v", st)
+	}
+	if OpenPage.String() == ClosedPage.String() {
+		t.Error("policy strings collide")
+	}
+	bad := cfg
+	bad.RowClosed = 0
+	if bad.Validate() == nil {
+		t.Error("closed-page without RowClosed accepted")
+	}
+}
+
+func TestPolicyTradeoff(t *testing.T) {
+	// Streams prefer open-page; row-thrashing traffic prefers closed.
+	run := func(policy PagePolicy, thrash bool) uint64 {
+		cfg := DefaultConfig()
+		cfg.Policy = policy
+		d, _ := New(cfg, nil)
+		var at, last uint64
+		rowStride := cfg.RowBytes * cfg.Banks
+		for i := uint64(0); i < 64; i++ {
+			p := addr.PAddr(i % 4 * cfg.LineBytes * cfg.Banks) // same bank, same row
+			if thrash {
+				p = addr.PAddr(i % 2 * rowStride) // same bank, alternating rows
+			}
+			last = d.Read(at, p)
+			at = last
+		}
+		return last
+	}
+	if run(OpenPage, false) >= run(ClosedPage, false) {
+		t.Error("open-page not better for row-local traffic")
+	}
+	if run(ClosedPage, true) >= run(OpenPage, true) {
+		t.Error("closed-page not better for row-thrashing traffic")
+	}
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// SpeedupChart renders a grid's speedups as a self-contained SVG grouped
+// bar chart (stdlib only): one group per section, one bar per prefetch
+// column — the figure the paper's tables imply but never draw. Written
+// by `cmd/report -svg`.
+func SpeedupChart(g *Grid, w io.Writer) error {
+	const (
+		barW     = 34
+		barGap   = 6
+		groupGap = 42
+		chartH   = 300
+		baseY    = 340
+		leftPad  = 60
+	)
+	var maxSp float64 = 1
+	for _, row := range g.Cells {
+		for _, c := range row {
+			if c.Speedup > maxSp {
+				maxSp = c.Speedup
+			}
+		}
+	}
+	scale := float64(chartH) / (maxSp * 1.1)
+
+	nGroups := len(g.Cells)
+	nBars := len(prefetchColumns)
+	groupW := nBars*(barW+barGap) + groupGap
+	width := leftPad + nGroups*groupW + 40
+	height := baseY + 90
+
+	colors := []string{"#888888", "#4477aa", "#66ccee", "#228833"}
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`+"\n", leftPad, g.Title)
+
+	// Y axis with gridlines every 0.5x.
+	for v := 0.0; v <= maxSp*1.1; v += 0.5 {
+		y := float64(baseY) - v*scale
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			leftPad, y, width-20, y)
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" text-anchor="end" fill="#555555">%.1f</text>`+"\n",
+			leftPad-6, y+4, v)
+	}
+	// Baseline at 1.0x.
+	y1 := float64(baseY) - 1.0*scale
+	fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#aa3333" stroke-dasharray="4 3"/>`+"\n",
+		leftPad, y1, width-20, y1)
+
+	for gi, row := range g.Cells {
+		gx := leftPad + gi*groupW
+		for ci, c := range row {
+			h := c.Speedup * scale
+			x := gx + ci*(barW+barGap)
+			fmt.Fprintf(w, `<rect x="%d" y="%.1f" width="%d" height="%.1f" fill="%s"/>`+"\n",
+				x, float64(baseY)-h, barW, h, colors[ci%len(colors)])
+			fmt.Fprintf(w, `<text x="%d" y="%.1f" text-anchor="middle" fill="#333333" font-size="10">%.2f</text>`+"\n",
+				x+barW/2, float64(baseY)-h-4, c.Speedup)
+		}
+		// Section label, wrapped crudely at ~24 chars.
+		label := g.Sections[gi]
+		if len(label) > 26 {
+			label = label[:24] + "…"
+		}
+		fmt.Fprintf(w, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+			gx+(nBars*(barW+barGap))/2, baseY+22, label)
+	}
+	// Legend.
+	for ci, name := range columnNames {
+		x := leftPad + ci*140
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="14" height="14" fill="%s"/>`+"\n",
+			x, baseY+44, colors[ci%len(colors)])
+		fmt.Fprintf(w, `<text x="%d" y="%d">%s prefetch</text>`+"\n", x+20, baseY+56, name)
+	}
+	fmt.Fprintf(w, `<text x="14" y="%d" transform="rotate(-90 14 %d)" text-anchor="middle">speedup vs conventional</text>`+"\n",
+		baseY-chartH/2, baseY-chartH/2)
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"impulse/internal/core"
+	"impulse/internal/sim"
+	"impulse/internal/stats"
+	"impulse/internal/tracefile"
+	"impulse/internal/workloads"
+)
+
+// CacheGeometrySweep is a classic trace-driven sensitivity study: the
+// conventional CG access trace is captured once and replayed across L2
+// capacities, reporting how the paper's conventional-system hit-ratio
+// profile depends on cache geometry. It demonstrates the record/replay
+// mode and locates the paper's operating point (multiplicand bigger
+// than L1, smaller than L2) on the capacity curve.
+func CacheGeometrySweep(par workloads.CGParams, l2Sizes []uint64, w io.Writer) error {
+	m := workloads.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
+
+	// Capture the conventional trace once.
+	capSys, err := core.NewSystem(core.Options{Controller: core.Conventional})
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	tw, err := tracefile.NewWriter(&buf)
+	if err != nil {
+		return err
+	}
+	capSys.SetTracer(tw.Attach())
+	if _, err := workloads.RunCG(capSys, par, workloads.CGConventional, m); err != nil {
+		return err
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	recs, err := tracefile.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return err
+	}
+
+	cols := make([]string, len(l2Sizes))
+	l1r := make([]float64, len(l2Sizes))
+	l2r := make([]float64, len(l2Sizes))
+	memr := make([]float64, len(l2Sizes))
+	avg := make([]interface{}, len(l2Sizes))
+	for i, size := range l2Sizes {
+		cols[i] = fmt.Sprintf("L2=%dK", size>>10)
+		cfg := sim.DefaultConfig()
+		cfg.L2.Bytes = size
+		s, err := core.NewSystem(core.Options{Controller: core.Conventional, Config: &cfg})
+		if err != nil {
+			return err
+		}
+		row, err := tracefile.Replay(s, recs, 2)
+		if err != nil {
+			return err
+		}
+		l1r[i], l2r[i], memr[i] = row.L1Ratio, row.L2Ratio, row.MemRatio
+		avg[i] = row.AvgLoad
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("L2-capacity sensitivity (trace-driven replay of conventional CG, n=%d, %d accesses)",
+			par.N, len(recs)), cols...)
+	t.AddPercentRow("L1 hit ratio", l1r...)
+	t.AddPercentRow("L2 hit ratio", l2r...)
+	t.AddPercentRow("mem hit ratio", memr...)
+	t.AddRow("avg load time", avg...)
+	_, err = io.WriteString(w, t.Render())
+	return err
+}

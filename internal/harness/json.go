@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONCell is the machine-readable form of one table cell.
+type JSONCell struct {
+	Section  string  `json:"section"`
+	Prefetch string  `json:"prefetch"`
+	Cycles   uint64  `json:"cycles"`
+	L1Ratio  float64 `json:"l1_hit_ratio"`
+	L2Ratio  float64 `json:"l2_hit_ratio"`
+	MemRatio float64 `json:"mem_hit_ratio"`
+	AvgLoad  float64 `json:"avg_load_time"`
+	Speedup  float64 `json:"speedup"`
+	Loads    uint64  `json:"loads"`
+	Stores   uint64  `json:"stores"`
+	BusBytes uint64  `json:"bus_bytes"`
+}
+
+// JSONGrid is the machine-readable form of a whole table.
+type JSONGrid struct {
+	Title string     `json:"title"`
+	Cells []JSONCell `json:"cells"`
+}
+
+// WriteJSON emits the grid as indented JSON, for plotting pipelines and
+// regression comparisons (the text Render is for humans).
+func (g *Grid) WriteJSON(w io.Writer) error {
+	out := JSONGrid{Title: g.Title}
+	for si, name := range g.Sections {
+		for ci, cell := range g.Cells[si] {
+			out.Cells = append(out.Cells, JSONCell{
+				Section:  name,
+				Prefetch: columnNames[ci],
+				Cycles:   cell.Row.Cycles,
+				L1Ratio:  cell.Row.L1Ratio,
+				L2Ratio:  cell.Row.L2Ratio,
+				MemRatio: cell.Row.MemRatio,
+				AvgLoad:  cell.Row.AvgLoad,
+				Speedup:  cell.Speedup,
+				Loads:    cell.Row.Stats.Loads,
+				Stores:   cell.Row.Stats.Stores,
+				BusBytes: cell.Row.Stats.BusBytes,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"impulse/internal/workloads"
+)
+
+func TestWriteJSON(t *testing.T) {
+	g, err := Table2(workloads.MMPTiny(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out JSONGrid
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if out.Title == "" || len(out.Cells) != 12 {
+		t.Fatalf("grid shape: title=%q cells=%d", out.Title, len(out.Cells))
+	}
+	sections := map[string]int{}
+	for _, c := range out.Cells {
+		sections[c.Section]++
+		if c.Cycles == 0 || c.Speedup <= 0 || c.Loads == 0 {
+			t.Errorf("empty cell: %+v", c)
+		}
+		if c.L1Ratio < 0 || c.L1Ratio > 1 {
+			t.Errorf("ratio out of range: %+v", c)
+		}
+	}
+	if len(sections) != 3 {
+		t.Errorf("sections: %v", sections)
+	}
+	// Baseline cell has speedup exactly 1.
+	if out.Cells[0].Speedup != 1 {
+		t.Errorf("baseline speedup = %v", out.Cells[0].Speedup)
+	}
+}
+
+func TestSpeedupChart(t *testing.T) {
+	g, err := Table2(workloads.MMPTiny(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SpeedupChart(g, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "speedup vs conventional", "<rect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// 12 bars + 4 legend swatches = 16 rects.
+	if got := strings.Count(out, "<rect"); got != 16 {
+		t.Errorf("rect count = %d, want 16", got)
+	}
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"testing"
+
+	"impulse/internal/workloads"
+)
+
+// TestTable1Shape asserts the paper's qualitative claims about Table 1 on
+// a geometry where the multiplicand exceeds the L1 (as at Class A). Grid
+// indices: sections {0: conventional, 1: scatter/gather, 2: recoloring},
+// columns {0: standard, 1: controller prefetch, 2: L1 prefetch, 3: both}.
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute grid")
+	}
+	par := workloads.CGParams{N: 8192, Nonzer: 6, Niter: 1, CGIts: 3, Shift: 10, RCond: 0.1}
+	g, err := Table1(par, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(s, c int) uint64 { return g.Cells[s][c].Row.Cycles }
+
+	// Scatter/gather beats conventional in every prefetch column.
+	for c := 0; c < 4; c++ {
+		if cell(1, c) >= cell(0, c) {
+			t.Errorf("column %d: scatter/gather (%d) not faster than conventional (%d)",
+				c, cell(1, c), cell(0, c))
+		}
+	}
+	// Prefetching helps scatter/gather: both < mc < standard.
+	if !(cell(1, 3) < cell(1, 1) && cell(1, 1) < cell(1, 0)) {
+		t.Errorf("scatter/gather prefetch progression broken: %d / %d / %d",
+			cell(1, 0), cell(1, 1), cell(1, 3))
+	}
+	// On the conventional system every prefetch flavor helps, and L1
+	// prefetching beats controller prefetching (paper: 12% vs 4%).
+	for c := 1; c < 4; c++ {
+		if cell(0, c) >= cell(0, 0) {
+			t.Errorf("conventional prefetch column %d did not help: %d vs %d",
+				c, cell(0, c), cell(0, 0))
+		}
+	}
+	if cell(0, 2) >= cell(0, 1) {
+		t.Errorf("L1 prefetch (%d) not better than controller prefetch (%d) on conventional",
+			cell(0, 2), cell(0, 1))
+	}
+	// Recoloring helps, but less than scatter/gather (paper: 1.04 vs 1.33).
+	if cell(2, 0) >= cell(0, 0) {
+		t.Errorf("recoloring (%d) not faster than conventional (%d)", cell(2, 0), cell(0, 0))
+	}
+	if cell(1, 0) >= cell(2, 0) {
+		t.Errorf("scatter/gather (%d) not faster than recoloring (%d)", cell(1, 0), cell(2, 0))
+	}
+
+	// Hit-ratio structure: scatter/gather raises L1 and lowers L2
+	// temporal locality ("the remapped elements of x' cannot be reused").
+	if g.Cells[1][0].Row.L1Ratio <= g.Cells[0][0].Row.L1Ratio {
+		t.Error("scatter/gather did not raise L1 hit ratio")
+	}
+	if g.Cells[1][0].Row.L2Ratio >= g.Cells[0][0].Row.L2Ratio {
+		t.Error("scatter/gather did not lower L2 hit ratio")
+	}
+	// Scatter/gather: fewer loads, each more expensive on average.
+	if g.Cells[1][0].Row.Stats.Loads >= g.Cells[0][0].Row.Stats.Loads {
+		t.Error("scatter/gather did not reduce loads issued")
+	}
+	if g.Cells[1][0].Row.AvgLoad <= g.Cells[0][0].Row.AvgLoad {
+		t.Error("scatter/gather should raise average load time (fewer, costlier loads)")
+	}
+	// Recoloring moves misses from memory into the L2.
+	if g.Cells[2][0].Row.MemRatio >= g.Cells[0][0].Row.MemRatio {
+		t.Error("recoloring did not reduce memory hit ratio")
+	}
+}
+
+// TestTable2Shape asserts the paper's qualitative claims about Table 2.
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute grid")
+	}
+	g, err := Table2(workloads.MMPParams{N: 128, Tile: 32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(s, c int) uint64 { return g.Cells[s][c].Row.Cycles }
+	for c := 0; c < 4; c++ {
+		// Copying and remapping both beat no-copy tiling...
+		if cell(1, c) >= cell(0, c) || cell(2, c) >= cell(0, c) {
+			t.Errorf("column %d: copy/remap not faster than no-copy: %d / %d / %d",
+				c, cell(0, c), cell(1, c), cell(2, c))
+		}
+		// ...and remapping at least matches copying (paper: slightly faster).
+		if cell(2, c) > cell(1, c) {
+			t.Errorf("column %d: remapping (%d) slower than copying (%d)", c, cell(2, c), cell(1, c))
+		}
+	}
+	// Both optimized variants more than double the L1 hit ratio.
+	if g.Cells[1][0].Row.L1Ratio < 2*g.Cells[0][0].Row.L1Ratio && g.Cells[0][0].Row.L1Ratio < 0.5 {
+		t.Error("copying did not transform L1 behaviour")
+	}
+	// Prefetching makes almost no difference for the optimized variants
+	// (within 5%).
+	for s := 1; s < 3; s++ {
+		base := float64(cell(s, 0))
+		for c := 1; c < 4; c++ {
+			if d := float64(cell(s, c)) / base; d < 0.95 || d > 1.05 {
+				t.Errorf("section %d column %d: prefetch changed optimized time by %.2fx", s, c, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package kernel
+
+import (
+	"testing"
+
+	"impulse/internal/addr"
+)
+
+func TestCreateAndSwitchProcess(t *testing.T) {
+	k := mustKernel(t)
+	if k.CurrentProcess() != 0 || k.Processes() != 1 {
+		t.Fatal("boot state wrong")
+	}
+	pid := k.CreateProcess()
+	if pid == 0 || k.Processes() != 2 {
+		t.Fatalf("CreateProcess: pid=%d procs=%d", pid, k.Processes())
+	}
+	if err := k.SwitchProcess(pid); err != nil {
+		t.Fatal(err)
+	}
+	if k.CurrentProcess() != pid {
+		t.Fatal("switch did not take effect")
+	}
+	if err := k.SwitchProcess(42); err == nil {
+		t.Error("switch to unknown pid accepted")
+	}
+}
+
+func TestPerProcessPageTables(t *testing.T) {
+	k := mustKernel(t)
+	va0, err := k.AllocAndMap(addr.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := k.CreateProcess()
+	if err := k.SwitchProcess(pid); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := k.Translate(va0); ok {
+		t.Error("process 0's mapping visible in new process")
+	}
+	va1, err := k.AllocAndMap(addr.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := k.Translate(va1)
+	if err := k.SwitchProcess(0); err != nil {
+		t.Fatal(err)
+	}
+	p0, ok := k.Translate(va0)
+	if !ok {
+		t.Fatal("process 0 lost its mapping")
+	}
+	if p0.PageNum() == p1.PageNum() {
+		t.Error("two processes share a private frame")
+	}
+}
+
+func TestFrameOwnershipEnforced(t *testing.T) {
+	k := mustKernel(t)
+	f, err := k.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := k.CreateProcess()
+	if err := k.SwitchProcess(pid); err != nil {
+		t.Fatal(err)
+	}
+	va, _ := k.AllocVirtual(addr.PageSize, 0)
+	if err := k.MapPage(va.PageNum(), f); err == nil {
+		t.Error("foreign frame mapped")
+	}
+	if err := k.FreeFrame(f); err == nil {
+		t.Error("foreign frame freed")
+	}
+	if err := k.SwitchProcess(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.FreeFrame(f); err != nil {
+		t.Errorf("owner denied free: %v", err)
+	}
+}
+
+func TestShadowGrants(t *testing.T) {
+	k := mustKernel(t)
+	sh, err := k.ShadowAlloc(2*addr.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := k.CreateProcess()
+	other := k.CreateProcess()
+
+	// Without a grant, the peer cannot map it.
+	if err := k.SwitchProcess(peer); err != nil {
+		t.Fatal(err)
+	}
+	va, _ := k.AllocVirtual(addr.PageSize, 0)
+	if err := k.MapShadowPage(va.PageNum(), sh); err == nil {
+		t.Fatal("ungranted shadow mapped")
+	}
+
+	// Owner grants; peer can map; other still cannot.
+	if err := k.SwitchProcess(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.GrantShadow(sh, peer); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.GrantShadow(sh, 77); err == nil {
+		t.Error("granted to unknown pid")
+	}
+	if err := k.SwitchProcess(peer); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.MapShadowPage(va.PageNum(), sh); err != nil {
+		t.Errorf("granted peer denied: %v", err)
+	}
+	if err := k.SwitchProcess(other); err != nil {
+		t.Fatal(err)
+	}
+	vo, _ := k.AllocVirtual(addr.PageSize, 0)
+	if err := k.MapShadowPage(vo.PageNum(), sh); err == nil {
+		t.Error("third process mapped granted-to-peer shadow")
+	}
+
+	// Revoke: peer cannot create NEW mappings.
+	if err := k.SwitchProcess(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RevokeShadow(sh, peer); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SwitchProcess(peer); err != nil {
+		t.Fatal(err)
+	}
+	va2, _ := k.AllocVirtual(addr.PageSize, 0)
+	if err := k.MapShadowPage(va2.PageNum(), sh); err == nil {
+		t.Error("revoked peer mapped shadow")
+	}
+}
+
+func TestOwnerAlwaysHasShadowAccess(t *testing.T) {
+	k := mustKernel(t)
+	sh, err := k.ShadowAlloc(addr.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := k.AllocVirtual(addr.PageSize, 0)
+	if err := k.MapShadowPage(va.PageNum(), sh); err != nil {
+		t.Errorf("owner denied its own shadow: %v", err)
+	}
+}
+
+func TestUnallocatedShadowRejected(t *testing.T) {
+	k := mustKernel(t)
+	va, _ := k.AllocVirtual(addr.PageSize, 0)
+	// An address inside the shadow window but never allocated.
+	unallocated := addr.PAddr(k.Layout().ShadowBase + k.Layout().ShadowBytes - addr.PageSize)
+	if err := k.MapShadowPage(va.PageNum(), unallocated); err == nil {
+		t.Error("unallocated shadow address mapped")
+	}
+	if err := k.GrantShadow(unallocated, 0); err == nil {
+		t.Error("granted unallocated shadow")
+	}
+	if err := k.RevokeShadow(unallocated, 0); err == nil {
+		t.Error("revoked unallocated shadow")
+	}
+}

@@ -1,0 +1,318 @@
+package mc
+
+import (
+	"fmt"
+
+	"impulse/internal/addr"
+	"impulse/internal/bitutil"
+	"impulse/internal/dram"
+	"impulse/internal/membuf"
+	"impulse/internal/stats"
+	"impulse/internal/timeline"
+	"impulse/internal/tlb"
+)
+
+// NumDescriptors is the number of shadow descriptors the controller holds.
+// "currently we model eight despite needing no more than three for the
+// applications we simulated" (§2.2).
+const NumDescriptors = 8
+
+// Config parameterizes the controller.
+type Config struct {
+	Layout addr.Layout
+
+	PipelineCycles uint64 // fixed controller latency on every request
+	AddrCalcCycles uint64 // ALU cycles per remapped element address
+	AssembleCycles uint64 // cycles to assemble a gathered line for the bus
+
+	PgTblEntries int        // on-chip PgTbl TLB entries
+	PgTblBase    addr.PAddr // DRAM region backing the controller page table
+	PgTblBytes   uint64
+
+	SRAMBytes    uint64 // non-remapped prefetch cache ("2K buffer", §2.2)
+	DescBufBytes uint64 // per-descriptor prefetch buffer ("256-byte", §2.2)
+	LineBytes    uint64 // cache-line size served to the bus (the L2 line)
+
+	Prefetch bool       // controller prefetching (shadow and non-shadow)
+	Order    dram.Order // DRAM scheduling policy for gathers
+}
+
+// DefaultConfig returns the paper-calibrated controller parameters.
+// PgTblBase/PgTblBytes place the backing page table in the top megabyte of
+// a 256 MB DRAM; the system layer (internal/core) reserves those frames.
+func DefaultConfig() Config {
+	l := addr.DefaultLayout()
+	const ptBytes = 1 << 20
+	return Config{
+		Layout:         l,
+		PipelineCycles: 2,
+		AddrCalcCycles: 1,
+		AssembleCycles: 2,
+		PgTblEntries:   64,
+		PgTblBase:      addr.PAddr(l.DRAMBytes - ptBytes),
+		PgTblBytes:     ptBytes,
+		SRAMBytes:      2 << 10,
+		DescBufBytes:   256,
+		LineBytes:      128,
+		Prefetch:       false,
+		Order:          dram.InOrder,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Layout.Validate(); err != nil {
+		return err
+	}
+	if !bitutil.IsPow2(c.LineBytes) || c.LineBytes == 0 {
+		return fmt.Errorf("mc: line size %d not a power of two", c.LineBytes)
+	}
+	if c.SRAMBytes < c.LineBytes || c.DescBufBytes < c.LineBytes {
+		return fmt.Errorf("mc: prefetch buffers smaller than a line")
+	}
+	if c.PgTblEntries <= 0 {
+		return fmt.Errorf("mc: PgTbl must have entries")
+	}
+	if c.PgTblBytes == 0 || uint64(c.PgTblBase)+c.PgTblBytes > c.Layout.DRAMBytes {
+		return fmt.Errorf("mc: backing page table outside DRAM")
+	}
+	return nil
+}
+
+// bufEntry is one prefetched line (in the SRAM or a descriptor buffer).
+type bufEntry struct {
+	lineAddr uint64 // bus line address (p / LineBytes)
+	readyAt  timeline.Time
+	valid    bool
+}
+
+type descState struct {
+	d        Descriptor
+	active   bool
+	buf      []bufEntry // shadow prefetch buffer (DescBufBytes/LineBytes slots)
+	bufNext  int        // FIFO cursor
+	vecLines []uint64   // cached indirection-vector DRAM line addresses
+	vecNext  int
+}
+
+// Controller is the Impulse memory controller.
+type Controller struct {
+	cfg   Config
+	dram  *dram.DRAM
+	mem   *membuf.Memory
+	st    *stats.MemStats
+	descs [NumDescriptors]descState
+
+	pgtlb   *tlb.TLB
+	backing map[uint64]uint64 // pvpage -> frame (contents live in DRAM at PgTblBase)
+
+	sram     []bufEntry
+	sramNext int
+}
+
+// New builds a controller attached to the given DRAM model and simulated
+// memory (used for functional indirection-vector reads). st may be nil.
+func New(cfg Config, d *dram.DRAM, mem *membuf.Memory, st *stats.MemStats) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if st == nil {
+		st = &stats.MemStats{}
+	}
+	c := &Controller{
+		cfg:     cfg,
+		dram:    d,
+		mem:     mem,
+		st:      st,
+		pgtlb:   tlb.New(cfg.PgTblEntries),
+		backing: make(map[uint64]uint64),
+		sram:    make([]bufEntry, cfg.SRAMBytes/cfg.LineBytes),
+	}
+	for i := range c.descs {
+		c.descs[i].buf = make([]bufEntry, cfg.DescBufBytes/cfg.LineBytes)
+		c.descs[i].vecLines = make([]uint64, 2)
+		for j := range c.descs[i].vecLines {
+			c.descs[i].vecLines[j] = ^uint64(0)
+		}
+	}
+	return c, nil
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// SetPrefetch enables or disables controller prefetching.
+func (c *Controller) SetPrefetch(on bool) { c.cfg.Prefetch = on }
+
+// --- OS interface -----------------------------------------------------
+
+// SetDescriptor installs d into the given slot (0..NumDescriptors-1).
+func (c *Controller) SetDescriptor(slot int, d Descriptor) error {
+	if slot < 0 || slot >= NumDescriptors {
+		return fmt.Errorf("mc: descriptor slot %d out of range", slot)
+	}
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if !c.cfg.Layout.IsShadow(d.ShadowBase) ||
+		!c.cfg.Layout.IsShadow(addr.PAddr(uint64(d.ShadowBase)+d.Bytes-1)) {
+		return fmt.Errorf("mc: descriptor region %v+%d outside shadow space", d.ShadowBase, d.Bytes)
+	}
+	for i := range c.descs {
+		if i != slot && c.descs[i].active && overlaps(&c.descs[i].d, &d) {
+			return fmt.Errorf("mc: descriptor overlaps slot %d", i)
+		}
+	}
+	c.descs[slot] = descState{
+		d:        d,
+		active:   true,
+		buf:      make([]bufEntry, c.cfg.DescBufBytes/c.cfg.LineBytes),
+		vecLines: []uint64{^uint64(0), ^uint64(0)},
+	}
+	return nil
+}
+
+// ClearDescriptor deactivates a slot.
+func (c *Controller) ClearDescriptor(slot int) {
+	if slot >= 0 && slot < NumDescriptors {
+		c.descs[slot].active = false
+	}
+}
+
+// FreeSlot returns the index of an inactive descriptor slot.
+func (c *Controller) FreeSlot() (int, error) {
+	for i := range c.descs {
+		if !c.descs[i].active {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("mc: all %d shadow descriptors in use", NumDescriptors)
+}
+
+func overlaps(a, b *Descriptor) bool {
+	aLo, aHi := uint64(a.ShadowBase), uint64(a.ShadowBase)+a.Bytes
+	bLo, bHi := uint64(b.ShadowBase), uint64(b.ShadowBase)+b.Bytes
+	return aLo < bHi && bLo < aHi
+}
+
+// MapPV installs pvpage -> frame in the controller's backing page table
+// (§2.1 step 4: "The OS downloads to the memory controller a set of page
+// mappings for pseudo-virtual space").
+func (c *Controller) MapPV(pvpage, frame uint64) {
+	c.backing[pvpage] = frame
+	c.pgtlb.Invalidate(pvpage)
+}
+
+// MapPVRange maps consecutive pseudo-virtual pages starting at the page of
+// pvBase to the given frames.
+func (c *Controller) MapPVRange(pvBase addr.PVAddr, frames []uint64) {
+	base := pvBase.PageNum()
+	for i, f := range frames {
+		c.MapPV(base+uint64(i), f)
+	}
+}
+
+// InvalidateTLB drops all cached PgTbl translations.
+func (c *Controller) InvalidateTLB() { c.pgtlb.InvalidateAll() }
+
+// InvalidateBuffers drops all prefetched data held at the controller (the
+// non-remapped SRAM and every descriptor buffer). The OS issues this as
+// part of the consistency protocol when remapped source data changes
+// under an active descriptor (e.g. the multiplicand vector of conjugate
+// gradient is rewritten between iterations).
+func (c *Controller) InvalidateBuffers() {
+	for i := range c.sram {
+		c.sram[i].valid = false
+	}
+	for i := range c.descs {
+		for j := range c.descs[i].buf {
+			c.descs[i].buf[j].valid = false
+		}
+	}
+}
+
+// --- Functional resolution --------------------------------------------
+
+// Run is a contiguous physical byte range.
+type Run struct {
+	P     addr.PAddr
+	Bytes uint64
+}
+
+// Resolve maps the shadow byte range [p, p+n) to its physical runs. It is
+// the pure remapping function: no timing, no state changes. The machine
+// uses it to move actual data for loads/stores to shadow space, and the
+// property tests use it as the remapping oracle.
+func (c *Controller) Resolve(p addr.PAddr, n uint64) ([]Run, error) {
+	ds := c.findDesc(p)
+	if ds == nil {
+		return nil, fmt.Errorf("mc: no descriptor covers shadow address %v", p)
+	}
+	off := uint64(p) - uint64(ds.d.ShadowBase)
+	pieces, err := ds.d.pseudoVirtual(off, n, c.vecReader(ds))
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]Run, 0, len(pieces))
+	for _, pc := range pieces {
+		// A piece may cross pseudo-virtual pages.
+		pv, remain := pc.pv, pc.bytes
+		for remain > 0 {
+			frame, ok := c.backing[pv.PageNum()]
+			if !ok {
+				return nil, fmt.Errorf("mc: pseudo-virtual page %#x unmapped", pv.PageNum())
+			}
+			take := uint64(addr.PageSize) - pv.PageOff()
+			if take > remain {
+				take = remain
+			}
+			runs = append(runs, Run{P: addr.PAddr(frame<<addr.PageShift | pv.PageOff()), Bytes: take})
+			pv += addr.PVAddr(take)
+			remain -= take
+		}
+	}
+	return runs, nil
+}
+
+// vecReader returns the functional indirection-vector reader for a gather
+// descriptor: entry i is a uint32 at VecPV + 4i, translated through the
+// backing page table and read from simulated memory.
+func (c *Controller) vecReader(ds *descState) func(i uint64) uint32 {
+	if ds.d.Kind != Gather {
+		return nil
+	}
+	return func(i uint64) uint32 {
+		pv := ds.d.VecPV + addr.PVAddr(4*i)
+		frame, ok := c.backing[pv.PageNum()]
+		if !ok {
+			panic(fmt.Sprintf("mc: indirection vector page %#x unmapped", pv.PageNum()))
+		}
+		return c.mem.Load32(addr.PAddr(frame<<addr.PageShift | pv.PageOff()))
+	}
+}
+
+func (c *Controller) findDesc(p addr.PAddr) *descState {
+	for i := range c.descs {
+		if c.descs[i].active && c.descs[i].d.Contains(p) {
+			return &c.descs[i]
+		}
+	}
+	return nil
+}
+
+// IsShadow reports whether p is a shadow address under this controller's
+// layout.
+func (c *Controller) IsShadow(p addr.PAddr) bool { return c.cfg.Layout.IsShadow(p) }
+
+// CoversLine reports whether a line fill starting at line-aligned address
+// p would be serviceable: either p is ordinary physical memory, or an
+// active descriptor covers it. Prefetchers consult this to avoid running
+// off the end of a remapped region (whose shadow pages are mapped at page
+// granularity but remapped only up to the structure's exact size).
+func (c *Controller) CoversLine(p addr.PAddr) bool {
+	if !c.IsShadow(p) {
+		return true
+	}
+	ds := c.findDesc(p)
+	return ds != nil && uint64(p)-uint64(ds.d.ShadowBase) < ds.d.Bytes
+}

@@ -1,0 +1,167 @@
+// Package mc implements the Impulse memory controller — the paper's
+// primary hardware contribution (§2.2, Figure 3).
+//
+// The controller sits between the system bus and the DRAMs. A bus address
+// (a) is either real physical (passed straight to the DRAM scheduler, with
+// no added latency beyond the fixed pipeline — a design goal of the paper)
+// or shadow. Shadow addresses select a matching shadow descriptor (b),
+// whose remapping function is applied by a simple ALU (AddrCalc) to
+// produce pseudo-virtual addresses (c), which a controller page table
+// (PgTbl — an on-chip TLB backed by main memory) translates to real
+// physical addresses (d,e). The DRAM scheduler issues the accesses (f),
+// data returns to the descriptor (g), which assembles a cache line and
+// sends it over the bus (h).
+//
+// Functional resolution (which physical byte a shadow byte denotes) and
+// timing (when the assembled line is ready) are deliberately separated:
+// Resolve is a pure function used by the machine to move actual data, and
+// it is what the remapping property tests exercise; ReadLine/WriteLine
+// compute timing and traffic.
+package mc
+
+import (
+	"fmt"
+
+	"impulse/internal/addr"
+	"impulse/internal/bitutil"
+)
+
+// RemapKind identifies a shadow descriptor's remapping function (§2.3).
+type RemapKind int
+
+const (
+	// Direct maps shadow pages straight to physical pages (no-copy page
+	// recoloring, superpage formation).
+	Direct RemapKind = iota
+	// Strided maps shadow offset o to pseudo-virtual address
+	// PVBase + (o/ObjBytes)*StrideBytes + o%ObjBytes: a dense shadow image
+	// of a strided structure (tile remapping).
+	Strided
+	// Gather maps shadow offset o through an indirection vector:
+	// PVBase + StrideBytes*vec[o/ObjBytes] + o%ObjBytes, with vec a
+	// 32-bit-integer array at VecPV in pseudo-virtual space. The vector
+	// elements are fetched by the controller, not the CPU — that is where
+	// Impulse's "fewer memory instructions issued" advantage comes from.
+	Gather
+)
+
+func (k RemapKind) String() string {
+	switch k {
+	case Direct:
+		return "direct"
+	case Strided:
+		return "strided"
+	case Gather:
+		return "gather"
+	default:
+		return fmt.Sprintf("RemapKind(%d)", int(k))
+	}
+}
+
+// Descriptor is a shadow-space descriptor (SDesc). The OS downloads one
+// per active remapping; the paper models eight.
+type Descriptor struct {
+	Kind       RemapKind
+	ShadowBase addr.PAddr  // page-aligned base of the shadow region
+	Bytes      uint64      // size of the shadow region (page-rounded)
+	PVBase     addr.PVAddr // base of the target structure in pseudo-virtual space
+
+	// ObjBytes is the remapped object size: the granule that moves as a
+	// unit. Must be a power of two — the paper's restriction that avoids
+	// a divider in the controller ALU. For Gather it is the element size.
+	ObjBytes uint64
+	// StrideBytes is the pseudo-virtual distance between consecutive
+	// objects (Strided) or the scale applied to vector entries (Gather).
+	StrideBytes uint64
+	// VecPV is the pseudo-virtual base of the indirection vector
+	// (Gather only; entries are little-endian uint32).
+	VecPV addr.PVAddr
+}
+
+// Validate checks descriptor invariants.
+func (d *Descriptor) Validate() error {
+	if d.ShadowBase.PageOff() != 0 {
+		return fmt.Errorf("mc: descriptor shadow base %v not page aligned", d.ShadowBase)
+	}
+	if d.Bytes == 0 {
+		return fmt.Errorf("mc: descriptor with zero size")
+	}
+	switch d.Kind {
+	case Direct:
+	case Strided, Gather:
+		if !bitutil.IsPow2(d.ObjBytes) {
+			return fmt.Errorf("mc: %v object size %d not a power of two (hardware has no divider)",
+				d.Kind, d.ObjBytes)
+		}
+		if d.StrideBytes == 0 {
+			return fmt.Errorf("mc: %v descriptor with zero stride", d.Kind)
+		}
+	default:
+		return fmt.Errorf("mc: unknown remap kind %v", d.Kind)
+	}
+	return nil
+}
+
+// Contains reports whether shadow address p falls in this descriptor's
+// region.
+func (d *Descriptor) Contains(p addr.PAddr) bool {
+	return p >= d.ShadowBase && uint64(p) < uint64(d.ShadowBase)+d.Bytes
+}
+
+// piece is one contiguous pseudo-virtual run that a shadow range maps to.
+type piece struct {
+	pv    addr.PVAddr
+	bytes uint64
+	// vecIndex is the indirection-vector entry consulted (Gather only;
+	// -1 otherwise). Used for vector-fetch timing.
+	vecIndex int64
+}
+
+// pseudoVirtual enumerates the pseudo-virtual pieces for the shadow byte
+// range [off, off+n) relative to the descriptor base. vec supplies
+// indirection-vector entries for Gather descriptors (it is the functional
+// read of vector memory; timing is charged separately).
+func (d *Descriptor) pseudoVirtual(off, n uint64, vec func(i uint64) uint32) ([]piece, error) {
+	if off+n > d.Bytes {
+		return nil, fmt.Errorf("mc: shadow range [%d,%d) outside descriptor (%d bytes)", off, off+n, d.Bytes)
+	}
+	switch d.Kind {
+	case Direct:
+		return []piece{{pv: d.PVBase + addr.PVAddr(off), bytes: n, vecIndex: -1}}, nil
+	case Strided:
+		return d.objectPieces(off, n, func(i uint64) addr.PVAddr {
+			return d.PVBase + addr.PVAddr(i*d.StrideBytes)
+		})
+	case Gather:
+		if vec == nil {
+			return nil, fmt.Errorf("mc: gather descriptor needs an indirection vector reader")
+		}
+		return d.objectPieces(off, n, func(i uint64) addr.PVAddr {
+			return d.PVBase + addr.PVAddr(uint64(vec(i))*d.StrideBytes)
+		})
+	default:
+		return nil, fmt.Errorf("mc: unknown remap kind %v", d.Kind)
+	}
+}
+
+func (d *Descriptor) objectPieces(off, n uint64, objPV func(i uint64) addr.PVAddr) ([]piece, error) {
+	objShift := bitutil.Log2(d.ObjBytes)
+	objMask := d.ObjBytes - 1
+	pieces := make([]piece, 0, n>>objShift+2)
+	for n > 0 {
+		i := off >> objShift
+		inObj := off & objMask
+		take := d.ObjBytes - inObj
+		if take > n {
+			take = n
+		}
+		vi := int64(-1)
+		if d.Kind == Gather {
+			vi = int64(i)
+		}
+		pieces = append(pieces, piece{pv: objPV(i) + addr.PVAddr(inObj), bytes: take, vecIndex: vi})
+		off += take
+		n -= take
+	}
+	return pieces, nil
+}

@@ -1,0 +1,180 @@
+package mc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"impulse/internal/addr"
+)
+
+// Property: for any valid strided descriptor and in-bounds range, the
+// pieces returned by pseudoVirtual cover exactly the requested bytes, in
+// order, with no piece crossing an object boundary.
+func TestQuickPiecesCoverRange(t *testing.T) {
+	f := func(objShift, strideMul uint8, offRaw, nRaw uint16) bool {
+		objBytes := uint64(1) << (objShift%6 + 2) // 4..128
+		stride := objBytes * (uint64(strideMul%7) + 1)
+		d := Descriptor{
+			Kind: Strided, ShadowBase: 1 << 30, Bytes: 1 << 16,
+			PVBase: 0x5000, ObjBytes: objBytes, StrideBytes: stride,
+		}
+		off := uint64(offRaw) % (d.Bytes - 1)
+		n := uint64(nRaw)%512 + 1
+		if off+n > d.Bytes {
+			n = d.Bytes - off
+		}
+		pieces, err := d.pseudoVirtual(off, n, nil)
+		if err != nil {
+			return false
+		}
+		var covered uint64
+		cur := off
+		for _, pc := range pieces {
+			if pc.bytes == 0 {
+				return false
+			}
+			// Piece must match the object math at its starting offset.
+			i := cur / objBytes
+			inObj := cur % objBytes
+			wantPV := d.PVBase + addr.PVAddr(i*stride+inObj)
+			if pc.pv != wantPV {
+				return false
+			}
+			// No piece crosses an object boundary.
+			if inObj+pc.bytes > objBytes {
+				return false
+			}
+			covered += pc.bytes
+			cur += pc.bytes
+		}
+		return covered == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: out-of-bounds ranges are rejected, never silently clamped.
+func TestQuickPiecesBounds(t *testing.T) {
+	d := Descriptor{
+		Kind: Strided, ShadowBase: 1 << 30, Bytes: 4096,
+		PVBase: 0, ObjBytes: 8, StrideBytes: 64,
+	}
+	f := func(off uint16, n uint16) bool {
+		o, nn := uint64(off), uint64(n)+1
+		_, err := d.pseudoVirtual(o, nn, nil)
+		if o+nn > d.Bytes {
+			return err != nil
+		}
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Resolve is consistent with itself — resolving a range equals
+// concatenating the resolutions of its halves.
+func TestQuickResolveComposes(t *testing.T) {
+	r := newRig(t, false)
+	d := Descriptor{
+		Kind: Strided, ShadowBase: 1 << 30, Bytes: 8192,
+		PVBase: 0, ObjBytes: 16, StrideBytes: 96,
+	}
+	if err := r.c.SetDescriptor(0, d); err != nil {
+		t.Fatal(err)
+	}
+	r.identityMap(0, 0, 64)
+	flatten := func(runs []Run) []byte {
+		var out []byte
+		for _, run := range runs {
+			for i := uint64(0); i < run.Bytes; i++ {
+				out = append(out, byte(run.P+addr.PAddr(i)), byte((run.P+addr.PAddr(i))>>8),
+					byte((run.P+addr.PAddr(i))>>16), byte((run.P+addr.PAddr(i))>>24))
+			}
+		}
+		return out
+	}
+	f := func(offRaw, nRaw, splitRaw uint16) bool {
+		off := uint64(offRaw) % 8000
+		n := uint64(nRaw)%128 + 2
+		if off+n > d.Bytes {
+			n = d.Bytes - off
+		}
+		split := uint64(splitRaw)%(n-1) + 1
+		whole, err := r.c.Resolve(d.ShadowBase+addr.PAddr(off), n)
+		if err != nil {
+			return false
+		}
+		left, err := r.c.Resolve(d.ShadowBase+addr.PAddr(off), split)
+		if err != nil {
+			return false
+		}
+		right, err := r.c.Resolve(d.ShadowBase+addr.PAddr(off+split), n-split)
+		if err != nil {
+			return false
+		}
+		a := flatten(whole)
+		b := append(flatten(left), flatten(right)...)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// WriteLine on a partial tail line must scatter exactly the descriptor's
+// remaining bytes, not a full line.
+func TestWriteLinePartialTail(t *testing.T) {
+	r := newRig(t, false)
+	// 3 objects of 8 bytes: descriptor is 24 bytes, well under a line.
+	d := Descriptor{
+		Kind: Strided, ShadowBase: 1 << 30, Bytes: 24,
+		PVBase: 0, ObjBytes: 8, StrideBytes: 4096,
+	}
+	if err := r.c.SetDescriptor(0, d); err != nil {
+		t.Fatal(err)
+	}
+	r.identityMap(0, 0, 3)
+	writes := r.st.DRAMWrites
+	if _, err := r.c.WriteLine(0, d.ShadowBase); err != nil {
+		t.Fatal(err)
+	}
+	// 3 objects on 3 distinct pages -> exactly 3 DRAM line writes.
+	if got := r.st.DRAMWrites - writes; got != 3 {
+		t.Errorf("partial-tail writeback issued %d DRAM writes, want 3", got)
+	}
+}
+
+// ReadLine at exactly the descriptor boundary line clamps; past it fails.
+func TestReadLineBoundary(t *testing.T) {
+	r := newRig(t, false)
+	d := Descriptor{
+		Kind: Strided, ShadowBase: 1 << 30, Bytes: 200, // not line-aligned
+		PVBase: 0, ObjBytes: 8, StrideBytes: 64,
+	}
+	if err := r.c.SetDescriptor(0, d); err != nil {
+		t.Fatal(err)
+	}
+	r.identityMap(0, 0, 4)
+	if _, err := r.c.ReadLine(0, d.ShadowBase+128); err != nil {
+		t.Errorf("tail line read failed: %v", err)
+	}
+	if _, err := r.c.ReadLine(0, d.ShadowBase+256); err == nil {
+		t.Error("read past descriptor end succeeded")
+	}
+	if r.c.CoversLine(d.ShadowBase+128) != true {
+		t.Error("CoversLine rejected the tail line")
+	}
+	if r.c.CoversLine(d.ShadowBase+256) != false {
+		t.Error("CoversLine accepted a line past the end")
+	}
+}

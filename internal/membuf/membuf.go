@@ -1,0 +1,159 @@
+// Package membuf implements the simulated physical memory contents of the
+// machine: the actual bytes stored in installed DRAM. It is purely
+// functional storage — timing lives in package dram — but it is what makes
+// the simulator execution-driven: workloads really read and write their
+// data through the memory hierarchy, so every experiment doubles as a
+// correctness check of the remapping machinery.
+//
+// Frames are allocated lazily: a simulated machine with 256 MB of DRAM only
+// costs host memory for the pages a workload touches.
+package membuf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"impulse/internal/addr"
+)
+
+// Memory is byte-addressable simulated DRAM. All multi-byte accesses are
+// little-endian and may not cross a page boundary unless they go through
+// ReadBytes/WriteBytes (which handle splits).
+type Memory struct {
+	frames    []*[addr.PageSize]byte
+	allocated uint64 // number of frames actually backed
+}
+
+// New creates a memory with the given number of page frames.
+func New(frames uint64) *Memory {
+	return &Memory{frames: make([]*[addr.PageSize]byte, frames)}
+}
+
+// Frames returns the total number of addressable frames.
+func (m *Memory) Frames() uint64 { return uint64(len(m.frames)) }
+
+// AllocatedFrames returns how many frames are currently backed by host
+// memory (touched at least once).
+func (m *Memory) AllocatedFrames() uint64 { return m.allocated }
+
+func (m *Memory) frame(p addr.PAddr) *[addr.PageSize]byte {
+	n := p.PageNum()
+	if n >= uint64(len(m.frames)) {
+		panic(fmt.Sprintf("membuf: access to %v beyond installed DRAM (%d frames)", p, len(m.frames)))
+	}
+	f := m.frames[n]
+	if f == nil {
+		f = new([addr.PageSize]byte)
+		m.frames[n] = f
+		m.allocated++
+	}
+	return f
+}
+
+// Load8 reads one byte at p.
+func (m *Memory) Load8(p addr.PAddr) uint8 {
+	return m.frame(p)[p.PageOff()]
+}
+
+// Store8 writes one byte at p.
+func (m *Memory) Store8(p addr.PAddr, v uint8) {
+	m.frame(p)[p.PageOff()] = v
+}
+
+// Load32 reads a little-endian 32-bit value at p (must not cross a page).
+func (m *Memory) Load32(p addr.PAddr) uint32 {
+	off := p.PageOff()
+	if off+4 > addr.PageSize {
+		return uint32(m.loadCross(p, 4))
+	}
+	f := m.frame(p)
+	return binary.LittleEndian.Uint32(f[off : off+4])
+}
+
+// Store32 writes a little-endian 32-bit value at p.
+func (m *Memory) Store32(p addr.PAddr, v uint32) {
+	off := p.PageOff()
+	if off+4 > addr.PageSize {
+		m.storeCross(p, uint64(v), 4)
+		return
+	}
+	f := m.frame(p)
+	binary.LittleEndian.PutUint32(f[off:off+4], v)
+}
+
+// Load64 reads a little-endian 64-bit value at p.
+func (m *Memory) Load64(p addr.PAddr) uint64 {
+	off := p.PageOff()
+	if off+8 > addr.PageSize {
+		return m.loadCross(p, 8)
+	}
+	f := m.frame(p)
+	return binary.LittleEndian.Uint64(f[off : off+8])
+}
+
+// Store64 writes a little-endian 64-bit value at p.
+func (m *Memory) Store64(p addr.PAddr, v uint64) {
+	off := p.PageOff()
+	if off+8 > addr.PageSize {
+		m.storeCross(p, v, 8)
+		return
+	}
+	f := m.frame(p)
+	binary.LittleEndian.PutUint64(f[off:off+8], v)
+}
+
+// LoadFloat64 reads an IEEE-754 double at p.
+func (m *Memory) LoadFloat64(p addr.PAddr) float64 {
+	return math.Float64frombits(m.Load64(p))
+}
+
+// StoreFloat64 writes an IEEE-754 double at p.
+func (m *Memory) StoreFloat64(p addr.PAddr, v float64) {
+	m.Store64(p, math.Float64bits(v))
+}
+
+func (m *Memory) loadCross(p addr.PAddr, n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(m.Load8(p+addr.PAddr(i))) << (8 * i)
+	}
+	return v
+}
+
+func (m *Memory) storeCross(p addr.PAddr, v uint64, n int) {
+	for i := 0; i < n; i++ {
+		m.Store8(p+addr.PAddr(i), uint8(v>>(8*i)))
+	}
+}
+
+// ReadBytes copies len(dst) bytes starting at p into dst, handling page
+// crossings.
+func (m *Memory) ReadBytes(p addr.PAddr, dst []byte) {
+	for len(dst) > 0 {
+		off := p.PageOff()
+		n := uint64(len(dst))
+		if room := uint64(addr.PageSize) - off; n > room {
+			n = room
+		}
+		f := m.frame(p)
+		copy(dst[:n], f[off:off+n])
+		dst = dst[n:]
+		p += addr.PAddr(n)
+	}
+}
+
+// WriteBytes copies src into memory starting at p, handling page crossings.
+func (m *Memory) WriteBytes(p addr.PAddr, src []byte) {
+	for len(src) > 0 {
+		off := p.PageOff()
+		n := uint64(len(src))
+		if room := uint64(addr.PageSize) - off; n > room {
+			n = room
+		}
+		f := m.frame(p)
+		copy(f[off:off+n], src[:n])
+		src = src[n:]
+		p += addr.PAddr(n)
+	}
+}

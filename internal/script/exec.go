@@ -1,0 +1,478 @@
+package script
+
+import (
+	"fmt"
+
+	"impulse/internal/addr"
+	"impulse/internal/core"
+)
+
+// Result is the outcome of running a program.
+type Result struct {
+	Checksum float64
+	Row      core.Row
+}
+
+// MaxSteps bounds execution (scripts are data; a loop typo must not hang
+// the host).
+const MaxSteps = 200_000_000
+
+// Run executes the program on the given system. Allocation and setup run
+// inside the timed section (scripts decide their own phases with loops).
+// The `impulse` block executes on Impulse controllers, the `else` block
+// on conventional ones, so one script describes both variants of a
+// kernel.
+func Run(s *core.System, p *Program) (Result, error) {
+	e := &executor{
+		s:       s,
+		prog:    p,
+		regions: make(map[string]region),
+		aliases: make(map[string]*core.StridedAlias),
+	}
+	sec := s.BeginSection()
+	if err := e.run(); err != nil {
+		return Result{}, err
+	}
+	row, err := sec.End("script")
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Checksum: e.checksum, Row: row}, nil
+}
+
+type region struct {
+	base  addr.VAddr
+	bytes uint64
+}
+
+type executor struct {
+	s       *core.System
+	prog    *Program
+	regions map[string]region
+	aliases map[string]*core.StridedAlias
+
+	ints     [NumIntRegs]uint64
+	floats   [NumFloatRegs]float64
+	checksum float64
+
+	steps int
+}
+
+type loopState struct {
+	start     int // index of the repeat instruction
+	remaining uint64
+}
+
+func (e *executor) errf(in *instr, format string, args ...interface{}) error {
+	return fmt.Errorf("script: line %d: %s", in.line, fmt.Sprintf(format, args...))
+}
+
+// intVal evaluates an integer-valued operand.
+func (e *executor) intVal(in *instr, a operand) (uint64, error) {
+	switch a.kind {
+	case oReg:
+		return e.ints[a.reg], nil
+	case oImm:
+		return a.imm, nil
+	default:
+		return 0, e.errf(in, "expected integer register or immediate")
+	}
+}
+
+// floatVal evaluates a float-valued operand.
+func (e *executor) floatVal(in *instr, a operand) (float64, error) {
+	switch a.kind {
+	case oFreg:
+		return e.floats[a.reg], nil
+	case oFimm:
+		return a.fimm, nil
+	case oImm:
+		return float64(a.imm), nil
+	default:
+		return 0, e.errf(in, "expected float register or immediate")
+	}
+}
+
+// regionAddr resolves name+offset to a bounds-checked virtual address.
+func (e *executor) regionAddr(in *instr, name operand, off operand, size uint64) (addr.VAddr, error) {
+	if name.kind != oName {
+		return 0, e.errf(in, "expected region name")
+	}
+	r, ok := e.regions[name.name]
+	if !ok {
+		if a, ok := e.aliases[name.name]; ok {
+			r = region{base: a.VA, bytes: a.Bytes}
+		} else {
+			return 0, e.errf(in, "unknown region %q", name.name)
+		}
+	}
+	o, err := e.intVal(in, off)
+	if err != nil {
+		return 0, err
+	}
+	if o+size > r.bytes {
+		return 0, e.errf(in, "access [%d,%d) outside region %q (%d bytes)", o, o+size, name.name, r.bytes)
+	}
+	return r.base + addr.VAddr(o), nil
+}
+
+func (e *executor) run() error {
+	var loops []loopState
+	pc := 0
+	for pc < len(e.prog.instrs) {
+		e.steps++
+		if e.steps > MaxSteps {
+			return fmt.Errorf("script: exceeded %d steps (runaway loop?)", MaxSteps)
+		}
+		in := &e.prog.instrs[pc]
+		switch in.op {
+		case opAlloc:
+			name := in.args[0]
+			if name.kind != oName {
+				return e.errf(in, "alloc needs a region name")
+			}
+			if _, dup := e.regions[name.name]; dup {
+				return e.errf(in, "region %q already allocated", name.name)
+			}
+			bytes, err := e.intVal(in, in.args[1])
+			if err != nil {
+				return err
+			}
+			align := uint64(0)
+			if len(in.args) == 3 {
+				if align, err = e.intVal(in, in.args[2]); err != nil {
+					return err
+				}
+			}
+			base, err := e.s.Alloc(bytes, align)
+			if err != nil {
+				return e.errf(in, "%v", err)
+			}
+			e.regions[name.name] = region{base: base, bytes: bytes}
+
+		case opSet:
+			v, err := e.intVal(in, in.args[1])
+			if err != nil {
+				return err
+			}
+			if in.args[0].kind != oReg {
+				return e.errf(in, "set needs an integer register")
+			}
+			e.ints[in.args[0].reg] = v
+
+		case opFset:
+			v, err := e.floatVal(in, in.args[1])
+			if err != nil {
+				return err
+			}
+			if in.args[0].kind != oFreg {
+				return e.errf(in, "fset needs a float register")
+			}
+			e.floats[in.args[0].reg] = v
+
+		case opAdd, opSub, opMul:
+			if in.args[0].kind != oReg {
+				return e.errf(in, "destination must be an integer register")
+			}
+			a, err := e.intVal(in, in.args[1])
+			if err != nil {
+				return err
+			}
+			b, err := e.intVal(in, in.args[2])
+			if err != nil {
+				return err
+			}
+			switch in.op {
+			case opAdd:
+				e.ints[in.args[0].reg] = a + b
+			case opSub:
+				e.ints[in.args[0].reg] = a - b
+			case opMul:
+				e.ints[in.args[0].reg] = a * b
+			}
+			e.s.Tick(1)
+
+		case opFadd, opFmul:
+			if in.args[0].kind != oFreg {
+				return e.errf(in, "destination must be a float register")
+			}
+			a, err := e.floatVal(in, in.args[1])
+			if err != nil {
+				return err
+			}
+			b, err := e.floatVal(in, in.args[2])
+			if err != nil {
+				return err
+			}
+			if in.op == opFadd {
+				e.floats[in.args[0].reg] = a + b
+			} else {
+				e.floats[in.args[0].reg] = a * b
+			}
+			e.s.Tick(1)
+
+		case opLoad32, opLoad64:
+			if in.args[0].kind != oReg {
+				return e.errf(in, "load destination must be an integer register")
+			}
+			size := uint64(4)
+			if in.op == opLoad64 {
+				size = 8
+			}
+			va, err := e.regionAddr(in, in.args[1], in.args[2], size)
+			if err != nil {
+				return err
+			}
+			if size == 4 {
+				e.ints[in.args[0].reg] = uint64(e.s.Load32(va))
+			} else {
+				e.ints[in.args[0].reg] = e.s.Load64(va)
+			}
+
+		case opLoadF:
+			if in.args[0].kind != oFreg {
+				return e.errf(in, "loadf destination must be a float register")
+			}
+			va, err := e.regionAddr(in, in.args[1], in.args[2], 8)
+			if err != nil {
+				return err
+			}
+			e.floats[in.args[0].reg] = e.s.LoadF64(va)
+
+		case opStore32, opStore64:
+			size := uint64(4)
+			if in.op == opStore64 {
+				size = 8
+			}
+			va, err := e.regionAddr(in, in.args[0], in.args[1], size)
+			if err != nil {
+				return err
+			}
+			v, err := e.intVal(in, in.args[2])
+			if err != nil {
+				return err
+			}
+			if size == 4 {
+				e.s.Store32(va, uint32(v))
+			} else {
+				e.s.Store64(va, v)
+			}
+
+		case opStoreF:
+			va, err := e.regionAddr(in, in.args[0], in.args[1], 8)
+			if err != nil {
+				return err
+			}
+			v, err := e.floatVal(in, in.args[2])
+			if err != nil {
+				return err
+			}
+			e.s.StoreF64(va, v)
+
+		case opAcc:
+			v, err := e.floatVal(in, in.args[0])
+			if err != nil {
+				return err
+			}
+			e.checksum += v
+			e.s.Tick(1)
+
+		case opTick:
+			n, err := e.intVal(in, in.args[0])
+			if err != nil {
+				return err
+			}
+			e.s.Tick(n)
+
+		case opFlush, opPurge:
+			va, err := e.regionAddr(in, in.args[0], in.args[1], 1)
+			if err != nil {
+				return err
+			}
+			n, err := e.intVal(in, in.args[2])
+			if err != nil {
+				return err
+			}
+			if in.op == opFlush {
+				e.s.FlushVRange(va, n)
+			} else {
+				e.s.PurgeVRange(va, n)
+			}
+			e.s.MC.InvalidateBuffers()
+
+		case opRepeat:
+			n, err := e.intVal(in, in.args[0])
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				pc = in.match // skip the body entirely
+			} else {
+				loops = append(loops, loopState{start: pc, remaining: n})
+			}
+
+		case opEnd:
+			if len(loops) > 0 && loops[len(loops)-1].start == in.match {
+				top := &loops[len(loops)-1]
+				top.remaining--
+				if top.remaining > 0 {
+					pc = top.start
+				} else {
+					loops = loops[:len(loops)-1]
+				}
+			}
+			// `end` of an impulse/else block: fall through.
+
+		case opImpulse:
+			if !e.s.IsImpulse() {
+				pc = in.match // jump to else (its body) or end
+			}
+
+		case opElse:
+			// Reached from the impulse branch: skip over the else body.
+			pc = in.match
+
+		case opGather:
+			if err := e.doGather(in); err != nil {
+				return err
+			}
+		case opStride:
+			if err := e.doStride(in); err != nil {
+				return err
+			}
+		case opRetarget:
+			if err := e.doRetarget(in); err != nil {
+				return err
+			}
+		case opRecolor:
+			name := in.args[0]
+			r, ok := e.regions[name.name]
+			if !ok {
+				return e.errf(in, "unknown region %q", name.name)
+			}
+			lo, err := e.intVal(in, in.args[1])
+			if err != nil {
+				return err
+			}
+			hi, err := e.intVal(in, in.args[2])
+			if err != nil {
+				return err
+			}
+			if err := e.s.Recolor(r.base, r.bytes, lo, hi); err != nil {
+				return e.errf(in, "%v", err)
+			}
+		case opSuperpage:
+			name := in.args[0]
+			r, ok := e.regions[name.name]
+			if !ok {
+				return e.errf(in, "unknown region %q", name.name)
+			}
+			if err := e.s.MapSuperpage(r.base, r.bytes); err != nil {
+				return e.errf(in, "%v", err)
+			}
+		default:
+			return e.errf(in, "unhandled opcode %d", in.op)
+		}
+		pc++
+	}
+	return nil
+}
+
+// doGather: gather alias target elemBytes vec count [l1off]
+func (e *executor) doGather(in *instr) error {
+	aliasName := in.args[0]
+	target, ok := e.regions[in.args[1].name]
+	if !ok {
+		return e.errf(in, "unknown region %q", in.args[1].name)
+	}
+	elem, err := e.intVal(in, in.args[2])
+	if err != nil {
+		return err
+	}
+	vec, ok := e.regions[in.args[3].name]
+	if !ok {
+		return e.errf(in, "unknown region %q", in.args[3].name)
+	}
+	count, err := e.intVal(in, in.args[4])
+	if err != nil {
+		return err
+	}
+	l1off := uint64(0)
+	if len(in.args) == 6 {
+		if l1off, err = e.intVal(in, in.args[5]); err != nil {
+			return err
+		}
+	}
+	if count*4 > vec.bytes {
+		return e.errf(in, "indirection vector %q too small for %d entries", in.args[3].name, count)
+	}
+	alias, err := e.s.MapScatterGather(target.base, target.bytes, elem, vec.base, count, l1off)
+	if err != nil {
+		return e.errf(in, "%v", err)
+	}
+	e.regions[aliasName.name] = region{base: alias, bytes: count * elem}
+	return nil
+}
+
+// doStride: stride alias objBytes strideBytes count l1off
+func (e *executor) doStride(in *instr) error {
+	obj, err := e.intVal(in, in.args[1])
+	if err != nil {
+		return err
+	}
+	strideB, err := e.intVal(in, in.args[2])
+	if err != nil {
+		return err
+	}
+	count, err := e.intVal(in, in.args[3])
+	if err != nil {
+		return err
+	}
+	l1off, err := e.intVal(in, in.args[4])
+	if err != nil {
+		return err
+	}
+	a, err := e.s.NewStridedAlias(obj, strideB, count, l1off)
+	if err != nil {
+		return e.errf(in, "%v", err)
+	}
+	e.aliases[in.args[0].name] = a
+	return nil
+}
+
+// doRetarget: retarget alias target span flush|purge [offset]
+func (e *executor) doRetarget(in *instr) error {
+	a, ok := e.aliases[in.args[0].name]
+	if !ok {
+		return e.errf(in, "unknown strided alias %q", in.args[0].name)
+	}
+	target, ok := e.regions[in.args[1].name]
+	if !ok {
+		return e.errf(in, "unknown region %q", in.args[1].name)
+	}
+	span, err := e.intVal(in, in.args[2])
+	if err != nil {
+		return err
+	}
+	off := uint64(0)
+	if len(in.args) == 5 {
+		if off, err = e.intVal(in, in.args[4]); err != nil {
+			return err
+		}
+	}
+	if off+span > target.bytes {
+		return e.errf(in, "span [%d,%d) exceeds region %q", off, off+span, in.args[1].name)
+	}
+	mode := core.Purge
+	switch in.args[3].name {
+	case "flush":
+		mode = core.Flush
+	case "purge":
+	default:
+		return e.errf(in, "retarget mode must be flush or purge")
+	}
+	if err := e.s.Retarget(a, target.base+addr.VAddr(off), span, mode); err != nil {
+		return e.errf(in, "%v", err)
+	}
+	return nil
+}

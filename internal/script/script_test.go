@@ -1,0 +1,415 @@
+package script
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"impulse/internal/core"
+)
+
+func newSys(t *testing.T, kind core.ControllerKind) *core.System {
+	t.Helper()
+	s, err := core.NewSystem(core.Options{Controller: kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"bogus r1 2", "unknown instruction"},
+		{"set r1", "takes 2 operands"},
+		{"set r99 1", "out of range"},
+		{"set f99 1.0", "out of range"},
+		{"end", "end without"},
+		{"repeat 3", "unterminated block"},
+		{"else", "else without impulse"},
+		{"set r1 0xZZ", "bad hex"},
+		{"alloc", "takes 2 or 3"},
+		{"gather a b 8 v", "takes 5 or 6"},
+		{"set r1 @!", "bad operand"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) = %v, want error containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	p := mustParse(t, "\n# full comment\n  set r1 5 # trailing\n\n")
+	if p.Len() != 1 {
+		t.Errorf("instr count = %d", p.Len())
+	}
+}
+
+func TestArithmeticAndLoops(t *testing.T) {
+	src := `
+alloc a 4096
+set r1 0
+set r2 0
+repeat 10
+  add r2 r2 3
+  add r1 r1 1
+end
+mul r3 r2 r1
+fset f0 0.5
+fadd f1 f0 2.25
+fmul f2 f1 4.0
+acc f2
+`
+	res, err := Run(newSys(t, core.Conventional), mustParse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f2 = (0.5+2.25)*4 = 11
+	if res.Checksum != 11 {
+		t.Errorf("checksum = %v, want 11", res.Checksum)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	src := `
+alloc a 4096
+store64 a 0 0xDEAD
+load64 r1 a 0
+store32 a 100 7
+load32 r2 a 100
+fset f0 2.5
+storef a 8 f0
+loadf f1 a 8
+acc f1
+flush a 0 4096
+loadf f2 a 8
+acc f2
+`
+	res, err := Run(newSys(t, core.Conventional), mustParse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum != 5.0 {
+		t.Errorf("checksum = %v, want 5", res.Checksum)
+	}
+	if res.Row.Stats.FlushedLines == 0 {
+		t.Error("flush not executed")
+	}
+}
+
+func TestOutOfBoundsAccess(t *testing.T) {
+	src := "alloc a 64\nload64 r1 a 60\n"
+	if _, err := Run(newSys(t, core.Conventional), mustParse(t, src)); err == nil ||
+		!strings.Contains(err.Error(), "outside region") {
+		t.Errorf("out-of-bounds = %v", err)
+	}
+}
+
+func TestRunawayLoopBounded(t *testing.T) {
+	src := "set r1 0\nrepeat 4000000000\n add r1 r1 1\nend\n"
+	_, err := Run(newSys(t, core.Conventional), mustParse(t, src))
+	if err == nil || !strings.Contains(err.Error(), "steps") {
+		t.Errorf("runaway loop = %v", err)
+	}
+}
+
+func TestNestedRepeat(t *testing.T) {
+	src := `
+set r1 0
+repeat 4
+  repeat 5
+    add r1 r1 1
+  end
+end
+alloc a 64
+store64 a 0 r1
+load64 r2 a 0
+`
+	res, err := Run(newSys(t, core.Conventional), mustParse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+}
+
+func TestZeroRepeatSkipsBody(t *testing.T) {
+	src := "set r1 7\nrepeat 0\n set r1 99\nend\nalloc a 64\nstore64 a 0 r1\nload64 r2 a 0\nfset f0 1.0\nacc f0\n"
+	res, err := Run(newSys(t, core.Conventional), mustParse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum != 1 {
+		t.Error("zero repeat broke execution")
+	}
+}
+
+// diagScript is the Figure 1 program from the package comment.
+const diagScript = `
+alloc mat 32768
+set r1 0
+fset f0 0.0
+repeat 64
+  storef mat r1 f0
+  fadd f0 f0 1.0
+  add r1 r1 520
+end
+flush mat 0 32768
+impulse
+  stride diag 8 520 64 0
+  retarget diag mat 32768 purge
+  set r1 0
+  repeat 64
+    loadf f1 diag r1
+    acc f1
+    add r1 r1 8
+  end
+else
+  set r1 0
+  repeat 64
+    loadf f1 mat r1
+    acc f1
+    add r1 r1 520
+  end
+end
+`
+
+func TestImpulseElseBlocks(t *testing.T) {
+	p := mustParse(t, diagScript)
+	want := float64(64 * 63 / 2) // 0+1+...+63
+	conv, err := Run(newSys(t, core.Conventional), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := Run(newSys(t, core.Impulse), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Checksum != want || imp.Checksum != want {
+		t.Fatalf("checksums %v / %v, want %v", conv.Checksum, imp.Checksum, want)
+	}
+	if imp.Row.Stats.ShadowReads == 0 {
+		t.Error("impulse branch did not use the controller")
+	}
+	if conv.Row.Stats.ShadowReads != 0 {
+		t.Error("conventional branch used shadow space")
+	}
+}
+
+func TestGatherScript(t *testing.T) {
+	src := `
+alloc x 32768
+alloc v 256
+set r1 0
+set r2 0
+repeat 64
+  store32 v r1 r2
+  add r1 r1 4
+  add r2 r2 48
+end
+set r1 0
+fset f0 3.25
+repeat 4096
+  storef x r1 f0
+  add r1 r1 8
+end
+impulse
+  gather xp x 8 v 64
+  set r1 0
+  repeat 64
+    loadf f1 xp r1
+    acc f1
+    add r1 r1 8
+  end
+else
+  set r1 0
+  repeat 64
+    load32 r3 v r1
+    mul r4 r3 8
+    loadf f1 x r4
+    acc f1
+    add r1 r1 4
+  end
+end
+`
+	p := mustParse(t, src)
+	conv, err := Run(newSys(t, core.Conventional), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := Run(newSys(t, core.Impulse), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 64 * 3.25
+	if conv.Checksum != want || imp.Checksum != want {
+		t.Fatalf("checksums %v / %v, want %v", conv.Checksum, imp.Checksum, want)
+	}
+}
+
+func TestRecolorAndSuperpageScript(t *testing.T) {
+	src := `
+alloc a 65536
+alloc b 65536
+recolor a 0 7
+superpage b
+store64 a 4096 42
+load64 r1 a 4096
+store64 b 8192 43
+load64 r2 b 8192
+fset f0 1.5
+acc f0
+`
+	res, err := Run(newSys(t, core.Impulse), mustParse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum != 1.5 {
+		t.Error("script did not complete")
+	}
+	// Recolor on conventional must fail.
+	if _, err := Run(newSys(t, core.Conventional), mustParse(t, "alloc a 4096\nrecolor a 0 3\n")); err == nil {
+		t.Error("recolor ran on conventional controller")
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"alloc a 64\nalloc a 64", "already allocated"},
+		{"load64 r1 nosuch r0", "unknown region"},
+		{"retarget ghost a 64 purge", "unknown strided alias"},
+		{"set f1 3", "integer register"},
+		{"fset r1 3.0", "float register"},
+		{"acc r1", "float register or immediate"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if _, err := Run(newSys(t, core.Impulse), p); err == nil ||
+			!strings.Contains(err.Error(), c.want) {
+			t.Errorf("Run(%q) = %v, want error containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestScriptTiming(t *testing.T) {
+	// The impulse diagonal variant must beat the conventional one (the
+	// Figure 1 claim), measured entirely from script programs.
+	big := strings.ReplaceAll(diagScript, "repeat 64", "repeat 63")
+	big = strings.ReplaceAll(big, "alloc mat 32768", "alloc mat 32768")
+	p := mustParse(t, big)
+	conv, err := Run(newSys(t, core.Conventional), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := Run(newSys(t, core.Impulse), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Row.Stats.BusBytes >= conv.Row.Stats.BusBytes {
+		t.Errorf("impulse bus bytes %d not below conventional %d",
+			imp.Row.Stats.BusBytes, conv.Row.Stats.BusBytes)
+	}
+}
+
+// Parse must never panic, whatever bytes arrive (scripts are user data).
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	words := []string{
+		"alloc", "set", "loadf", "storef", "repeat", "end", "impulse", "else",
+		"gather", "stride", "retarget", "recolor", "r1", "f2", "r99", "0x",
+		"12", "-3.5", "a", "#x", "\n", " ", "zz!", "0xQQ", "1e309",
+	}
+	for trial := 0; trial < 2000; trial++ {
+		var sb strings.Builder
+		n := rng.Intn(12)
+		for i := 0; i < n; i++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			if rng.Intn(3) == 0 {
+				sb.WriteByte('\n')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		_, _ = Parse(sb.String()) // must not panic
+	}
+}
+
+// Run must never panic on programs that parse but misuse the machine;
+// errors are fine, crashes are not.
+func TestRunNeverPanics(t *testing.T) {
+	progs := []string{
+		"gather a a 8 a 4",                             // unknown regions
+		"alloc a 64\ngather x a 8 a 999",               // vector too small
+		"alloc a 64\nsuperpage a\nsuperpage a",         // double superpage
+		"alloc a 4096\nrecolor a 31 31\nrecolor a 0 0", // double recolor
+		"stride s 8 0 4 0",                             // zero stride
+	}
+	for _, src := range progs {
+		p, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Run(%q) panicked: %v", src, r)
+				}
+			}()
+			_, _ = Run(newSysLoose(t), p)
+		}()
+	}
+}
+
+func newSysLoose(t *testing.T) *core.System {
+	t.Helper()
+	s, err := core.NewSystem(core.Options{Controller: core.Impulse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSubAndHexOperands(t *testing.T) {
+	src := `
+set r1 0x20
+sub r2 r1 0x8
+alloc a 64
+store64 a 0 r2
+load64 r3 a 0
+fset f0 0.0
+fadd f1 f0 1.0
+acc f1
+`
+	res, err := Run(newSys(t, core.Conventional), mustParse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum != 1.0 {
+		t.Error("sub/hex program failed")
+	}
+}
+
+func TestNegativeFloatImmediate(t *testing.T) {
+	res, err := Run(newSys(t, core.Conventional), mustParse(t, "fset f0 -2.5\nacc f0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum != -2.5 {
+		t.Errorf("checksum = %v", res.Checksum)
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+
+	"impulse/internal/addr"
+	"impulse/internal/timeline"
+)
+
+// TraceKind classifies a trace event.
+type TraceKind int
+
+const (
+	// TraceLoad is a completed CPU load.
+	TraceLoad TraceKind = iota
+	// TraceStore is a completed CPU store.
+	TraceStore
+	// TraceFlush is a cache-maintenance operation on one line.
+	TraceFlush
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceLoad:
+		return "load"
+	case TraceStore:
+		return "store"
+	case TraceFlush:
+		return "flush"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceLevel identifies where a load was served.
+type TraceLevel int
+
+const (
+	// LevelNone applies to non-load events.
+	LevelNone TraceLevel = iota
+	// LevelL1 is an L1 hit.
+	LevelL1
+	// LevelL2 is an L2 hit.
+	LevelL2
+	// LevelMem is a memory-system access.
+	LevelMem
+)
+
+func (l TraceLevel) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelMem:
+		return "mem"
+	default:
+		return "-"
+	}
+}
+
+// TraceEvent is one simulated memory event.
+type TraceEvent struct {
+	Cycle   timeline.Time
+	Kind    TraceKind
+	Level   TraceLevel
+	VAddr   addr.VAddr
+	PAddr   addr.PAddr
+	Size    uint64
+	Latency uint64 // load events: issue-to-data cycles
+	Shadow  bool   // PAddr is a shadow address
+}
+
+func (e TraceEvent) String() string {
+	shadow := ""
+	if e.Shadow {
+		shadow = " shadow"
+	}
+	switch e.Kind {
+	case TraceLoad:
+		return fmt.Sprintf("@%d load  %v -> %v [%v, %d cycles]%s", e.Cycle, e.VAddr, e.PAddr, e.Level, e.Latency, shadow)
+	case TraceStore:
+		return fmt.Sprintf("@%d store %v -> %v%s", e.Cycle, e.VAddr, e.PAddr, shadow)
+	default:
+		return fmt.Sprintf("@%d %v %v -> %v%s", e.Cycle, e.Kind, e.VAddr, e.PAddr, shadow)
+	}
+}
+
+// Tracer receives simulated memory events. Tracing is off (nil) by
+// default; the hook costs nothing when unset.
+type Tracer func(TraceEvent)
+
+// SetTracer installs (or clears, with nil) the machine's event tracer.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+func (m *Machine) trace(e TraceEvent) {
+	if m.tracer != nil {
+		m.tracer(e)
+	}
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"impulse/internal/addr"
+)
+
+func TestTracerCapturesEvents(t *testing.T) {
+	m := testMachine(t)
+	var events []TraceEvent
+	m.SetTracer(func(e TraceEvent) { events = append(events, e) })
+	va := alloc(t, m, 4096)
+	m.StoreF64(va, 1.0)
+	m.LoadF64(va)     // L2 hit (store allocated in L2)
+	m.LoadF64(va + 8) // L1 hit
+	m.FlushVRange(va, 32)
+
+	var kinds []TraceKind
+	for _, e := range events {
+		kinds = append(kinds, e.Kind)
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events (%v), want 4", len(events), kinds)
+	}
+	if events[0].Kind != TraceStore {
+		t.Errorf("event 0 = %v", events[0])
+	}
+	if events[1].Kind != TraceLoad || events[1].Level != LevelL2 {
+		t.Errorf("event 1 = %v", events[1])
+	}
+	if events[2].Kind != TraceLoad || events[2].Level != LevelL1 || events[2].Latency != 1 {
+		t.Errorf("event 2 = %v", events[2])
+	}
+	if events[3].Kind != TraceFlush {
+		t.Errorf("event 3 = %v", events[3])
+	}
+	// Cycle stamps are monotone.
+	for i := 1; i < len(events); i++ {
+		if events[i].Cycle < events[i-1].Cycle {
+			t.Errorf("non-monotone cycles: %v then %v", events[i-1], events[i])
+		}
+	}
+	// VAddr/PAddr plumbed through.
+	if events[1].VAddr != va {
+		t.Errorf("event VAddr = %v, want %v", events[1].VAddr, va)
+	}
+}
+
+func TestTracerLevelMem(t *testing.T) {
+	m := testMachine(t)
+	var got *TraceEvent
+	m.SetTracer(func(e TraceEvent) {
+		if e.Kind == TraceLoad {
+			got = &e
+		}
+	})
+	va := alloc(t, m, 4096)
+	m.LoadF64(va)
+	if got == nil || got.Level != LevelMem || got.Latency < 30 {
+		t.Errorf("cold load event = %+v", got)
+	}
+}
+
+func TestTracerDisabledByDefault(t *testing.T) {
+	m := testMachine(t)
+	va := alloc(t, m, 4096)
+	m.LoadF64(va) // must not panic with nil tracer
+	m.SetTracer(func(TraceEvent) { t.Fatal("cleared tracer fired") })
+	m.SetTracer(nil)
+	m.LoadF64(va + 8)
+}
+
+func TestTraceEventStrings(t *testing.T) {
+	events := []TraceEvent{
+		{Cycle: 5, Kind: TraceLoad, Level: LevelL1, VAddr: 0x1000, PAddr: 0x2000, Latency: 1},
+		{Cycle: 6, Kind: TraceStore, VAddr: 0x1000, PAddr: addr.PAddr(1 << 30), Shadow: true},
+		{Cycle: 7, Kind: TraceFlush, VAddr: 0x1000, PAddr: 0x2000},
+	}
+	for _, e := range events {
+		s := e.String()
+		if s == "" || !strings.Contains(s, "@") {
+			t.Errorf("bad String: %q", s)
+		}
+	}
+	if !strings.Contains(events[1].String(), "shadow") {
+		t.Error("shadow flag not rendered")
+	}
+	if TraceKind(99).String() == "" || TraceLevel(99).String() == "" {
+		t.Error("unknown enum Strings empty")
+	}
+}
+
+func TestLoadLatencyHistogramPopulated(t *testing.T) {
+	m := testMachine(t)
+	va := alloc(t, m, 64<<10)
+	for i := uint64(0); i < 4096; i++ {
+		m.LoadF64(va + addr.VAddr(8*i))
+	}
+	h := &m.St.LoadLatency
+	if h.Count != m.St.Loads {
+		t.Fatalf("hist count %d != loads %d", h.Count, m.St.Loads)
+	}
+	if h.Total != m.St.LoadCycles {
+		t.Fatalf("hist total %d != load cycles %d", h.Total, m.St.LoadCycles)
+	}
+	// The stream has both 1-cycle L1 hits and ~40-cycle memory fills.
+	if h.Percentile(50) > 2 == false {
+		t.Log("p50 =", h.Percentile(50))
+	}
+	if h.Max < 30 {
+		t.Errorf("max latency %d implausibly low", h.Max)
+	}
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"testing"
+
+	"impulse/internal/addr"
+	"impulse/internal/mc"
+)
+
+// The write-back paths: dirty L1 victims move to L2; dirty L2 victims
+// move to memory; flushes scatter dirty shadow lines through the
+// controller. These are the paths a tag-only cache model can silently
+// get wrong, so each is pinned down by an explicit scenario.
+
+func TestL1DirtyVictimReachesL2(t *testing.T) {
+	m := testMachine(t)
+	va := alloc(t, m, 64<<10)
+	l1 := m.Config().L1.Bytes
+	m.Load64(va)                  // bring line into L1 (and L2)
+	m.StoreF64(va, 5.0)           // dirty in L1
+	m.Load64(va + addr.VAddr(l1)) // evict it (same L1 set, different line)
+	if m.St.L1Writebacks != 1 {
+		t.Fatalf("L1Writebacks = %d, want 1", m.St.L1Writebacks)
+	}
+	// The victim's line was L2-resident: the writeback must not touch
+	// the bus (it moves L1 -> L2 on-chip).
+	if m.St.DRAMWrites != 0 {
+		t.Errorf("L1 victim wrote DRAM: %d writes", m.St.DRAMWrites)
+	}
+}
+
+func TestL1DirtyVictimWithoutL2Copy(t *testing.T) {
+	m := testMachine(t)
+	va := alloc(t, m, 1<<20)
+	l1 := m.Config().L1.Bytes
+	m.Load64(va)
+	m.StoreF64(va, 5.0) // dirty in L1
+	// Evict the line from L2 first (2-way set: load two conflicting
+	// lines at L2-set stride), then evict from L1 and watch it go to
+	// memory via the bus.
+	l2SetStride := addr.VAddr(m.Config().L2.Bytes / m.Config().L2.Ways)
+	m.Load64(va + l2SetStride)
+	m.Load64(va + 2*l2SetStride)
+	busBefore := m.St.BusBytes
+	m.Load64(va + addr.VAddr(l1)) // evicts dirty L1 line, L2 no longer has it
+	if m.St.L1Writebacks == 0 {
+		t.Fatal("no L1 writeback recorded")
+	}
+	if m.St.BusBytes == busBefore {
+		t.Error("orphaned dirty L1 victim produced no bus traffic")
+	}
+}
+
+func TestL2DirtyWritebackToDRAM(t *testing.T) {
+	m := testMachine(t)
+	// The L2 is physically indexed: force a set conflict by allocating
+	// three pages of the same color and touching the same page offset.
+	pages := make([]addr.VAddr, 3)
+	for i := range pages {
+		va, err := m.K.AllocAndMapColored(addr.PageSize, 0, 5, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages[i] = va
+	}
+	m.StoreF64(pages[0], 9.0) // write-allocate into L2, dirty
+	writes := m.St.DRAMWrites
+	m.Load64(pages[1]) // way 2 of the same set
+	m.Load64(pages[2]) // evicts the dirty line
+	if m.St.L2Writebacks == 0 {
+		t.Fatal("no L2 writeback recorded")
+	}
+	if m.St.DRAMWrites == writes {
+		t.Error("dirty L2 victim never reached DRAM")
+	}
+}
+
+func TestFlushAllCachesWritesBack(t *testing.T) {
+	m := testMachine(t)
+	va := alloc(t, m, 4096)
+	m.StoreF64(va, 1.0)
+	m.Load64(va)
+	m.FlushAllCaches()
+	if m.L1.ValidLines() != 0 || m.L2.ValidLines() != 0 {
+		t.Fatal("caches not empty after FlushAllCaches")
+	}
+	if m.St.FlushedLines == 0 {
+		t.Error("flush accounting empty")
+	}
+	// Everything misses afterwards.
+	mem := m.St.MemLoads
+	m.Load64(va)
+	if m.St.MemLoads != mem+1 {
+		t.Error("post-flush load did not go to memory")
+	}
+}
+
+func TestBlockTLBTranslation(t *testing.T) {
+	m := testMachine(t)
+	va := alloc(t, m, 8*addr.PageSize)
+	p, _ := m.K.Translate(va)
+	// Install a block entry covering the first page only; accesses under
+	// it must not touch the page TLB.
+	m.InstallBlockTLB(va, p, addr.PageSize)
+	misses := m.St.TLBMisses
+	m.Load64(va + 8)
+	if m.St.TLBMisses != misses {
+		t.Error("block-TLB access missed the TLB")
+	}
+	m.Load64(va + addr.PageSize) // outside the block entry
+	if m.St.TLBMisses != misses+1 {
+		t.Error("non-block access did not use the page TLB")
+	}
+	m.ClearBlockTLB()
+	m.FlushTLB()
+	m.Load64(va + 16)
+	if m.St.TLBMisses != misses+2 {
+		t.Error("ClearBlockTLB had no effect")
+	}
+}
+
+func TestInflightPrefetchPartialHit(t *testing.T) {
+	m := testMachine(t)
+	m.SetL1Prefetch(true)
+	va := alloc(t, m, 4096)
+	m.Load64(va) // miss; prefetches next line with a future arrival time
+	if m.St.L1Prefetches == 0 {
+		t.Fatal("no prefetch launched")
+	}
+	// Immediately touch the prefetched line: it is L1-resident but the
+	// data may still be in flight; the load must not be a full miss.
+	l1Hits := m.St.L1LoadHits
+	m.Load64(va + addr.VAddr(m.Config().L1.LineBytes))
+	if m.St.L1LoadHits != l1Hits+1 {
+		t.Error("prefetched line not an L1 hit")
+	}
+	if m.St.L1PrefetchHits != 1 {
+		t.Errorf("L1PrefetchHits = %d", m.St.L1PrefetchHits)
+	}
+}
+
+func TestStoreToShadowScattersOnFlush(t *testing.T) {
+	// Covered at the core level for aliases; here pin the sim mechanics:
+	// a dirty line whose address is shadow must go through the
+	// controller's scatter path on flush.
+	m := testMachine(t)
+	// Set up a trivial direct-mapped shadow page by hand.
+	sh, err := m.K.ShadowAlloc(addr.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([]uint64, 1)
+	if frames[0], err = m.K.AllocFrame(); err != nil {
+		t.Fatal(err)
+	}
+	va, _ := m.K.AllocVirtual(addr.PageSize, 0)
+	if err := m.K.MapShadowPage(va.PageNum(), sh); err != nil {
+		t.Fatal(err)
+	}
+	// Identity descriptor over the page.
+	if err := installDirectDescriptor(m, sh, frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	m.StoreF64(va, 7.5) // dirty shadow line (allocated in L2)
+	writes := m.St.DRAMWrites
+	m.FlushVRange(va, 64)
+	if m.St.DRAMWrites == writes {
+		t.Error("shadow flush produced no DRAM writes")
+	}
+	// And the value survives in the backing frame.
+	if got := m.Mem.LoadFloat64(addr.PAddr(frames[0] << addr.PageShift)); got != 7.5 {
+		t.Errorf("backing frame holds %v", got)
+	}
+}
+
+// installDirectDescriptor wires a one-page direct mapping at the
+// controller for tests.
+func installDirectDescriptor(m *Machine, sh addr.PAddr, frame uint64) error {
+	d := directDescriptor(sh)
+	slot, err := m.MC.FreeSlot()
+	if err != nil {
+		return err
+	}
+	if err := m.MC.SetDescriptor(slot, d); err != nil {
+		return err
+	}
+	m.MC.MapPV(d.PVBase.PageNum(), frame)
+	return nil
+}
+
+// directDescriptor builds a one-page identity descriptor.
+func directDescriptor(sh addr.PAddr) mc.Descriptor {
+	return mc.Descriptor{Kind: mc.Direct, ShadowBase: sh, Bytes: addr.PageSize, PVBase: 0x9_0000_0000}
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket i
+// holds observations in [2^i, 2^(i+1)), with the last bucket open-ended.
+const histBuckets = 16
+
+// LatencyHist is a power-of-two-bucketed latency histogram. The paper
+// reports only average load time; the histogram exposes the structure
+// behind it (the L1/L2/memory/gather modes are visible as separate
+// peaks), which the harness uses for diagnostics and ablations.
+type LatencyHist struct {
+	Buckets [histBuckets]uint64
+	Count   uint64
+	Total   uint64
+	Max     uint64
+}
+
+// Observe records one latency value (cycles).
+func (h *LatencyHist) Observe(c uint64) {
+	i := 0
+	if c > 0 {
+		i = bits.Len64(c) - 1
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.Buckets[i]++
+	h.Count++
+	h.Total += c
+	if c > h.Max {
+		h.Max = c
+	}
+}
+
+// Mean returns the average observed latency.
+func (h *LatencyHist) Mean() float64 { return Ratio(h.Total, h.Count) }
+
+// Percentile returns an upper bound for the p-th percentile (0 < p <=
+// 100): the top of the bucket containing that rank.
+func (h *LatencyHist) Percentile(p float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(p / 100 * float64(h.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.Buckets[i]
+		if cum >= rank {
+			if i == histBuckets-1 {
+				return h.Max
+			}
+			return 1<<(i+1) - 1
+		}
+	}
+	return h.Max
+}
+
+// Add accumulates o into h.
+func (h *LatencyHist) Add(o *LatencyHist) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.Total += o.Total
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}
+
+// Sub removes `before` from h (for section deltas). Max is kept from h:
+// an upper bound, which is what diagnostics need.
+func (h *LatencyHist) Sub(before *LatencyHist) {
+	for i := range h.Buckets {
+		h.Buckets[i] -= before.Buckets[i]
+	}
+	h.Count -= before.Count
+	h.Total -= before.Total
+}
+
+// String renders a compact ASCII histogram.
+func (h *LatencyHist) String() string {
+	if h.Count == 0 {
+		return "(no observations)"
+	}
+	var peak uint64
+	for _, b := range h.Buckets {
+		if b > peak {
+			peak = b
+		}
+	}
+	var sb strings.Builder
+	for i, b := range h.Buckets {
+		if b == 0 {
+			continue
+		}
+		lo := uint64(1) << i
+		if i == 0 {
+			lo = 0
+		}
+		bar := int(40 * b / peak)
+		fmt.Fprintf(&sb, "%6d-%-6d %8d %s\n", lo, uint64(1)<<(i+1)-1, b, strings.Repeat("#", bar))
+	}
+	fmt.Fprintf(&sb, "count=%d mean=%.2f p50<=%d p95<=%d p99<=%d max=%d\n",
+		h.Count, h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max)
+	return sb.String()
+}

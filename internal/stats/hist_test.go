@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistObserve(t *testing.T) {
+	var h LatencyHist
+	for _, c := range []uint64{1, 1, 1, 7, 40, 40, 500} {
+		h.Observe(c)
+	}
+	if h.Count != 7 || h.Total != 590 || h.Max != 500 {
+		t.Fatalf("count=%d total=%d max=%d", h.Count, h.Total, h.Max)
+	}
+	if h.Buckets[0] != 3 { // [1,2)
+		t.Errorf("bucket 0 = %d", h.Buckets[0])
+	}
+	if h.Buckets[2] != 1 { // 7 in [4,8)
+		t.Errorf("bucket 2 = %d", h.Buckets[2])
+	}
+	if h.Buckets[5] != 2 { // 40 in [32,64)
+		t.Errorf("bucket 5 = %d", h.Buckets[5])
+	}
+	if got := h.Mean(); got != 590.0/7 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestHistPercentiles(t *testing.T) {
+	var h LatencyHist
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	if p := h.Percentile(50); p > 1 {
+		t.Errorf("p50 = %d, want <= 1", p)
+	}
+	if p := h.Percentile(99); p < 100 {
+		t.Errorf("p99 = %d, want >= 100", p)
+	}
+	var empty LatencyHist
+	if empty.Percentile(50) != 0 {
+		t.Error("empty percentile nonzero")
+	}
+}
+
+func TestHistOverflowBucket(t *testing.T) {
+	var h LatencyHist
+	h.Observe(1 << 40) // beyond the last bucket boundary
+	if h.Buckets[histBuckets-1] != 1 {
+		t.Error("huge latency not in last bucket")
+	}
+	if h.Percentile(100) != 1<<40 {
+		t.Errorf("p100 = %d", h.Percentile(100))
+	}
+}
+
+func TestHistAddSub(t *testing.T) {
+	var a, b LatencyHist
+	a.Observe(5)
+	a.Observe(50)
+	b.Observe(5)
+	sum := a
+	sum.Add(&b)
+	if sum.Count != 3 || sum.Total != 60 {
+		t.Fatalf("sum: %+v", sum)
+	}
+	sum.Sub(&a)
+	if sum.Count != 1 || sum.Total != 5 || sum.Buckets[2] != 1 {
+		t.Fatalf("after sub: %+v", sum)
+	}
+}
+
+func TestHistString(t *testing.T) {
+	var h LatencyHist
+	if !strings.Contains(h.String(), "no observations") {
+		t.Error("empty hist string")
+	}
+	h.Observe(1)
+	h.Observe(40)
+	out := h.String()
+	for _, want := range []string{"count=2", "p50", "max=40", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hist string missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: percentile is monotone in p, count/total stay consistent.
+func TestHistProperties(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var h LatencyHist
+		var total uint64
+		for _, v := range vals {
+			h.Observe(uint64(v))
+			total += uint64(v)
+		}
+		if h.Count != uint64(len(vals)) || h.Total != total {
+			return false
+		}
+		prev := uint64(0)
+		for _, p := range []float64{10, 50, 90, 99, 100} {
+			q := h.Percentile(p)
+			if q < prev {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

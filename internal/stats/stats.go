@@ -1,0 +1,197 @@
+// Package stats collects the measurements the Impulse paper reports and
+// renders them as text tables.
+//
+// The paper's Tables 1 and 2 report, per memory-system configuration:
+// execution time (cycles), L1/L2/memory hit ratios (each *load* classified
+// at exactly one level, with total loads as the divisor — see the caption
+// of Table 1), average load time in cycles, and speedup versus the
+// conventional system without prefetching. MemStats carries everything
+// needed to compute those plus the secondary quantities discussed in the
+// text (bus traffic, prefetch-buffer effectiveness, DRAM behaviour).
+package stats
+
+import "fmt"
+
+// MemStats accumulates event counts for one simulation run. Plain struct,
+// no synchronization: the simulated machine is single-threaded (a
+// single-issue CPU), as in the paper.
+type MemStats struct {
+	// CPU activity.
+	Instructions uint64 // issued instructions (1 cycle each, single-issue)
+	Loads        uint64
+	Stores       uint64
+
+	// Per-load classification: exactly one of these is incremented per
+	// load. A load that hits a controller prefetch buffer still counts as
+	// MemLoads (it went to the memory system), matching the paper.
+	L1LoadHits uint64
+	L2LoadHits uint64
+	MemLoads   uint64
+
+	// LoadCycles is the total cycles from load issue to data return,
+	// inclusive of the single issue cycle (an L1 hit contributes 1).
+	// AvgLoadTime() = LoadCycles/Loads, the paper's "average load time".
+	LoadCycles uint64
+
+	// Store classification (stores are write-around at L1).
+	L1StoreHits uint64
+	L2StoreHits uint64
+	MemStores   uint64
+	StoreCycles uint64
+
+	// TLB behaviour.
+	TLBMisses   uint64
+	TLBWalkCost uint64 // cycles spent in TLB miss handling
+
+	// Bus traffic.
+	BusTransactions uint64
+	BusBytes        uint64
+	BusBusyCycles   uint64
+
+	// Memory-controller activity.
+	ShadowReads     uint64 // cache-line fills served from shadow space
+	ShadowDRAMReads uint64 // DRAM line accesses performed to build them
+	MCTLBMisses     uint64 // controller PgTbl misses
+	MCPrefetchHits  uint64 // non-shadow demand fills served by the 2KB SRAM
+	MCPrefetches    uint64 // prefetches launched by the controller
+	SDescPrefHits   uint64 // shadow fills served by a descriptor buffer
+	SDescPrefetches uint64
+
+	// L1 hardware prefetcher.
+	L1Prefetches   uint64
+	L1PrefetchHits uint64 // demand L1 hits on prefetched-not-yet-used lines
+
+	// DRAM.
+	DRAMReads     uint64
+	DRAMWrites    uint64
+	DRAMRowHits   uint64
+	DRAMRowMisses uint64
+
+	// OS / Impulse software interface.
+	Syscalls      uint64
+	SyscallCycles uint64
+	FlushedLines  uint64
+	FlushCycles   uint64
+
+	// Cache write-back traffic.
+	L1Writebacks uint64
+	L2Writebacks uint64
+
+	// LoadLatency is the distribution behind AvgLoadTime.
+	LoadLatency LatencyHist
+}
+
+// Add accumulates o into s.
+func (s *MemStats) Add(o *MemStats) {
+	s.Instructions += o.Instructions
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.L1LoadHits += o.L1LoadHits
+	s.L2LoadHits += o.L2LoadHits
+	s.MemLoads += o.MemLoads
+	s.LoadCycles += o.LoadCycles
+	s.L1StoreHits += o.L1StoreHits
+	s.L2StoreHits += o.L2StoreHits
+	s.MemStores += o.MemStores
+	s.StoreCycles += o.StoreCycles
+	s.TLBMisses += o.TLBMisses
+	s.TLBWalkCost += o.TLBWalkCost
+	s.BusTransactions += o.BusTransactions
+	s.BusBytes += o.BusBytes
+	s.BusBusyCycles += o.BusBusyCycles
+	s.ShadowReads += o.ShadowReads
+	s.ShadowDRAMReads += o.ShadowDRAMReads
+	s.MCTLBMisses += o.MCTLBMisses
+	s.MCPrefetchHits += o.MCPrefetchHits
+	s.MCPrefetches += o.MCPrefetches
+	s.SDescPrefHits += o.SDescPrefHits
+	s.SDescPrefetches += o.SDescPrefetches
+	s.L1Prefetches += o.L1Prefetches
+	s.L1PrefetchHits += o.L1PrefetchHits
+	s.DRAMReads += o.DRAMReads
+	s.DRAMWrites += o.DRAMWrites
+	s.DRAMRowHits += o.DRAMRowHits
+	s.DRAMRowMisses += o.DRAMRowMisses
+	s.Syscalls += o.Syscalls
+	s.SyscallCycles += o.SyscallCycles
+	s.FlushedLines += o.FlushedLines
+	s.FlushCycles += o.FlushCycles
+	s.L1Writebacks += o.L1Writebacks
+	s.L2Writebacks += o.L2Writebacks
+	s.LoadLatency.Add(&o.LoadLatency)
+}
+
+// Delta returns after - before, field-wise. Used to measure a timed
+// section of a run (the NPB convention: initialization is not timed).
+func Delta(before, after *MemStats) MemStats {
+	d := *after
+	d.Instructions -= before.Instructions
+	d.Loads -= before.Loads
+	d.Stores -= before.Stores
+	d.L1LoadHits -= before.L1LoadHits
+	d.L2LoadHits -= before.L2LoadHits
+	d.MemLoads -= before.MemLoads
+	d.LoadCycles -= before.LoadCycles
+	d.L1StoreHits -= before.L1StoreHits
+	d.L2StoreHits -= before.L2StoreHits
+	d.MemStores -= before.MemStores
+	d.StoreCycles -= before.StoreCycles
+	d.TLBMisses -= before.TLBMisses
+	d.TLBWalkCost -= before.TLBWalkCost
+	d.BusTransactions -= before.BusTransactions
+	d.BusBytes -= before.BusBytes
+	d.BusBusyCycles -= before.BusBusyCycles
+	d.ShadowReads -= before.ShadowReads
+	d.ShadowDRAMReads -= before.ShadowDRAMReads
+	d.MCTLBMisses -= before.MCTLBMisses
+	d.MCPrefetchHits -= before.MCPrefetchHits
+	d.MCPrefetches -= before.MCPrefetches
+	d.SDescPrefHits -= before.SDescPrefHits
+	d.SDescPrefetches -= before.SDescPrefetches
+	d.L1Prefetches -= before.L1Prefetches
+	d.L1PrefetchHits -= before.L1PrefetchHits
+	d.DRAMReads -= before.DRAMReads
+	d.DRAMWrites -= before.DRAMWrites
+	d.DRAMRowHits -= before.DRAMRowHits
+	d.DRAMRowMisses -= before.DRAMRowMisses
+	d.Syscalls -= before.Syscalls
+	d.SyscallCycles -= before.SyscallCycles
+	d.FlushedLines -= before.FlushedLines
+	d.FlushCycles -= before.FlushCycles
+	d.L1Writebacks -= before.L1Writebacks
+	d.L2Writebacks -= before.L2Writebacks
+	d.LoadLatency.Sub(&before.LoadLatency)
+	return d
+}
+
+// Ratio returns num/den as a float, 0 when den == 0.
+func Ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// L1HitRatio is L1 load hits over total loads.
+func (s *MemStats) L1HitRatio() float64 { return Ratio(s.L1LoadHits, s.Loads) }
+
+// L2HitRatio is L2 load hits over total loads (the paper's convention:
+// the divisor is total loads, not L2 accesses).
+func (s *MemStats) L2HitRatio() float64 { return Ratio(s.L2LoadHits, s.Loads) }
+
+// MemHitRatio is loads served by the memory system over total loads.
+func (s *MemStats) MemHitRatio() float64 { return Ratio(s.MemLoads, s.Loads) }
+
+// AvgLoadTime is the paper's "average load time" in cycles.
+func (s *MemStats) AvgLoadTime() float64 { return Ratio(s.LoadCycles, s.Loads) }
+
+// CheckLoadClassification verifies the invariant that every load was
+// classified at exactly one level.
+func (s *MemStats) CheckLoadClassification() error {
+	sum := s.L1LoadHits + s.L2LoadHits + s.MemLoads
+	if sum != s.Loads {
+		return fmt.Errorf("stats: load classification mismatch: L1 %d + L2 %d + mem %d = %d, loads %d",
+			s.L1LoadHits, s.L2LoadHits, s.MemLoads, sum, s.Loads)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatios(t *testing.T) {
+	s := MemStats{
+		Loads:      1000,
+		L1LoadHits: 646,
+		L2LoadHits: 299,
+		MemLoads:   55,
+		LoadCycles: 4750,
+	}
+	if err := s.CheckLoadClassification(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.L1HitRatio(); got != 0.646 {
+		t.Errorf("L1HitRatio = %v", got)
+	}
+	if got := s.L2HitRatio(); got != 0.299 {
+		t.Errorf("L2HitRatio = %v", got)
+	}
+	if got := s.MemHitRatio(); got != 0.055 {
+		t.Errorf("MemHitRatio = %v", got)
+	}
+	if got := s.AvgLoadTime(); got != 4.75 {
+		t.Errorf("AvgLoadTime = %v", got)
+	}
+}
+
+func TestRatioZeroDenominator(t *testing.T) {
+	var s MemStats
+	if s.L1HitRatio() != 0 || s.AvgLoadTime() != 0 {
+		t.Error("empty stats should produce zero ratios")
+	}
+}
+
+func TestClassificationMismatchDetected(t *testing.T) {
+	s := MemStats{Loads: 10, L1LoadHits: 5, L2LoadHits: 2, MemLoads: 2}
+	if err := s.CheckLoadClassification(); err == nil {
+		t.Error("mismatch not detected")
+	}
+}
+
+func TestAddAccumulatesEveryField(t *testing.T) {
+	// Fill a with 1s via Add of two halves and verify a selection of
+	// fields; Add must not drop fields when MemStats grows.
+	a := &MemStats{}
+	b := &MemStats{
+		Instructions: 1, Loads: 2, Stores: 3, L1LoadHits: 4, L2LoadHits: 5,
+		MemLoads: 6, LoadCycles: 7, TLBMisses: 8, BusBytes: 9,
+		ShadowReads: 10, MCPrefetchHits: 11, DRAMReads: 12, Syscalls: 13,
+		FlushedLines: 14, L2Writebacks: 15, SDescPrefHits: 16,
+		L1Prefetches: 17, DRAMRowHits: 18, SyscallCycles: 19,
+	}
+	a.Add(b)
+	a.Add(b)
+	if a.Loads != 4 || a.BusBytes != 18 || a.SDescPrefHits != 32 ||
+		a.L2Writebacks != 30 || a.SyscallCycles != 38 {
+		t.Errorf("Add accumulation wrong: %+v", a)
+	}
+}
+
+func TestRatioProperty(t *testing.T) {
+	f := func(n, d uint32) bool {
+		r := Ratio(uint64(n), uint64(d))
+		if d == 0 {
+			return r == 0
+		}
+		return r >= 0 && r == float64(n)/float64(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Simulated results", "Standard", "Impulse", "L1 cache", "both")
+	tb.Section("Conventional memory system")
+	tb.AddRow("Time", "2.81G", "2.69G", "2.51G", "2.49G")
+	tb.AddPercentRow("L1 hit ratio", 0.646, 0.646, 0.677, 0.677)
+	tb.AddRow("avg load time", 4.75, 4.38, 3.56, 3.54)
+	out := tb.Render()
+	for _, want := range []string{
+		"Simulated results", "Conventional memory system",
+		"64.6%", "67.7%", "4.75", "2.81G", "Standard", "both",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Data rows (non-section) must all have equal rendered width.
+	var width int
+	for _, l := range lines[2:] { // skip title + rule
+		if strings.HasPrefix(l, "Conventional") || strings.HasPrefix(l, "-") {
+			continue
+		}
+		if width == 0 {
+			width = len(l)
+		}
+	}
+	if width == 0 {
+		t.Fatal("no data rows rendered")
+	}
+}
+
+func TestFormatCycles(t *testing.T) {
+	cases := []struct {
+		c    uint64
+		want string
+	}{
+		{999, "999"}, {12_500, "12.5K"}, {2_810_000, "2.81M"},
+		{2_810_000_000, "2.81G"},
+	}
+	for _, c := range cases {
+		if got := FormatCycles(c.c); got != c.want {
+			t.Errorf("FormatCycles(%d) = %q, want %q", c.c, got, c.want)
+		}
+	}
+}
+
+func TestTableSectionlessAndMixedCells(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("ints", 1, 2)
+	tb.AddRow("mixed", "x", 3.14159)
+	out := tb.Render()
+	for _, want := range []string{"ints", "3.14", "x", "A", "B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatCyclesBoundaries(t *testing.T) {
+	cases := []struct {
+		c    uint64
+		want string
+	}{
+		{0, "0"}, {9999, "9999"}, {10_000, "10.0K"},
+		{999_999, "1000.0K"}, {1_000_000, "1.00M"},
+		{999_999_999, "1000.00M"}, {1_000_000_000, "1.00G"},
+	}
+	for _, c := range cases {
+		if got := FormatCycles(c.c); got != c.want {
+			t.Errorf("FormatCycles(%d) = %q, want %q", c.c, got, c.want)
+		}
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	var a MemStats
+	a.Loads, a.L1LoadHits, a.MemLoads, a.L2LoadHits = 100, 60, 10, 30
+	a.LoadLatency.Observe(5)
+	b := a
+	b.Loads, b.L1LoadHits = 150, 110
+	b.LoadLatency.Observe(7)
+	d := Delta(&a, &b)
+	if d.Loads != 50 || d.L1LoadHits != 50 || d.MemLoads != 0 {
+		t.Errorf("delta: %+v", d)
+	}
+	if d.LoadLatency.Count != 1 || d.LoadLatency.Total != 7 {
+		t.Errorf("latency delta: %+v", d.LoadLatency)
+	}
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders rows of labeled values as aligned monospace text, in the
+// style of the paper's Tables 1 and 2: one metric per row, one system
+// configuration per column.
+type Table struct {
+	Title   string
+	Columns []string   // column headers (configurations)
+	rows    []tableRow // metric rows
+}
+
+type tableRow struct {
+	label string
+	cells []string
+	rule  bool // horizontal rule / section header row
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Section inserts a full-width section header, like the paper's
+// "Conventional memory system" / "Impulse with scatter/gather remapping"
+// band rows.
+func (t *Table) Section(name string) {
+	t.rows = append(t.rows, tableRow{label: name, rule: true})
+}
+
+// AddRow appends a metric row. Cells are formatted with %v unless they are
+// float64, which use %.2f, or preformatted strings.
+func (t *Table) AddRow(label string, cells ...interface{}) {
+	r := tableRow{label: label, cells: make([]string, len(cells))}
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			r.cells[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			r.cells[i] = v
+		default:
+			r.cells[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, r)
+}
+
+// AddPercentRow appends a row of ratios formatted as percentages with one
+// decimal, e.g. 0.646 -> "64.6%".
+func (t *Table) AddPercentRow(label string, ratios ...float64) {
+	cells := make([]interface{}, len(ratios))
+	for i, r := range ratios {
+		cells[i] = fmt.Sprintf("%.1f%%", r*100)
+	}
+	t.AddRow(label, cells...)
+}
+
+// Render returns the formatted table.
+func (t *Table) Render() string {
+	ncol := len(t.Columns)
+	widths := make([]int, ncol+1)
+	for _, c := range append([]string{""}, t.Columns...) {
+		_ = c
+	}
+	widths[0] = 0
+	for i, c := range t.Columns {
+		widths[i+1] = len(c)
+	}
+	for _, r := range t.rows {
+		if r.rule {
+			continue
+		}
+		if len(r.label) > widths[0] {
+			widths[0] = len(r.label)
+		}
+		for i, c := range r.cells {
+			if i+1 < len(widths) && len(c) > widths[i+1] {
+				widths[i+1] = len(c)
+			}
+		}
+	}
+	total := widths[0]
+	for _, w := range widths[1:] {
+		total += w + 2
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+		b.WriteString(strings.Repeat("=", max(total, len(t.Title))))
+		b.WriteByte('\n')
+	}
+	// Header.
+	fmt.Fprintf(&b, "%-*s", widths[0], "")
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "  %*s", widths[i+1], c)
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		if r.rule {
+			fmt.Fprintf(&b, "%s\n", r.label)
+			continue
+		}
+		fmt.Fprintf(&b, "%-*s", widths[0], r.label)
+		for i, c := range r.cells {
+			w := 0
+			if i+1 < len(widths) {
+				w = widths[i+1]
+			}
+			fmt.Fprintf(&b, "  %*s", w, c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FormatCycles renders a cycle count the way the paper does ("Times are in
+// billions of cycles") but adaptively: raw counts below a million, then
+// millions/billions with two decimals.
+func FormatCycles(c uint64) string {
+	switch {
+	case c >= 1_000_000_000:
+		return fmt.Sprintf("%.2fG", float64(c)/1e9)
+	case c >= 1_000_000:
+		return fmt.Sprintf("%.2fM", float64(c)/1e6)
+	case c >= 10_000:
+		return fmt.Sprintf("%.1fK", float64(c)/1e3)
+	default:
+		return fmt.Sprintf("%d", c)
+	}
+}

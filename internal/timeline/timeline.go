@@ -1,0 +1,49 @@
+// Package timeline provides the simulator's notion of time and of
+// exclusive hardware resources.
+//
+// The simulator is execution-driven, not event-driven: a single-issue CPU
+// walks forward through the program, and every hardware unit a memory
+// access touches (bus, L2 port, controller, DRAM banks) is modeled as a
+// Resource with a busy-until horizon. Background activity (prefetches,
+// writebacks) advances those horizons without blocking the CPU, which is
+// how the model captures contention — e.g. the paper's observation that L1
+// prefetching can hurt matrix product by contending for the L2.
+package timeline
+
+// Time is a cycle count since simulation start.
+type Time = uint64
+
+// Resource serializes use of one hardware unit. The zero value is an idle
+// resource.
+type Resource struct {
+	busyUntil  Time
+	busyCycles uint64
+	uses       uint64
+}
+
+// Acquire reserves the resource for dur cycles starting no earlier than at,
+// and no earlier than the end of any previous reservation. It returns the
+// reservation's start and end times.
+func (r *Resource) Acquire(at Time, dur uint64) (start, end Time) {
+	start = at
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	end = start + dur
+	r.busyUntil = end
+	r.busyCycles += dur
+	r.uses++
+	return start, end
+}
+
+// BusyUntil returns the time at which the resource becomes free.
+func (r *Resource) BusyUntil() Time { return r.busyUntil }
+
+// BusyCycles returns the cumulative cycles of reservation.
+func (r *Resource) BusyCycles() uint64 { return r.busyCycles }
+
+// Uses returns how many reservations have been made.
+func (r *Resource) Uses() uint64 { return r.uses }
+
+// Reset returns the resource to idle and clears its accounting.
+func (r *Resource) Reset() { *r = Resource{} }

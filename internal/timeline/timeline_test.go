@@ -1,0 +1,64 @@
+package timeline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAcquireIdle(t *testing.T) {
+	var r Resource
+	s, e := r.Acquire(100, 10)
+	if s != 100 || e != 110 {
+		t.Errorf("Acquire idle: start=%d end=%d", s, e)
+	}
+}
+
+func TestAcquireSerializes(t *testing.T) {
+	var r Resource
+	r.Acquire(100, 10)
+	s, e := r.Acquire(105, 5) // arrives while busy
+	if s != 110 || e != 115 {
+		t.Errorf("Acquire busy: start=%d end=%d, want 110/115", s, e)
+	}
+	s, e = r.Acquire(200, 5) // arrives after idle again
+	if s != 200 || e != 205 {
+		t.Errorf("Acquire re-idle: start=%d end=%d", s, e)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	var r Resource
+	r.Acquire(0, 4)
+	r.Acquire(0, 6)
+	if r.BusyCycles() != 10 || r.Uses() != 2 || r.BusyUntil() != 10 {
+		t.Errorf("accounting: busy=%d uses=%d until=%d", r.BusyCycles(), r.Uses(), r.BusyUntil())
+	}
+	r.Reset()
+	if r.BusyCycles() != 0 || r.Uses() != 0 || r.BusyUntil() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+// Property: reservations never overlap and never start before the request.
+func TestNoOverlapProperty(t *testing.T) {
+	f := func(reqs []struct {
+		At  uint16
+		Dur uint8
+	}) bool {
+		var r Resource
+		var prevEnd Time
+		var at Time
+		for _, q := range reqs {
+			at += Time(q.At) // monotone request times, as the CPU produces
+			s, e := r.Acquire(at, uint64(q.Dur))
+			if s < at || s < prevEnd || e != s+uint64(q.Dur) {
+				return false
+			}
+			prevEnd = e
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+package tracefile
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"impulse/internal/addr"
+	"impulse/internal/core"
+	"impulse/internal/sim"
+)
+
+func newSys(t *testing.T, pf core.PrefetchPolicy) *core.System {
+	t.Helper()
+	s, err := core.NewSystem(core.Options{Controller: core.Impulse, Prefetch: pf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{KindLoad, 8, 0x400000},
+		{KindStore, 4, 0x400008},
+		{KindLoad, 4, 0x401000},
+	}
+	for _, r := range recs {
+		w.Add(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("short")); err == nil {
+		t.Error("short header accepted")
+	}
+	if _, err := Read(strings.NewReader("NOTMAGIC--")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Add(Record{KindLoad, 8, 0})
+	w.Flush()
+	// Truncate mid-record.
+	trunc := buf.Bytes()[:len(buf.Bytes())-3]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated record accepted")
+	}
+	// Corrupt kind.
+	bad := append([]byte{}, buf.Bytes()...)
+	bad[8] = 7
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// Corrupt size.
+	bad2 := append([]byte{}, buf.Bytes()...)
+	bad2[9] = 3
+	if _, err := Read(bytes.NewReader(bad2)); err == nil {
+		t.Error("bad size accepted")
+	}
+}
+
+// Capture a run's trace, replay it, and compare the memory-system
+// behaviour: identical access stream must produce identical hit
+// classification on an identical machine.
+func TestCaptureReplayFidelity(t *testing.T) {
+	capture := newSys(t, core.PrefetchNone)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture.SetTracer(w.Attach())
+
+	x := capture.MustAlloc(64<<10, 0)
+	st0 := capture.Snapshot()
+	t0 := capture.Now()
+	for pass := 0; pass < 2; pass++ {
+		for off := uint64(0); off < 64<<10; off += 8 {
+			capture.Load64(x + addr.VAddr(off))
+		}
+	}
+	for off := uint64(0); off < 4096; off += 8 {
+		capture.Store64(x+addr.VAddr(off), off)
+	}
+	liveCycles := capture.Now() - t0
+	liveLoads := capture.St.Loads - st0.Loads
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(recs)) != w.Count() {
+		t.Fatalf("read %d of %d records", len(recs), w.Count())
+	}
+
+	replaySys := newSys(t, core.PrefetchNone)
+	row, err := Replay(replaySys, recs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Stats.Loads != liveLoads {
+		t.Errorf("replay loads %d != live %d", row.Stats.Loads, liveLoads)
+	}
+	// Hit classification depends only on the access stream and machine
+	// geometry — identical machines must agree exactly.
+	liveDelta := capture.Snapshot()
+	if row.Stats.L1LoadHits != liveDelta.L1LoadHits-st0.L1LoadHits {
+		t.Errorf("replay L1 hits %d != live %d",
+			row.Stats.L1LoadHits, liveDelta.L1LoadHits-st0.L1LoadHits)
+	}
+	if row.Stats.MemLoads != liveDelta.MemLoads-st0.MemLoads {
+		t.Errorf("replay mem loads %d != live %d",
+			row.Stats.MemLoads, liveDelta.MemLoads-st0.MemLoads)
+	}
+	// Cycles agree up to the TLB-warmup difference (replay pre-maps).
+	if row.Cycles == 0 || row.Cycles > liveCycles+10000 {
+		t.Errorf("replay cycles %d vs live %d", row.Cycles, liveCycles)
+	}
+}
+
+// Replaying one trace under different configurations ranks them.
+func TestReplayComparesConfigurations(t *testing.T) {
+	capture := newSys(t, core.PrefetchNone)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	capture.SetTracer(w.Attach())
+	x := capture.MustAlloc(256<<10, 0)
+	for off := uint64(0); off < 256<<10; off += 8 {
+		capture.Load64(x + addr.VAddr(off))
+	}
+	w.Flush()
+	recs, _ := Read(bytes.NewReader(buf.Bytes()))
+
+	rowNone, err := Replay(newSys(t, core.PrefetchNone), recs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowPF, err := Replay(newSys(t, core.PrefetchBoth), recs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowPF.Cycles >= rowNone.Cycles {
+		t.Errorf("prefetching replay (%d) not faster than baseline (%d)", rowPF.Cycles, rowNone.Cycles)
+	}
+}
+
+func TestShadowAccessesNotRecorded(t *testing.T) {
+	s := newSys(t, core.PrefetchNone)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	s.SetTracer(w.Attach())
+	x := s.MustAlloc(4096, 0)
+	vec := s.MustAlloc(64, 0)
+	for k := 0; k < 16; k++ {
+		s.Store32(vec+addr.VAddr(4*k), uint32(k))
+	}
+	alias, err := s.MapScatterGather(x, 4096, 8, vec, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := w.Count()
+	s.LoadF64(alias) // shadow access: must not be recorded
+	if w.Count() != before {
+		t.Error("shadow access recorded")
+	}
+	var _ sim.Tracer = w.Attach() // type check
+}
+
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.n += len(p)
+	if f.n > 16 {
+		return 0, errFail
+	}
+	return len(p), nil
+}
+
+var errFail = errors.New("synthetic write failure")
+
+func TestWriterErrorSticky(t *testing.T) {
+	w, err := NewWriter(&failingWriter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		w.Add(Record{KindLoad, 8, uint64(i)})
+	}
+	// bufio defers the failure to Flush at the latest.
+	if err := w.Flush(); err == nil {
+		t.Error("write failure not surfaced")
+	}
+}

@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"testing"
+
+	"impulse/internal/core"
+)
+
+func newTestSystem(t *testing.T, kind core.ControllerKind, pf core.PrefetchPolicy) *core.System {
+	t.Helper()
+	s, err := core.NewSystem(core.Options{Controller: kind, Prefetch: pf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunCGMatchesReferenceAllModes(t *testing.T) {
+	par := CGClassTiny()
+	m := MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
+	wantZeta, wantRNorm := RefCG(m, par)
+
+	cases := []struct {
+		kind core.ControllerKind
+		mode CGMode
+		pf   core.PrefetchPolicy
+	}{
+		{core.Conventional, CGConventional, core.PrefetchNone},
+		{core.Conventional, CGConventional, core.PrefetchL1},
+		{core.Impulse, CGConventional, core.PrefetchMC},
+		{core.Impulse, CGScatterGather, core.PrefetchNone},
+		{core.Impulse, CGScatterGather, core.PrefetchBoth},
+		{core.Impulse, CGRecolor, core.PrefetchNone},
+		{core.Impulse, CGRecolor, core.PrefetchMC},
+	}
+	for _, c := range cases {
+		s := newTestSystem(t, c.kind, c.pf)
+		res, err := RunCG(s, par, c.mode, m)
+		if err != nil {
+			t.Fatalf("%v/%v: %v", c.mode, c.pf, err)
+		}
+		if res.Zeta != wantZeta {
+			t.Errorf("%v/%v: zeta %v != reference %v", c.mode, c.pf, res.Zeta, wantZeta)
+		}
+		if res.RNorm != wantRNorm {
+			t.Errorf("%v/%v: rnorm %v != reference %v", c.mode, c.pf, res.RNorm, wantRNorm)
+		}
+		if res.Row.Cycles == 0 || res.NNZ != m.NNZ() {
+			t.Errorf("%v/%v: implausible result %+v", c.mode, c.pf, res)
+		}
+	}
+}
+
+func TestCGScatterGatherStats(t *testing.T) {
+	par := CGClassTiny()
+	m := MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
+	s := newTestSystem(t, core.Impulse, core.PrefetchNone)
+	res, err := RunCG(s, par, CGScatterGather, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Row.Stats
+	if st.ShadowReads == 0 || st.ShadowDRAMReads == 0 {
+		t.Errorf("gather path unused: %+v", st)
+	}
+	// The gather mode issues fewer loads than conventional (no CPU
+	// indirection loads).
+	s2 := newTestSystem(t, core.Conventional, core.PrefetchNone)
+	res2, err := RunCG(s2, par, CGConventional, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Loads >= res2.Row.Stats.Loads {
+		t.Errorf("scatter/gather loads %d not below conventional %d", st.Loads, res2.Row.Stats.Loads)
+	}
+}
+
+func TestCGScatterGatherRequiresImpulse(t *testing.T) {
+	par := CGClassTiny()
+	m := MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
+	s := newTestSystem(t, core.Conventional, core.PrefetchNone)
+	if _, err := RunCG(s, par, CGScatterGather, m); err == nil {
+		t.Error("scatter/gather on conventional controller succeeded")
+	}
+}
+
+func TestCGDimensionMismatch(t *testing.T) {
+	par := CGClassTiny()
+	m := MakeA(par.N/2, par.Nonzer, par.RCond, par.Shift)
+	s := newTestSystem(t, core.Conventional, core.PrefetchNone)
+	if _, err := RunCG(s, par, CGConventional, m); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+// TestCGPerformanceShape checks the paper's headline ordering on a
+// geometry large enough for memory behaviour to matter: scatter/gather
+// beats conventional, and prefetching improves scatter/gather further
+// (Table 1's 1.33 -> 1.67 progression).
+func TestCGPerformanceShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large CG geometry")
+	}
+	par := CGPaperGeometry()
+	par.CGIts = 2 // enough SMVPs to expose the memory behaviour
+	m := MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
+
+	run := func(kind core.ControllerKind, mode CGMode, pf core.PrefetchPolicy) core.Row {
+		s := newTestSystem(t, kind, pf)
+		res, err := RunCG(s, par, mode, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Row
+	}
+	conv := run(core.Conventional, CGConventional, core.PrefetchNone)
+	sg := run(core.Impulse, CGScatterGather, core.PrefetchNone)
+	sgPF := run(core.Impulse, CGScatterGather, core.PrefetchMC)
+
+	if sg.Cycles >= conv.Cycles {
+		t.Errorf("scatter/gather (%d) not faster than conventional (%d)", sg.Cycles, conv.Cycles)
+	}
+	if sgPF.Cycles >= sg.Cycles {
+		t.Errorf("prefetching did not improve scatter/gather: %d vs %d", sgPF.Cycles, sg.Cycles)
+	}
+	if sg.L1Ratio <= conv.L1Ratio {
+		t.Errorf("scatter/gather L1 ratio %.3f not above conventional %.3f", sg.L1Ratio, conv.L1Ratio)
+	}
+}

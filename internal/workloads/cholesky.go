@@ -1,0 +1,372 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"impulse/internal/addr"
+	"impulse/internal/core"
+)
+
+// Tiled Cholesky factorization — §3.2 names "LU decomposition and dense
+// Cholesky factorization" as the dense kernels tiling serves, and
+// evaluates matrix product as the simplest of the family. This file
+// extends the reproduction to Cholesky itself: a right-looking tiled
+// in-place factorization A = L·Lᵀ on the lower triangle, with the same
+// three treatments as Table 2 (no-copy tiles, software copying, Impulse
+// tile remapping). The trailing-matrix update (GEMM, the dominant cost)
+// is what the tile aliases accelerate.
+
+// CholeskyMode selects the tiling strategy.
+type CholeskyMode int
+
+const (
+	// CholNoCopy factors in place over the original layout.
+	CholNoCopy CholeskyMode = iota
+	// CholCopy copies tiles into contiguous buffers for the update phase.
+	CholCopy
+	// CholRemap uses Impulse strided aliases for the update phase.
+	CholRemap
+)
+
+func (m CholeskyMode) String() string {
+	switch m {
+	case CholNoCopy:
+		return "no-copy"
+	case CholCopy:
+		return "copy"
+	case CholRemap:
+		return "remap"
+	default:
+		return fmt.Sprintf("CholeskyMode(%d)", int(m))
+	}
+}
+
+// CholeskyResult carries the verification checksum and measured Row.
+type CholeskyResult struct {
+	Checksum float64
+	Row      core.Row
+}
+
+// cholInnerTicks matches the matrix-product inner-loop charge.
+const cholInnerTicks = 6
+
+// RunCholesky factors the deterministic SPD test matrix of dimension n
+// (tile t; same geometry rules as MMP) and returns a checksum over L.
+func RunCholesky(s *core.System, n, t int, mode CholeskyMode) (CholeskyResult, error) {
+	if err := (MMPParams{N: n, Tile: t}).Validate(); err != nil {
+		return CholeskyResult{}, err
+	}
+	nn, tt := uint64(n), uint64(t)
+	a, err := s.Alloc(nn*nn*8, 0)
+	if err != nil {
+		return CholeskyResult{}, err
+	}
+	// Untimed setup: the SPD test matrix.
+	src := cholInput(n)
+	for i := uint64(0); i < nn*nn; i++ {
+		s.StoreF64(a+addr.VAddr(8*i), src[i])
+	}
+
+	sec := s.BeginSection()
+	switch mode {
+	case CholNoCopy:
+		err = cholFactor(s, nn, tt, a, nil)
+	case CholCopy:
+		err = cholFactorCopy(s, nn, tt, a)
+	case CholRemap:
+		err = cholFactorRemap(s, nn, tt, a)
+	default:
+		err = fmt.Errorf("workloads: unknown cholesky mode %v", mode)
+	}
+	if err != nil {
+		return CholeskyResult{}, err
+	}
+	row, err := sec.End(fmt.Sprintf("Cholesky %v/%v", mode, s.Prefetch()))
+	if err != nil {
+		return CholeskyResult{}, err
+	}
+
+	var sum float64
+	for i := uint64(0); i < nn; i++ {
+		for j := uint64(0); j <= i; j++ {
+			sum += s.LoadF64(a+addr.VAddr(8*(i*nn+j))) * float64((i+2*j)%11+1)
+		}
+	}
+	return CholeskyResult{Checksum: sum, Row: row}, nil
+}
+
+// cholInput builds the deterministic SPD input: B·Bᵀ scaled + n·I.
+func cholInput(n int) []float64 {
+	b := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b[i*n+j] = float64((i*13+j*7)%9) / 9
+		}
+	}
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var dot float64
+			for k := 0; k < n; k++ {
+				dot += b[i*n+k] * b[j*n+k]
+			}
+			v := dot / float64(n)
+			a[i*n+j] = v
+			a[j*n+i] = v
+		}
+		a[i*n+i] += 2
+	}
+	return a
+}
+
+// tileOps provides the three tile-level operations on (possibly aliased)
+// dense tile views. base addresses index with the given row stride (in
+// elements).
+type tileView struct {
+	base   addr.VAddr
+	stride uint64 // elements between rows
+}
+
+func (v tileView) at(i, j uint64) addr.VAddr {
+	return v.base + addr.VAddr(8*(i*v.stride+j))
+}
+
+// potrf factors a t x t diagonal tile in place (unblocked Cholesky).
+func potrf(s *core.System, t uint64, a tileView) error {
+	for j := uint64(0); j < t; j++ {
+		d := s.LoadF64(a.at(j, j))
+		for k := uint64(0); k < j; k++ {
+			l := s.LoadF64(a.at(j, k))
+			d -= l * l
+			s.Tick(cholInnerTicks)
+		}
+		if d <= 0 {
+			return fmt.Errorf("workloads: cholesky input not positive definite (pivot %v at %d)", d, j)
+		}
+		d = math.Sqrt(d)
+		s.StoreF64(a.at(j, j), d)
+		s.Tick(20) // sqrt
+		for i := j + 1; i < t; i++ {
+			v := s.LoadF64(a.at(i, j))
+			for k := uint64(0); k < j; k++ {
+				v -= s.LoadF64(a.at(i, k)) * s.LoadF64(a.at(j, k))
+				s.Tick(cholInnerTicks)
+			}
+			s.StoreF64(a.at(i, j), v/d)
+			s.Tick(8) // divide
+		}
+	}
+	return nil
+}
+
+// trsm solves X · L21ᵀ = A21 in place: tile b becomes b · inv(l)ᵀ for
+// lower-triangular l (the factored diagonal tile).
+func trsm(s *core.System, t uint64, l, b tileView) {
+	for i := uint64(0); i < t; i++ {
+		for j := uint64(0); j < t; j++ {
+			v := s.LoadF64(b.at(i, j))
+			for k := uint64(0); k < j; k++ {
+				v -= s.LoadF64(b.at(i, k)) * s.LoadF64(l.at(j, k))
+				s.Tick(cholInnerTicks)
+			}
+			s.StoreF64(b.at(i, j), v/s.LoadF64(l.at(j, j)))
+			s.Tick(8)
+		}
+	}
+}
+
+// gemmUpdate computes c -= a · bᵀ over t x t tiles (the trailing update;
+// syrk when a == b positions coincide, handled identically).
+func gemmUpdate(s *core.System, t uint64, c, a, b tileView) {
+	for i := uint64(0); i < t; i++ {
+		for j := uint64(0); j < t; j++ {
+			v := s.LoadF64(c.at(i, j))
+			for k := uint64(0); k < t; k++ {
+				v -= s.LoadF64(a.at(i, k)) * s.LoadF64(b.at(j, k))
+				s.Tick(cholInnerTicks)
+			}
+			s.StoreF64(c.at(i, j), v)
+			s.Tick(2)
+		}
+	}
+}
+
+// cholFactor is the no-copy tiled factorization. views, if non-nil,
+// wraps tile addresses (used by the remap variant for the GEMM phase).
+func cholFactor(s *core.System, n, t uint64, a addr.VAddr, gemm func(ci, cj, ai, ak, bj uint64) error) error {
+	tiles := n / t
+	tv := func(ti, tj uint64) tileView {
+		return tileView{base: a + addr.VAddr(8*(ti*t*n+tj*t)), stride: n}
+	}
+	for k := uint64(0); k < tiles; k++ {
+		if err := potrf(s, t, tv(k, k)); err != nil {
+			return err
+		}
+		for i := k + 1; i < tiles; i++ {
+			trsm(s, t, tv(k, k), tv(i, k))
+		}
+		for i := k + 1; i < tiles; i++ {
+			for j := k + 1; j <= i; j++ {
+				if gemm != nil {
+					if err := gemm(i, j, i, k, j); err != nil {
+						return err
+					}
+				} else {
+					gemmUpdate(s, t, tv(i, j), tv(i, k), tv(j, k))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// cholFactorCopy copies the three GEMM tiles into contiguous buffers.
+func cholFactorCopy(s *core.System, n, t uint64, a addr.VAddr) error {
+	tileBytes := t * t * 8
+	bufC, err := s.Alloc(tileBytes, s.Config().L1.Bytes)
+	if err != nil {
+		return err
+	}
+	bufA, err := s.Alloc(tileBytes, 0)
+	if err != nil {
+		return err
+	}
+	bufB, err := s.Alloc(tileBytes, 0)
+	if err != nil {
+		return err
+	}
+	tileBase := func(ti, tj uint64) addr.VAddr { return a + addr.VAddr(8*(ti*t*n+tj*t)) }
+	cp := func(dst addr.VAddr, ti, tj uint64, out bool) {
+		for i := uint64(0); i < t; i++ {
+			for j := uint64(0); j < t; j++ {
+				src := tileBase(ti, tj) + addr.VAddr(8*(i*n+j))
+				d := dst + addr.VAddr(8*(i*t+j))
+				if out {
+					s.StoreF64(src, s.LoadF64(d))
+				} else {
+					s.StoreF64(d, s.LoadF64(src))
+				}
+				s.Tick(1)
+			}
+		}
+	}
+	gemm := func(ci, cj, ai, ak, bj uint64) error {
+		cp(bufC, ci, cj, false)
+		cp(bufA, ai, ak, false)
+		cp(bufB, bj, ak, false)
+		gemmUpdate(s, t,
+			tileView{bufC, t}, tileView{bufA, t}, tileView{bufB, t})
+		cp(bufC, ci, cj, true)
+		return nil
+	}
+	return cholFactor(s, n, t, a, gemm)
+}
+
+// cholFactorRemap uses Impulse strided aliases for the GEMM tiles.
+func cholFactorRemap(s *core.System, n, t uint64, a addr.VAddr) error {
+	seg := s.Config().L1.Bytes / 4
+	mk := func(off uint64) (*core.StridedAlias, error) {
+		return s.NewStridedAlias(t*8, n*8, t, off)
+	}
+	tc, err := mk(0)
+	if err != nil {
+		return err
+	}
+	ta, err := mk(seg)
+	if err != nil {
+		return err
+	}
+	tb, err := mk(2 * seg)
+	if err != nil {
+		return err
+	}
+	defer func() { s.Release(tc); s.Release(ta); s.Release(tb) }()
+	tileBase := func(ti, tj uint64) addr.VAddr { return a + addr.VAddr(8*(ti*t*n+tj*t)) }
+	span := (t-1)*n*8 + t*8
+	gemm := func(ci, cj, ai, ak, bj uint64) error {
+		if err := s.Retarget(tc, tileBase(ci, cj), span, core.Flush); err != nil {
+			return err
+		}
+		if err := s.Retarget(ta, tileBase(ai, ak), span, core.Purge); err != nil {
+			return err
+		}
+		if err := s.Retarget(tb, tileBase(bj, ak), span, core.Purge); err != nil {
+			return err
+		}
+		gemmUpdate(s, t,
+			tileView{tc.VA, t}, tileView{ta.VA, t}, tileView{tb.VA, t})
+		// The factorization reads C tiles conventionally afterwards:
+		// scatter the dirty alias lines back now.
+		s.FlushVRange(tc.VA, tc.Bytes)
+		return nil
+	}
+	return cholFactor(s, n, t, a, gemm)
+}
+
+// RefCholesky computes the identical factorization on the host (same
+// tile order, same arithmetic) and returns the matching checksum.
+func RefCholesky(n, t int) float64 {
+	a := cholInput(n)
+	nn, tt := n, t
+	at := func(i, j int) *float64 { return &a[i*nn+j] }
+	tiles := nn / tt
+	potrfH := func(r0, c0 int) {
+		for j := 0; j < tt; j++ {
+			d := *at(r0+j, c0+j)
+			for k := 0; k < j; k++ {
+				l := *at(r0+j, c0+k)
+				d -= l * l
+			}
+			d = math.Sqrt(d)
+			*at(r0+j, c0+j) = d
+			for i := j + 1; i < tt; i++ {
+				v := *at(r0+i, c0+j)
+				for k := 0; k < j; k++ {
+					v -= *at(r0+i, c0+k) * *at(r0+j, c0+k)
+				}
+				*at(r0+i, c0+j) = v / d
+			}
+		}
+	}
+	trsmH := func(lr, lc, br, bc int) {
+		for i := 0; i < tt; i++ {
+			for j := 0; j < tt; j++ {
+				v := *at(br+i, bc+j)
+				for k := 0; k < j; k++ {
+					v -= *at(br+i, bc+k) * *at(lr+j, lc+k)
+				}
+				*at(br+i, bc+j) = v / *at(lr+j, lc+j)
+			}
+		}
+	}
+	gemmH := func(cr, cc, ar, ac, br, bc int) {
+		for i := 0; i < tt; i++ {
+			for j := 0; j < tt; j++ {
+				v := *at(cr+i, cc+j)
+				for k := 0; k < tt; k++ {
+					v -= *at(ar+i, ac+k) * *at(br+j, bc+k)
+				}
+				*at(cr+i, cc+j) = v
+			}
+		}
+	}
+	for k := 0; k < tiles; k++ {
+		potrfH(k*tt, k*tt)
+		for i := k + 1; i < tiles; i++ {
+			trsmH(k*tt, k*tt, i*tt, k*tt)
+		}
+		for i := k + 1; i < tiles; i++ {
+			for j := k + 1; j <= i; j++ {
+				gemmH(i*tt, j*tt, i*tt, k*tt, j*tt, k*tt)
+			}
+		}
+	}
+	var sum float64
+	for i := 0; i < nn; i++ {
+		for j := 0; j <= i; j++ {
+			sum += a[i*nn+j] * float64((i+2*j)%11+1)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,201 @@
+package workloads
+
+import (
+	"fmt"
+
+	"impulse/internal/addr"
+	"impulse/internal/core"
+)
+
+// Database-style scans. The paper's abstract singles out "regularly
+// strided, memory-bound applications of commercial importance, such as
+// database and multimedia programs" as Impulse targets beyond scientific
+// kernels. This file realizes the two canonical cases:
+//
+//   - Column projection over a row-store: records of recordBytes hold a
+//     hot 8-byte field at a fixed offset; a full-table scan of that field
+//     is a strided access that wastes (recordBytes-8)/recordBytes of
+//     every cache line on a conventional system, and becomes a dense
+//     stream under a base+stride shadow alias.
+//   - Index scan: a selection produces a record-id list; fetching the
+//     hot field of the selected records is an indirect access that
+//     becomes an Impulse scatter/gather through the RID vector.
+
+// DBParams sizes the synthetic table.
+type DBParams struct {
+	Records     int
+	RecordBytes uint64 // power of two >= 16 (field alignment)
+	FieldOffset uint64 // byte offset of the hot 8-byte field
+}
+
+// DBDefault is a 64 K-record table of 64-byte records — 4 MB, far beyond
+// the L2.
+func DBDefault() DBParams {
+	return DBParams{Records: 64 << 10, RecordBytes: 64, FieldOffset: 16}
+}
+
+// Validate checks the geometry.
+func (p DBParams) Validate() error {
+	if p.Records <= 0 {
+		return fmt.Errorf("workloads: no records")
+	}
+	if p.RecordBytes == 0 || p.RecordBytes&(p.RecordBytes-1) != 0 {
+		return fmt.Errorf("workloads: record size %d must be a power of two", p.RecordBytes)
+	}
+	if p.FieldOffset%8 != 0 || p.FieldOffset+8 > p.RecordBytes {
+		return fmt.Errorf("workloads: bad field offset %d in %d-byte record", p.FieldOffset, p.RecordBytes)
+	}
+	return nil
+}
+
+// DBResult carries the aggregate (for verification) and the measured Row.
+type DBResult struct {
+	Sum float64
+	Row core.Row
+}
+
+// fieldValue is the deterministic hot-field content of record i.
+func dbFieldValue(i int) float64 { return float64((i*37)%1000) / 8 }
+
+// dbSetup allocates and fills the table (untimed).
+func dbSetup(s *core.System, p DBParams) (addr.VAddr, error) {
+	table, err := s.Alloc(uint64(p.Records)*p.RecordBytes, 0)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < p.Records; i++ {
+		base := table + addr.VAddr(uint64(i)*p.RecordBytes)
+		s.StoreF64(base+addr.VAddr(p.FieldOffset), dbFieldValue(i))
+		// Cold fields: one touch so frames exist.
+		s.Store64(base, uint64(i))
+	}
+	return table, nil
+}
+
+// RunDBProjection scans the hot field of every record, summing it —
+// SELECT SUM(field) FROM table.
+func RunDBProjection(s *core.System, p DBParams, useImpulse bool) (DBResult, error) {
+	if err := p.Validate(); err != nil {
+		return DBResult{}, err
+	}
+	table, err := dbSetup(s, p)
+	if err != nil {
+		return DBResult{}, err
+	}
+	s.ResetCachesUntimed()
+
+	sec := s.BeginSection()
+	var src addr.VAddr
+	var step uint64
+	if useImpulse {
+		if !s.IsImpulse() {
+			return DBResult{}, core.ErrNotImpulse
+		}
+		alias, err := s.NewStridedAlias(8, p.RecordBytes, uint64(p.Records), 0)
+		if err != nil {
+			return DBResult{}, err
+		}
+		span := uint64(p.Records-1)*p.RecordBytes + p.FieldOffset + 8
+		if err := s.Retarget(alias, table+addr.VAddr(p.FieldOffset), span, core.Purge); err != nil {
+			return DBResult{}, err
+		}
+		src, step = alias.VA, 8
+	} else {
+		src, step = table+addr.VAddr(p.FieldOffset), p.RecordBytes
+	}
+	var sum float64
+	for i := 0; i < p.Records; i++ {
+		sum += s.LoadF64(src + addr.VAddr(uint64(i)*step))
+		s.Tick(2)
+	}
+	label := "db projection conventional"
+	if useImpulse {
+		label = "db projection impulse"
+	}
+	row, err := sec.End(label)
+	if err != nil {
+		return DBResult{}, err
+	}
+	return DBResult{Sum: sum, Row: row}, nil
+}
+
+// RunDBIndexScan fetches the hot field of the records selected by an
+// index (every k-th record id, shuffled deterministically), summing it —
+// the probe phase of an index-nested-loop join.
+func RunDBIndexScan(s *core.System, p DBParams, selectivity int, useImpulse bool) (DBResult, error) {
+	if err := p.Validate(); err != nil {
+		return DBResult{}, err
+	}
+	if selectivity <= 0 {
+		return DBResult{}, fmt.Errorf("workloads: selectivity must be positive")
+	}
+	table, err := dbSetup(s, p)
+	if err != nil {
+		return DBResult{}, err
+	}
+	// The RID list: every selectivity-th record, order scrambled by a
+	// multiplicative hash (deterministic).
+	count := p.Records / selectivity
+	rids := s.MustAlloc(uint64(count)*4, 0)
+	fieldsPerRecord := p.RecordBytes / 8
+	for k := 0; k < count; k++ {
+		rid := uint32((k * 2654435761) % p.Records)
+		rid -= rid % uint32(selectivity)
+		// Store the *element index* of the hot field of record rid.
+		elem := rid*uint32(fieldsPerRecord) + uint32(p.FieldOffset/8)
+		s.Store32(rids+addr.VAddr(4*k), elem)
+	}
+	s.ResetCachesUntimed()
+
+	sec := s.BeginSection()
+	var sum float64
+	if useImpulse {
+		if !s.IsImpulse() {
+			return DBResult{}, core.ErrNotImpulse
+		}
+		alias, err := s.MapScatterGather(table, uint64(p.Records)*p.RecordBytes, 8, rids, uint64(count), 0)
+		if err != nil {
+			return DBResult{}, err
+		}
+		for k := 0; k < count; k++ {
+			sum += s.LoadF64(alias + addr.VAddr(8*k))
+			s.Tick(2)
+		}
+	} else {
+		for k := 0; k < count; k++ {
+			elem := s.Load32(rids + addr.VAddr(4*k))
+			sum += s.LoadF64(table + addr.VAddr(8*uint64(elem)))
+			s.Tick(4)
+		}
+	}
+	label := "db index-scan conventional"
+	if useImpulse {
+		label = "db index-scan impulse"
+	}
+	row, err := sec.End(label)
+	if err != nil {
+		return DBResult{}, err
+	}
+	return DBResult{Sum: sum, Row: row}, nil
+}
+
+// RefDBProjection computes the expected projection sum.
+func RefDBProjection(p DBParams) float64 {
+	var sum float64
+	for i := 0; i < p.Records; i++ {
+		sum += dbFieldValue(i)
+	}
+	return sum
+}
+
+// RefDBIndexScan computes the expected index-scan sum.
+func RefDBIndexScan(p DBParams, selectivity int) float64 {
+	count := p.Records / selectivity
+	var sum float64
+	for k := 0; k < count; k++ {
+		rid := uint32((k * 2654435761) % p.Records)
+		rid -= rid % uint32(selectivity)
+		sum += dbFieldValue(int(rid))
+	}
+	return sum
+}

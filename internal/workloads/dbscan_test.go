@@ -1,0 +1,97 @@
+package workloads
+
+import (
+	"testing"
+
+	"impulse/internal/core"
+)
+
+func TestDBParamsValidate(t *testing.T) {
+	if err := DBDefault().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []DBParams{
+		{Records: 0, RecordBytes: 64, FieldOffset: 16},
+		{Records: 10, RecordBytes: 48, FieldOffset: 16},
+		{Records: 10, RecordBytes: 64, FieldOffset: 60},
+		{Records: 10, RecordBytes: 64, FieldOffset: 13},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func dbTestParams() DBParams {
+	return DBParams{Records: 16384, RecordBytes: 64, FieldOffset: 16}
+}
+
+func TestDBProjectionCorrectBothWays(t *testing.T) {
+	p := dbTestParams()
+	want := RefDBProjection(p)
+	conv := newTestSystem(t, core.Conventional, core.PrefetchNone)
+	rc, err := RunDBProjection(conv, p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := newTestSystem(t, core.Impulse, core.PrefetchNone)
+	ri, err := RunDBProjection(imp, p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Sum != want || ri.Sum != want {
+		t.Fatalf("sums %v / %v != %v", rc.Sum, ri.Sum, want)
+	}
+	// The dense alias moves 8x less data for 64-byte records.
+	if ri.Row.Stats.BusBytes >= rc.Row.Stats.BusBytes/4 {
+		t.Errorf("impulse bus bytes %d not well below conventional %d",
+			ri.Row.Stats.BusBytes, rc.Row.Stats.BusBytes)
+	}
+	if ri.Row.Cycles >= rc.Row.Cycles {
+		t.Errorf("impulse projection (%d) not faster than conventional (%d)",
+			ri.Row.Cycles, rc.Row.Cycles)
+	}
+}
+
+func TestDBIndexScanCorrectBothWays(t *testing.T) {
+	p := dbTestParams()
+	const sel = 8
+	want := RefDBIndexScan(p, sel)
+	conv := newTestSystem(t, core.Conventional, core.PrefetchNone)
+	rc, err := RunDBIndexScan(conv, p, sel, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := newTestSystem(t, core.Impulse, core.PrefetchMC)
+	ri, err := RunDBIndexScan(imp, p, sel, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Sum != want || ri.Sum != want {
+		t.Fatalf("sums %v / %v != %v", rc.Sum, ri.Sum, want)
+	}
+	if ri.Row.Stats.Loads >= rc.Row.Stats.Loads {
+		t.Errorf("impulse index scan issued %d loads, conventional %d",
+			ri.Row.Stats.Loads, rc.Row.Stats.Loads)
+	}
+	if ri.Row.Cycles >= rc.Row.Cycles {
+		t.Errorf("impulse index scan (%d) not faster than conventional (%d)",
+			ri.Row.Cycles, rc.Row.Cycles)
+	}
+}
+
+func TestDBImpulseRequiresController(t *testing.T) {
+	s := newTestSystem(t, core.Conventional, core.PrefetchNone)
+	if _, err := RunDBProjection(s, dbTestParams(), true); err != core.ErrNotImpulse {
+		t.Errorf("projection: %v", err)
+	}
+	s2 := newTestSystem(t, core.Conventional, core.PrefetchNone)
+	if _, err := RunDBIndexScan(s2, dbTestParams(), 4, true); err != core.ErrNotImpulse {
+		t.Errorf("index scan: %v", err)
+	}
+	s3 := newTestSystem(t, core.Conventional, core.PrefetchNone)
+	if _, err := RunDBIndexScan(s3, dbTestParams(), 0, false); err == nil {
+		t.Error("zero selectivity accepted")
+	}
+}

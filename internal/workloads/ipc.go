@@ -1,0 +1,121 @@
+package workloads
+
+import (
+	"impulse/internal/addr"
+	"impulse/internal/core"
+)
+
+// IPCResult is the outcome of the message-gather scenario.
+type IPCResult struct {
+	Checksum float64
+	Row      core.Row
+}
+
+// RunIPC models the interprocess-communication use the paper sketches in
+// §6: "A major chore of remote IPC is collecting message data from
+// multiple user buffers and protocol headers. Impulse's support for
+// scatter/gather can remove the overhead of gathering data in software."
+//
+// A sender owns bufCount scattered word-aligned buffers (an iovec ring).
+// For each of `messages` sends it updates the buffers, then the message
+// is consumed as one contiguous stream of totalWords words:
+//
+//   - conventional: the sender copies every buffer into a contiguous
+//     staging area (software gather), which the consumer then streams;
+//   - Impulse: a gather alias over a per-word indirection vector (built
+//     once, reused every send — iovec layouts are stable) IS the
+//     contiguous message; the consumer streams the alias and the gather
+//     happens at the memory controller, off the CPU.
+func RunIPC(s *core.System, bufCount, wordsPerBuf, messages int, useImpulse bool) (IPCResult, error) {
+	heapWords := uint64(bufCount) * uint64(wordsPerBuf) * 4 // sparse heap
+	heap, err := s.Alloc(heapWords*8, 0)
+	if err != nil {
+		return IPCResult{}, err
+	}
+	totalWords := bufCount * wordsPerBuf
+	// Buffer b occupies words [b*4*wordsPerBuf, ...+wordsPerBuf): one
+	// used run per 4-run stretch of heap, i.e. scattered.
+	wordIndex := func(msgWord int) uint64 {
+		b := msgWord / wordsPerBuf
+		w := msgWord % wordsPerBuf
+		return uint64(b)*4*uint64(wordsPerBuf) + uint64(w)
+	}
+
+	var msgSrc addr.VAddr
+	var staging addr.VAddr
+	if !useImpulse {
+		if staging, err = s.Alloc(uint64(totalWords)*8, 0); err != nil {
+			return IPCResult{}, err
+		}
+	}
+
+	sec := s.BeginSection()
+	if useImpulse {
+		vec, err := s.Alloc(uint64(totalWords)*4, 0)
+		if err != nil {
+			return IPCResult{}, err
+		}
+		for w := 0; w < totalWords; w++ {
+			s.Store32(vec+addr.VAddr(4*w), uint32(wordIndex(w)))
+		}
+		if msgSrc, err = s.MapScatterGather(heap, heapWords*8, 8, vec, uint64(totalWords), 0); err != nil {
+			return IPCResult{}, err
+		}
+	} else {
+		msgSrc = staging
+	}
+
+	var checksum float64
+	for msg := 0; msg < messages; msg++ {
+		// The sender fills its buffers with this message's payload.
+		for w := 0; w < totalWords; w++ {
+			s.StoreF64(heap+addr.VAddr(8*wordIndex(w)), float64(msg*totalWords+w))
+			s.Tick(1)
+		}
+		if useImpulse {
+			// Consistency: dirty buffer words must reach DRAM before the
+			// controller gathers them; stale gathered lines are dropped.
+			for b := 0; b < bufCount; b++ {
+				base := heap + addr.VAddr(8*wordIndex(b*wordsPerBuf))
+				s.FlushVRange(base, uint64(wordsPerBuf)*8)
+			}
+			s.PurgeVRange(msgSrc, uint64(totalWords)*8)
+			s.MC.InvalidateBuffers()
+		} else {
+			// Software gather into the staging area.
+			for w := 0; w < totalWords; w++ {
+				v := s.LoadF64(heap + addr.VAddr(8*wordIndex(w)))
+				s.StoreF64(staging+addr.VAddr(8*w), v)
+				s.Tick(1)
+			}
+		}
+		// The consumer streams the message.
+		var sum float64
+		for w := 0; w < totalWords; w++ {
+			sum += s.LoadF64(msgSrc + addr.VAddr(8*w))
+			s.Tick(1)
+		}
+		checksum += sum
+	}
+	label := "ipc software-gather"
+	if useImpulse {
+		label = "ipc impulse-gather"
+	}
+	row, err := sec.End(label)
+	if err != nil {
+		return IPCResult{}, err
+	}
+	return IPCResult{Checksum: checksum, Row: row}, nil
+}
+
+// RefIPC computes the expected checksum.
+func RefIPC(bufCount, wordsPerBuf, messages int) float64 {
+	totalWords := bufCount * wordsPerBuf
+	var checksum float64
+	for msg := 0; msg < messages; msg++ {
+		for w := 0; w < totalWords; w++ {
+			checksum += float64(msg*totalWords + w)
+		}
+	}
+	return checksum
+}

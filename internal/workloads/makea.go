@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"math"
+	"sort"
+)
+
+// SparseMatrix is a CSR-encoded sparse matrix, exactly the encoding of
+// the paper's Figure 4: Rows[i] indicates where row i begins in Vals,
+// Cols[j] indicates which column the element stored in Vals[j] comes
+// from. Indices are 0-based.
+type SparseMatrix struct {
+	N    int
+	Rows []int32 // length N+1
+	Cols []uint32
+	Vals []float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *SparseMatrix) NNZ() int { return len(m.Vals) }
+
+// MulVec computes dst = m * src on the host (the reference SMVP used to
+// verify the simulated kernels).
+func (m *SparseMatrix) MulVec(dst, src []float64) {
+	for i := 0; i < m.N; i++ {
+		var sum float64
+		for j := m.Rows[i]; j < m.Rows[i+1]; j++ {
+			sum += m.Vals[j] * src[m.Cols[j]]
+		}
+		dst[i] = sum
+	}
+}
+
+// MakeA generates the NAS CG input matrix (NPB's makea): the sum of n
+// outer products of sparse random vectors with geometrically decaying
+// weights, plus (rcond - shift) added to the diagonal. The result is a
+// symmetric positive-definite matrix with condition number ~rcond and
+// eigenvalue distribution suitable for the benchmark's power iteration.
+func MakeA(n, nonzer int, rcond, shift float64) *SparseMatrix {
+	rng := newNASRand(nasSeed, nasAmult)
+	// NPB burns one value to initialize (the zeta = randlc(tran, amult)
+	// call before makea).
+	rng.next()
+
+	acc := make([]map[uint32]float64, n)
+	for i := range acc {
+		acc[i] = make(map[uint32]float64, 2*nonzer)
+	}
+	size := 1.0
+	ratio := math.Pow(rcond, 1.0/float64(n))
+	for iouter := 0; iouter < n; iouter++ {
+		vals, idx := sprnvc(n, nonzer, rng)
+		vals, idx = vecset(vals, idx, iouter, 0.5)
+		for ivelt, jcol := range idx {
+			scale := size * vals[ivelt]
+			for ivelt1, irow := range idx {
+				acc[irow][uint32(jcol)] += vals[ivelt1] * scale
+			}
+		}
+		size *= ratio
+	}
+	for i := 0; i < n; i++ {
+		acc[i][uint32(i)] += rcond - shift
+	}
+
+	m := &SparseMatrix{N: n, Rows: make([]int32, n+1)}
+	for i := 0; i < n; i++ {
+		cols := make([]int, 0, len(acc[i]))
+		for c := range acc[i] {
+			cols = append(cols, int(c))
+		}
+		sort.Ints(cols)
+		for _, c := range cols {
+			m.Cols = append(m.Cols, uint32(c))
+			m.Vals = append(m.Vals, acc[i][uint32(c)])
+		}
+		m.Rows[i+1] = int32(len(m.Vals))
+	}
+	return m
+}
+
+// IsSymmetric verifies A = A^T within tol (a structural sanity check on
+// the generator: the sum of outer products x x^T is symmetric).
+func (m *SparseMatrix) IsSymmetric(tol float64) bool {
+	type key struct{ r, c uint32 }
+	elems := make(map[key]float64, m.NNZ())
+	for i := 0; i < m.N; i++ {
+		for j := m.Rows[i]; j < m.Rows[i+1]; j++ {
+			elems[key{uint32(i), m.Cols[j]}] = m.Vals[j]
+		}
+	}
+	for k, v := range elems {
+		if math.Abs(v-elems[key{k.c, k.r}]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,140 @@
+package workloads
+
+import (
+	"testing"
+
+	"impulse/internal/core"
+)
+
+func TestMMPParamsValidate(t *testing.T) {
+	good := []MMPParams{{64, 16}, {256, 32}, {512, 32}}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", p, err)
+		}
+	}
+	bad := []MMPParams{{0, 16}, {64, 0}, {60, 16}, {64, 24}, {64, 8}}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%+v accepted", p)
+		}
+	}
+}
+
+func TestMMPAllModesMatchReference(t *testing.T) {
+	par := MMPTiny()
+	want := RefMMP(par)
+	for _, c := range []struct {
+		kind core.ControllerKind
+		mode MMPMode
+		pf   core.PrefetchPolicy
+	}{
+		{core.Conventional, MMPNoCopyTiled, core.PrefetchNone},
+		{core.Conventional, MMPCopyTiled, core.PrefetchL1},
+		{core.Impulse, MMPNoCopyTiled, core.PrefetchMC},
+		{core.Impulse, MMPTileRemap, core.PrefetchNone},
+		{core.Impulse, MMPTileRemap, core.PrefetchBoth},
+	} {
+		s := newTestSystem(t, c.kind, c.pf)
+		res, err := RunMMP(s, par, c.mode)
+		if err != nil {
+			t.Fatalf("%v/%v: %v", c.mode, c.pf, err)
+		}
+		if res.Checksum != want {
+			t.Errorf("%v/%v: checksum %v != reference %v", c.mode, c.pf, res.Checksum, want)
+		}
+		if err := res.Row.Stats.CheckLoadClassification(); err != nil {
+			t.Errorf("%v/%v: %v", c.mode, c.pf, err)
+		}
+	}
+}
+
+func TestMMPTileRemapRequiresImpulse(t *testing.T) {
+	s := newTestSystem(t, core.Conventional, core.PrefetchNone)
+	if _, err := RunMMP(s, MMPTiny(), MMPTileRemap); err == nil {
+		t.Error("tile remapping on conventional controller succeeded")
+	}
+}
+
+// TestMMPPerformanceShape checks Table 2's ordering on a geometry where
+// tiles conflict: copying and remapping both crush the no-copy baseline,
+// and remapping at least matches copying.
+func TestMMPPerformanceShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large MMP geometry")
+	}
+	par := MMPParams{N: 128, Tile: 32}
+	run := func(kind core.ControllerKind, mode MMPMode) core.Row {
+		s := newTestSystem(t, kind, core.PrefetchNone)
+		res, err := RunMMP(s, par, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Row
+	}
+	nocopy := run(core.Conventional, MMPNoCopyTiled)
+	copying := run(core.Conventional, MMPCopyTiled)
+	remap := run(core.Impulse, MMPTileRemap)
+
+	if copying.Cycles >= nocopy.Cycles {
+		t.Errorf("copying (%d) not faster than no-copy (%d)", copying.Cycles, nocopy.Cycles)
+	}
+	if remap.Cycles >= nocopy.Cycles {
+		t.Errorf("remapping (%d) not faster than no-copy (%d)", remap.Cycles, nocopy.Cycles)
+	}
+	if remap.L1Ratio <= nocopy.L1Ratio {
+		t.Errorf("remap L1 ratio %.3f not above no-copy %.3f", remap.L1Ratio, nocopy.L1Ratio)
+	}
+	if copying.L1Ratio <= nocopy.L1Ratio {
+		t.Errorf("copy L1 ratio %.3f not above no-copy %.3f", copying.L1Ratio, nocopy.L1Ratio)
+	}
+}
+
+func TestDiagonalWorkload(t *testing.T) {
+	want := RefDiagonal(256)
+	conv := newTestSystem(t, core.Conventional, core.PrefetchNone)
+	rc, err := RunDiagonal(conv, 256, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := newTestSystem(t, core.Impulse, core.PrefetchNone)
+	ri, err := RunDiagonal(imp, 256, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Sum != want || ri.Sum != want {
+		t.Fatalf("sums %v / %v != %v", rc.Sum, ri.Sum, want)
+	}
+	if ri.Row.Stats.BusBytes >= rc.Row.Stats.BusBytes {
+		t.Errorf("Impulse moved %d bus bytes, conventional %d", ri.Row.Stats.BusBytes, rc.Row.Stats.BusBytes)
+	}
+	if ri.Row.Cycles >= rc.Row.Cycles {
+		t.Errorf("Impulse diagonal (%d cycles) not faster than conventional (%d)", ri.Row.Cycles, rc.Row.Cycles)
+	}
+	if ri.String() == "" || rc.String() == "" {
+		t.Error("empty DiagResult.String()")
+	}
+}
+
+func TestIPCWorkload(t *testing.T) {
+	const bufs, words, msgs = 8, 64, 3
+	want := RefIPC(bufs, words, msgs)
+	conv := newTestSystem(t, core.Conventional, core.PrefetchNone)
+	rc, err := RunIPC(conv, bufs, words, msgs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := newTestSystem(t, core.Impulse, core.PrefetchNone)
+	ri, err := RunIPC(imp, bufs, words, msgs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Checksum != want || ri.Checksum != want {
+		t.Fatalf("checksums %v / %v != %v", rc.Checksum, ri.Checksum, want)
+	}
+	// The software gather issues a load+store per word per message that
+	// Impulse does not.
+	if ri.Row.Stats.Loads >= rc.Row.Stats.Loads {
+		t.Errorf("Impulse IPC issued %d loads, software %d", ri.Row.Stats.Loads, rc.Row.Stats.Loads)
+	}
+}

@@ -1,0 +1,231 @@
+package workloads
+
+import (
+	"fmt"
+
+	"impulse/internal/addr"
+	"impulse/internal/core"
+)
+
+// Spark98-style symmetric sparse matrix-vector product. The paper's §3.1
+// motivates SMVP with both NAS CG and "the Spark98 earthquake
+// simulations" [17], whose kernels multiply a symmetric stiffness matrix
+// stored as one triangle: each stored entry A[i][j] contributes to both
+// y[i] += A_ij * x[j] and y[j] += A_ij * x[i]. That gives *two* irregular
+// streams per nonzero (a gather of x[col] and a scatter-accumulate into
+// y[col]); Impulse accelerates the gather, while the scatter-accumulate
+// stays on the CPU (a controller cannot combine read-modify-write),
+// which makes Spark98 a harder target than CG — exactly why it is an
+// interesting extension.
+
+// SparkMesh is a symmetric sparse matrix in triangle-CSR form (the
+// Spark98 "local" kernel's layout): only entries with j < i are stored,
+// plus the diagonal separately.
+type SparkMesh struct {
+	N    int
+	Rows []int32 // length N+1, offsets into Cols/Vals (strict lower triangle)
+	Cols []uint32
+	Vals []float64
+	Diag []float64
+}
+
+// NNZ returns the number of stored off-diagonal entries.
+func (m *SparkMesh) NNZ() int { return len(m.Vals) }
+
+// MakeSparkMesh builds the matrix of a nodesX x nodesY grid mesh with
+// 8-neighbor connectivity — structurally similar to the 2D earthquake
+// meshes Spark98 packages (sf2 etc.), deterministic and symmetric
+// positive weights.
+func MakeSparkMesh(nodesX, nodesY int) *SparkMesh {
+	n := nodesX * nodesY
+	m := &SparkMesh{N: n, Rows: make([]int32, n+1), Diag: make([]float64, n)}
+	id := func(x, y int) int { return y*nodesX + x }
+	for y := 0; y < nodesY; y++ {
+		for x := 0; x < nodesX; x++ {
+			i := id(x, y)
+			// Neighbors with smaller index: W, NW, N, NE.
+			deltas := [][2]int{{-1, 0}, {-1, -1}, {0, -1}, {1, -1}}
+			for _, d := range deltas {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || ny < 0 || nx >= nodesX || ny >= nodesY {
+					continue
+				}
+				j := id(nx, ny)
+				m.Cols = append(m.Cols, uint32(j))
+				m.Vals = append(m.Vals, -1.0/float64((x+y+nx+ny)%7+2))
+			}
+			m.Rows[i+1] = int32(len(m.Vals))
+			m.Diag[i] = 9 + float64((x*3+y*5)%11)
+		}
+	}
+	return m
+}
+
+// MulVec computes y = A x on the host using the symmetric expansion.
+func (m *SparkMesh) MulVec(y, x []float64) {
+	for i := 0; i < m.N; i++ {
+		y[i] = m.Diag[i] * x[i]
+	}
+	for i := 0; i < m.N; i++ {
+		for k := m.Rows[i]; k < m.Rows[i+1]; k++ {
+			j := m.Cols[k]
+			v := m.Vals[k]
+			y[i] += v * x[j]
+			y[j] += v * x[i]
+		}
+	}
+}
+
+// SparkResult carries verification output and the measured Row.
+type SparkResult struct {
+	Checksum float64
+	Row      core.Row
+}
+
+// RunSpark runs `iters` symmetric SMVPs (y = A x; x = y scaled) on the
+// simulated machine. useGather routes the x[col] stream through an
+// Impulse scatter/gather alias; the y[col] scatter-accumulate always
+// stays on the CPU.
+func RunSpark(s *core.System, mesh *SparkMesh, iters int, useGather bool) (SparkResult, error) {
+	n := uint64(mesh.N)
+	nnz := uint64(mesh.NNZ())
+	rows := s.MustAlloc((n+1)*4, 0)
+	cols := s.MustAlloc(nnz*4, 0)
+	vals := s.MustAlloc(nnz*8, 0)
+	diag := s.MustAlloc(n*8, 0)
+	x := s.MustAlloc(n*8, 0)
+	y := s.MustAlloc(n*8, 0)
+	for i, v := range mesh.Rows {
+		s.Store32(rows+addr.VAddr(4*i), uint32(v))
+	}
+	for k, v := range mesh.Cols {
+		s.Store32(cols+addr.VAddr(4*k), v)
+	}
+	for k, v := range mesh.Vals {
+		s.StoreF64(vals+addr.VAddr(8*k), v)
+	}
+	for i, v := range mesh.Diag {
+		s.StoreF64(diag+addr.VAddr(8*i), v)
+	}
+	for i := uint64(0); i < n; i++ {
+		s.StoreF64(x+addr.VAddr(8*i), 1+float64(i%5)/8)
+	}
+
+	sec := s.BeginSection()
+	var alias addr.VAddr
+	if useGather {
+		if !s.IsImpulse() {
+			return SparkResult{}, core.ErrNotImpulse
+		}
+		l1 := s.Config().L1.Bytes
+		l1Off := (uint64(vals) + l1/2) % l1
+		var err error
+		alias, err = s.MapScatterGather(x, n*8, 8, cols, nnz, l1Off)
+		if err != nil {
+			return SparkResult{}, err
+		}
+	}
+
+	for it := 0; it < iters; it++ {
+		if useGather {
+			// Consistency: x was rewritten last iteration.
+			s.FlushVRange(x, n*8)
+			s.PurgeVRange(alias, nnz*8)
+			s.MC.InvalidateBuffers()
+		}
+		// y = diag .* x
+		for i := uint64(0); i < n; i++ {
+			o := addr.VAddr(8 * i)
+			s.StoreF64(y+o, s.LoadF64(diag+o)*s.LoadF64(x+o))
+			s.Tick(cgVecTicks)
+		}
+		// Triangle sweep.
+		prev := s.Load32(rows)
+		for i := uint64(0); i < n; i++ {
+			next := s.Load32(rows + addr.VAddr(4*(i+1)))
+			xi := s.LoadF64(x + addr.VAddr(8*i))
+			yi := s.LoadF64(y + addr.VAddr(8*i))
+			for k := prev; k < next; k++ {
+				j := s.Load32(cols + addr.VAddr(4*k))
+				v := s.LoadF64(vals + addr.VAddr(8*k))
+				var xj float64
+				if useGather {
+					xj = s.LoadF64(alias + addr.VAddr(8*k))
+					s.Tick(cgInnerTicksSG)
+				} else {
+					xj = s.LoadF64(x + addr.VAddr(8*uint64(j)))
+					s.Tick(cgInnerTicksConv)
+				}
+				yi += v * xj
+				// Scatter-accumulate into y[j]: CPU read-modify-write.
+				yj := s.LoadF64(y + addr.VAddr(8*uint64(j)))
+				s.StoreF64(y+addr.VAddr(8*uint64(j)), yj+v*xi)
+				s.Tick(2)
+			}
+			s.StoreF64(y+addr.VAddr(8*i), yi)
+			s.Tick(cgOuterTicks)
+			prev = next
+		}
+		// x = y / 16 (keeps values bounded; same order on host).
+		for i := uint64(0); i < n; i++ {
+			o := addr.VAddr(8 * i)
+			s.StoreF64(x+o, s.LoadF64(y+o)*(1.0/16))
+			s.Tick(cgVecTicks)
+		}
+	}
+	var checksum float64
+	for i := uint64(0); i < n; i++ {
+		checksum += s.LoadF64(x+addr.VAddr(8*i)) * float64(i%9+1)
+	}
+	label := "spark conventional"
+	if useGather {
+		label = "spark scatter/gather"
+	}
+	row, err := sec.End(label)
+	if err != nil {
+		return SparkResult{}, err
+	}
+	return SparkResult{Checksum: checksum, Row: row}, nil
+}
+
+// RefSpark computes the identical iteration on the host.
+func RefSpark(mesh *SparkMesh, iters int) float64 {
+	n := mesh.N
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 1 + float64(i%5)/8
+	}
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			y[i] = mesh.Diag[i] * x[i]
+		}
+		prev := mesh.Rows[0]
+		for i := 0; i < n; i++ {
+			next := mesh.Rows[i+1]
+			xi := x[i]
+			yi := y[i]
+			for k := prev; k < next; k++ {
+				j := mesh.Cols[k]
+				v := mesh.Vals[k]
+				yi += v * x[j]
+				y[j] += v * xi
+			}
+			y[i] = yi
+			prev = next
+		}
+		for i := 0; i < n; i++ {
+			x[i] = y[i] * (1.0 / 16)
+		}
+	}
+	var checksum float64
+	for i := 0; i < n; i++ {
+		checksum += x[i] * float64(i%9+1)
+	}
+	return checksum
+}
+
+// String identifies the mesh.
+func (m *SparkMesh) String() string {
+	return fmt.Sprintf("spark mesh: %d nodes, %d edges", m.N, m.NNZ())
+}

@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"impulse/internal/core"
+)
+
+func TestSparkMeshStructure(t *testing.T) {
+	m := MakeSparkMesh(8, 6)
+	if m.N != 48 || len(m.Rows) != 49 || len(m.Diag) != 48 {
+		t.Fatalf("mesh dims: %v", m)
+	}
+	// Strict lower triangle: every stored column index < its row.
+	for i := 0; i < m.N; i++ {
+		for k := m.Rows[i]; k < m.Rows[i+1]; k++ {
+			if int(m.Cols[k]) >= i {
+				t.Fatalf("row %d stores column %d (not strict lower)", i, m.Cols[k])
+			}
+		}
+	}
+	// Interior nodes have 4 smaller-index neighbors.
+	interior := m.Rows[m.N] // total edges
+	if interior == 0 {
+		t.Fatal("mesh has no edges")
+	}
+	if m.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSparkMulVecSymmetric(t *testing.T) {
+	m := MakeSparkMesh(5, 5)
+	// Build the dense symmetric matrix and compare MulVec.
+	n := m.N
+	dense := make([][]float64, n)
+	for i := range dense {
+		dense[i] = make([]float64, n)
+		dense[i][i] = m.Diag[i]
+	}
+	for i := 0; i < n; i++ {
+		for k := m.Rows[i]; k < m.Rows[i+1]; k++ {
+			j := m.Cols[k]
+			dense[i][j] = m.Vals[k]
+			dense[j][i] = m.Vals[k]
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	y := make([]float64, n)
+	m.MulVec(y, x)
+	for i := 0; i < n; i++ {
+		var want float64
+		for j := 0; j < n; j++ {
+			want += dense[i][j] * x[j]
+		}
+		if math.Abs(y[i]-want) > 1e-9 {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, y[i], want)
+		}
+	}
+}
+
+func TestSparkMatchesReference(t *testing.T) {
+	mesh := MakeSparkMesh(24, 20)
+	want := RefSpark(mesh, 3)
+
+	conv := newTestSystem(t, core.Conventional, core.PrefetchNone)
+	rc, err := RunSpark(conv, mesh, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Checksum != want {
+		t.Errorf("conventional checksum %v != %v", rc.Checksum, want)
+	}
+
+	for _, pf := range []core.PrefetchPolicy{core.PrefetchNone, core.PrefetchBoth} {
+		imp := newTestSystem(t, core.Impulse, pf)
+		ri, err := RunSpark(imp, mesh, 3, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri.Checksum != want {
+			t.Errorf("gather/%v checksum %v != %v", pf, ri.Checksum, want)
+		}
+		if ri.Row.Stats.ShadowReads == 0 {
+			t.Error("gather path unused")
+		}
+	}
+}
+
+func TestSparkGatherRequiresImpulse(t *testing.T) {
+	mesh := MakeSparkMesh(8, 8)
+	s := newTestSystem(t, core.Conventional, core.PrefetchNone)
+	if _, err := RunSpark(s, mesh, 1, true); err != core.ErrNotImpulse {
+		t.Errorf("gather on conventional: %v", err)
+	}
+}
+
+func TestSparkPerformanceShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large spark mesh")
+	}
+	// A mesh whose x vector (90K nodes -> 720 KB) far exceeds the L1 and
+	// overflows the L2, like the earthquake meshes.
+	mesh := MakeSparkMesh(300, 300)
+	conv := newTestSystem(t, core.Conventional, core.PrefetchNone)
+	rc, err := RunSpark(conv, mesh, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := newTestSystem(t, core.Impulse, core.PrefetchMC)
+	ri, err := RunSpark(imp, mesh, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Checksum != ri.Checksum {
+		t.Fatalf("checksums differ: %v vs %v", rc.Checksum, ri.Checksum)
+	}
+	if ri.Row.Cycles >= rc.Row.Cycles {
+		t.Errorf("gather+prefetch (%d) not faster than conventional (%d)", ri.Row.Cycles, rc.Row.Cycles)
+	}
+	// Unlike CG, the load count does NOT drop: the CPU still needs
+	// COLUMN[k] for the scatter-accumulate into y. The win is spatial
+	// locality of the gathered x stream.
+	if ri.Row.Stats.Loads != rc.Row.Stats.Loads {
+		t.Errorf("unexpected load-count change: %d vs %d", ri.Row.Stats.Loads, rc.Row.Stats.Loads)
+	}
+	if ri.Row.L1Ratio <= rc.Row.L1Ratio {
+		t.Errorf("gather L1 ratio %.3f not above conventional %.3f", ri.Row.L1Ratio, rc.Row.L1Ratio)
+	}
+}
