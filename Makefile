@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench tables report sweeps examples fmt vet clean
+.PHONY: all build test test-short race bench tables report sweeps examples fmt vet clean
 
-all: build test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,9 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -9,18 +9,22 @@
 //	impulse-sim -workload mmp -mode remap -n 256 -tile 32
 //	impulse-sim -workload diag -mode impulse
 //	impulse-sim -workload ipc -mode impulse
+//	impulse-sim -workload diag -mode impulse -trace out.json -series out.csv -counters -
 //	impulse-sim -selftest
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"strings"
 
 	"impulse"
 	"impulse/internal/core"
 	"impulse/internal/harness"
+	"impulse/internal/obs"
 	"impulse/internal/sim"
 	"impulse/internal/tracefile"
 	"impulse/internal/workloads"
@@ -40,10 +44,15 @@ func main() {
 	niter := flag.Int("niter", 1, "cg outer iterations")
 	classS := flag.Bool("classS", false, "run the full NPB Class S geometry (n=1400, 15x25 iterations)")
 	selftest := flag.Bool("selftest", false, "run the randomized end-to-end gather verification and exit")
-	trace := flag.Int("trace", 0, "print the first N simulated memory events")
+	events := flag.Int("events", 0, "print the first N simulated memory events")
 	hist := flag.Bool("hist", false, "print the load-latency histogram after the run")
 	record := flag.String("record", "", "record the run's address trace to this file")
 	replayTicks := flag.Int("replay-ticks", 1, "non-memory cycles charged per replayed access")
+	tracePath := flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON of the run to this file")
+	traceLimit := flag.Int("trace-limit", 1<<20, "maximum span events retained in the trace buffer")
+	seriesPath := flag.String("series", "", "write windowed utilization time-series to this file (.json for JSON, else CSV)")
+	window := flag.Uint64("window", 10000, "time-series window width in cycles")
+	counters := flag.String("counters", "", "dump the counter registry to this file after the run (\"-\" for stdout)")
 	flag.Parse()
 
 	if *selftest {
@@ -69,6 +78,21 @@ func main() {
 		log.Fatalf("unknown prefetch policy %q", *prefetch)
 	}
 
+	// One hub serves the whole invocation; workloads that build several
+	// systems (db) attach each in turn, yielding one trace with a track
+	// group per machine and "newest machine wins" registry entries.
+	var hub *obs.Hub
+	if *tracePath != "" || *seriesPath != "" || *counters != "" {
+		cfg := obs.Config{}
+		if *tracePath != "" {
+			cfg.TraceLimit = *traceLimit
+		}
+		if *seriesPath != "" {
+			cfg.Window = *window
+		}
+		hub = obs.New(cfg)
+	}
+
 	var lastSys *impulse.System
 	var traceWriter *tracefile.Writer
 	var traceFile *os.File
@@ -78,6 +102,9 @@ func main() {
 			log.Fatal(err)
 		}
 		lastSys = s
+		if hub != nil {
+			s.AttachObs(hub)
+		}
 		if *record != "" && traceWriter == nil {
 			traceFile, err = os.Create(*record)
 			if err != nil {
@@ -89,8 +116,8 @@ func main() {
 			}
 			s.SetTracer(traceWriter.Attach())
 		}
-		if *trace > 0 {
-			remaining := *trace
+		if *events > 0 {
+			remaining := *events
 			s.SetTracer(func(e sim.TraceEvent) {
 				if remaining > 0 {
 					fmt.Println(e)
@@ -321,5 +348,44 @@ func main() {
 	}
 	if *hist && lastSys != nil {
 		fmt.Printf("\nload-latency histogram (cycles):\n%s", lastSys.St.LoadLatency.String())
+	}
+	if hub != nil {
+		if *tracePath != "" {
+			writeTo(*tracePath, hub.WriteTrace)
+			if d := hub.Trace().Dropped(); d > 0 {
+				fmt.Fprintf(os.Stderr, "trace: %d events dropped past -trace-limit %d\n", d, *traceLimit)
+			}
+		}
+		if *seriesPath != "" {
+			if strings.HasSuffix(*seriesPath, ".json") {
+				writeTo(*seriesPath, hub.Series().WriteJSON)
+			} else {
+				writeTo(*seriesPath, hub.Series().WriteCSV)
+			}
+		}
+		if *counters != "" {
+			writeTo(*counters, hub.Reg().WriteText)
+		}
+	}
+}
+
+// writeTo streams f to path, with "-" meaning stdout.
+func writeTo(path string, f func(io.Writer) error) {
+	if path == "-" {
+		if err := f(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f(out); err != nil {
+		out.Close()
+		log.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -8,10 +8,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
+	"impulse/internal/core"
 	"impulse/internal/harness"
+	"impulse/internal/obs"
 	"impulse/internal/workloads"
 )
 
@@ -19,7 +22,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	exp := flag.String("exp", "all", "experiment: scheduler|superpage|ipc|sram|stride|policy|geometry|cholesky|spark|superscalar|db|all")
+	counters := flag.String("counters", "", "dump every measured row's counters to this file after the run (\"-\" for stdout)")
 	flag.Parse()
+
+	var reg obs.Registry
+	if *counters != "" {
+		core.SetRowObserver(core.CollectRows(&reg))
+	}
 
 	cgPar := workloads.CGParams{N: 4096, Nonzer: 6, Niter: 1, CGIts: 4, Shift: 10, RCond: 0.1}
 	run := func(name string, f func() error) {
@@ -55,4 +64,19 @@ func main() {
 		par := workloads.CGParams{N: 14000, Nonzer: 7, Niter: 1, CGIts: 3, Shift: 20, RCond: 0.1}
 		return harness.SuperscalarExperiment(par, []uint64{1, 2, 4, 8}, os.Stdout)
 	})
+
+	if *counters != "" {
+		w := io.Writer(os.Stdout)
+		if *counters != "-" {
+			f, err := os.Create(*counters)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.WriteText(w); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

@@ -13,6 +13,7 @@ package bus
 import (
 	"fmt"
 
+	"impulse/internal/obs"
 	"impulse/internal/stats"
 	"impulse/internal/timeline"
 )
@@ -39,9 +40,11 @@ func (c Config) Validate() error {
 
 // Bus is the shared processor-memory interconnect.
 type Bus struct {
-	cfg Config
-	res timeline.Resource
-	st  *stats.MemStats
+	cfg   Config
+	res   timeline.Resource
+	st    *stats.MemStats
+	h     *obs.Hub
+	track obs.TrackID
 }
 
 // New builds a bus. st may be nil.
@@ -58,13 +61,27 @@ func New(cfg Config, st *stats.MemStats) (*Bus, error) {
 // Config returns the bus configuration.
 func (b *Bus) Config() Config { return b.cfg }
 
+// AttachObs wires the bus into an observability hub: a "bus" trace track
+// (request and data phases as separate spans), bus busy-cycles in the
+// windowed series, and the resource's accounting in the registry.
+func (b *Bus) AttachObs(h *obs.Hub) {
+	b.h = h
+	b.track = h.Track("bus")
+	r := h.Reg()
+	r.Gauge("bus.busy_cycles", b.res.BusyCycles)
+	r.Gauge("bus.reservations", b.res.Uses)
+}
+
 // Request schedules the address phase of a transaction starting no earlier
 // than at, and returns the time the request reaches the other side.
 func (b *Bus) Request(at timeline.Time) timeline.Time {
 	start, end := b.res.Acquire(at, b.cfg.RequestCycles)
-	_ = start
 	b.st.BusTransactions++
 	b.st.BusBusyCycles += b.cfg.RequestCycles
+	if b.h != nil {
+		b.h.Span(b.track, "req", start, end)
+		b.h.Busy(obs.BusBusy, start, end)
+	}
 	return end
 }
 
@@ -76,9 +93,13 @@ func (b *Bus) Transfer(ready timeline.Time, n uint64) timeline.Time {
 	if cycles == 0 {
 		cycles = 1
 	}
-	_, end := b.res.Acquire(ready, cycles)
+	start, end := b.res.Acquire(ready, cycles)
 	b.st.BusBytes += n
 	b.st.BusBusyCycles += cycles
+	if b.h != nil {
+		b.h.Span(b.track, "xfer", start, end)
+		b.h.Busy(obs.BusBusy, start, end)
+	}
 	return end
 }
 

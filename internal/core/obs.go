@@ -1,0 +1,31 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"impulse/internal/obs"
+)
+
+// CollectRows returns a row observer (for SetRowObserver) that registers
+// every observed row's metrics into reg under a "rowNNN.<label>." prefix:
+// the row's cycle count plus its full MemStats snapshot. This gives the
+// cmd binaries (report, sweep, impulse-sim) one uniform counter surface
+// over everything they measured.
+func CollectRows(reg *obs.Registry) func(Row) {
+	n := 0
+	return func(row Row) {
+		rc := row // the registry reads this copy at dump time
+		label := strings.Map(func(r rune) rune {
+			switch r {
+			case ' ', '\t', '\n':
+				return '_'
+			}
+			return r
+		}, row.Label)
+		prefix := fmt.Sprintf("row%03d.%s.", n, label)
+		n++
+		reg.Gauge(prefix+"cycles", func() uint64 { return rc.Cycles })
+		rc.Stats.Register(reg, prefix)
+	}
+}

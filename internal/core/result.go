@@ -19,13 +19,30 @@ type Row struct {
 	Stats    stats.MemStats
 }
 
+// rowObserver, when set, sees every Row produced by Result or
+// Section.End. The cmd binaries use it to register each measured row's
+// counters into an obs.Registry so report/sweep/impulse-sim expose one
+// uniform metrics surface.
+var rowObserver func(Row)
+
+// SetRowObserver installs f as the package-wide row observer (nil
+// removes it). Not safe for concurrent use with running systems; call
+// it once during setup.
+func SetRowObserver(f func(Row)) { rowObserver = f }
+
+func observeRow(r Row) {
+	if rowObserver != nil {
+		rowObserver(r)
+	}
+}
+
 // Result summarizes the system's full run so far.
 func (s *System) Result(label string) (Row, error) {
 	st := s.Snapshot()
 	if err := st.CheckLoadClassification(); err != nil {
 		return Row{}, err
 	}
-	return Row{
+	r := Row{
 		Label:    label,
 		Cycles:   s.Now(),
 		L1Ratio:  st.L1HitRatio(),
@@ -33,7 +50,9 @@ func (s *System) Result(label string) (Row, error) {
 		MemRatio: st.MemHitRatio(),
 		AvgLoad:  st.AvgLoadTime(),
 		Stats:    st,
-	}, nil
+	}
+	observeRow(r)
+	return r, nil
 }
 
 // Section measures a timed portion of a run, NPB-style: initialization
@@ -58,7 +77,7 @@ func (sec Section) End(label string) (Row, error) {
 	if err := d.CheckLoadClassification(); err != nil {
 		return Row{}, err
 	}
-	return Row{
+	r := Row{
 		Label:    label,
 		Cycles:   sec.s.Now() - sec.t0,
 		L1Ratio:  d.L1HitRatio(),
@@ -66,7 +85,9 @@ func (sec Section) End(label string) (Row, error) {
 		MemRatio: d.MemHitRatio(),
 		AvgLoad:  d.AvgLoadTime(),
 		Stats:    d,
-	}, nil
+	}
+	observeRow(r)
+	return r, nil
 }
 
 // Speedup returns base time / r time, the paper's speedup convention

@@ -22,6 +22,7 @@ import (
 
 	"impulse/internal/addr"
 	"impulse/internal/bitutil"
+	"impulse/internal/obs"
 	"impulse/internal/stats"
 	"impulse/internal/timeline"
 )
@@ -134,6 +135,8 @@ type DRAM struct {
 	bankMask  uint64
 	rowShift  uint // applied to in-bank line index
 	st        *stats.MemStats
+	h         *obs.Hub
+	tracks    []obs.TrackID // one per bank
 }
 
 // New builds a DRAM model. st may be nil (no accounting).
@@ -156,6 +159,23 @@ func New(cfg Config, st *stats.MemStats) (*DRAM, error) {
 
 // Config returns the DRAM configuration.
 func (d *DRAM) Config() Config { return d.cfg }
+
+// AttachObs wires the DRAM into an observability hub: one trace track per
+// bank (so bank parallelism and row behaviour are visible side by side),
+// aggregate bank busy-cycles in the windowed series, and per-bank
+// accounting in the registry.
+func (d *DRAM) AttachObs(h *obs.Hub) {
+	d.h = h
+	d.tracks = make([]obs.TrackID, len(d.banks))
+	r := h.Reg()
+	for i := range d.banks {
+		d.tracks[i] = h.Track(fmt.Sprintf("dram.bank%02d", i))
+		b := &d.banks[i]
+		r.Gauge(fmt.Sprintf("dram.bank%02d.busy_cycles", i), b.busy.BusyCycles)
+		r.Gauge(fmt.Sprintf("dram.bank%02d.accesses", i), b.busy.Uses)
+	}
+	h.Series().SetBanks(d.cfg.Banks)
+}
 
 // Decode splits a bus address into (bank, row) coordinates.
 func (d *DRAM) Decode(p addr.PAddr) (bankIdx, row uint64) {
@@ -196,6 +216,7 @@ func (d *DRAM) access(at timeline.Time, p addr.PAddr, write bool) timeline.Time 
 		b.openRow = row
 		b.hasOpen = true
 	}
+	rowHit := lat == d.cfg.RowHit
 	if write {
 		d.st.DRAMWrites++
 		if d.cfg.WriteBusy > lat {
@@ -204,7 +225,18 @@ func (d *DRAM) access(at timeline.Time, p addr.PAddr, write bool) timeline.Time 
 	} else {
 		d.st.DRAMReads++
 	}
-	_, done := b.busy.Acquire(issued, lat)
+	start, done := b.busy.Acquire(issued, lat)
+	if d.h != nil {
+		name := "read row-miss"
+		switch {
+		case write:
+			name = "write"
+		case rowHit:
+			name = "read row-hit"
+		}
+		d.h.Span(d.tracks[bi], name, start, done)
+		d.h.Busy(obs.DRAMBusy, start, done)
+	}
 	return done
 }
 

@@ -61,6 +61,7 @@ func (g *Grid) Render(w io.Writer) error {
 		l2 := make([]float64, len(cells))
 		mem := make([]float64, len(cells))
 		avg := make([]interface{}, len(cells))
+		pct := make([]interface{}, len(cells))
 		sp := make([]interface{}, len(cells))
 		for i, c := range cells {
 			times[i] = stats.FormatCycles(c.Row.Cycles)
@@ -68,6 +69,8 @@ func (g *Grid) Render(w io.Writer) error {
 			l2[i] = c.Row.L2Ratio
 			mem[i] = c.Row.MemRatio
 			avg[i] = c.Row.AvgLoad
+			h := &cells[i].Row.Stats.LoadLatency
+			pct[i] = fmt.Sprintf("%d/%d/%d", h.Percentile(50), h.Percentile(95), h.Percentile(99))
 			if si == 0 && i == 0 {
 				sp[i] = "—"
 			} else {
@@ -79,6 +82,7 @@ func (g *Grid) Render(w io.Writer) error {
 		t.AddPercentRow("  L2 hit ratio", l2...)
 		t.AddPercentRow(" mem hit ratio", mem...)
 		t.AddRow(" avg load time", avg...)
+		t.AddRow("p50/95/99 load", pct...)
 		t.AddRow("       speedup", sp...)
 	}
 	_, err := io.WriteString(w, t.Render())

@@ -14,6 +14,9 @@ type JSONCell struct {
 	L2Ratio  float64 `json:"l2_hit_ratio"`
 	MemRatio float64 `json:"mem_hit_ratio"`
 	AvgLoad  float64 `json:"avg_load_time"`
+	P50Load  uint64  `json:"p50_load_time"`
+	P95Load  uint64  `json:"p95_load_time"`
+	P99Load  uint64  `json:"p99_load_time"`
 	Speedup  float64 `json:"speedup"`
 	Loads    uint64  `json:"loads"`
 	Stores   uint64  `json:"stores"`
@@ -40,6 +43,9 @@ func (g *Grid) WriteJSON(w io.Writer) error {
 				L2Ratio:  cell.Row.L2Ratio,
 				MemRatio: cell.Row.MemRatio,
 				AvgLoad:  cell.Row.AvgLoad,
+				P50Load:  cell.Row.Stats.LoadLatency.Percentile(50),
+				P95Load:  cell.Row.Stats.LoadLatency.Percentile(95),
+				P99Load:  cell.Row.Stats.LoadLatency.Percentile(99),
 				Speedup:  cell.Speedup,
 				Loads:    cell.Row.Stats.Loads,
 				Stores:   cell.Row.Stats.Stores,

@@ -7,6 +7,7 @@ import (
 	"impulse/internal/bitutil"
 	"impulse/internal/dram"
 	"impulse/internal/membuf"
+	"impulse/internal/obs"
 	"impulse/internal/stats"
 	"impulse/internal/timeline"
 	"impulse/internal/tlb"
@@ -93,6 +94,13 @@ type descState struct {
 	bufNext  int        // FIFO cursor
 	vecLines []uint64   // cached indirection-vector DRAM line addresses
 	vecNext  int
+
+	// Per-descriptor activity, exposed through the obs registry. Plain
+	// increments kept whether or not a hub is attached: one add per
+	// shadow-line event is cheaper than a branch is worth.
+	gathers    uint64 // demand lines built by gathering from DRAM
+	bufHits    uint64 // demand lines served from the prefetch buffer
+	prefetches uint64 // prefetch gathers launched
 }
 
 // Controller is the Impulse memory controller.
@@ -108,6 +116,9 @@ type Controller struct {
 
 	sram     []bufEntry
 	sramNext int
+
+	h     *obs.Hub
+	track obs.TrackID
 }
 
 // New builds a controller attached to the given DRAM model and simulated
@@ -140,6 +151,29 @@ func New(cfg Config, d *dram.DRAM, mem *membuf.Memory, st *stats.MemStats) (*Con
 
 // Config returns the controller configuration.
 func (c *Controller) Config() Config { return c.cfg }
+
+// AttachObs wires the controller into an observability hub: an "mc" trace
+// track (fills, gathers, buffer hits, prefetch launches) and registry
+// gauges for each descriptor slot's activity, so the effectiveness of the
+// paper's 256-byte per-descriptor prefetch buffers is directly readable.
+func (c *Controller) AttachObs(h *obs.Hub) {
+	c.h = h
+	c.track = h.Track("mc")
+	r := h.Reg()
+	for i := range c.descs {
+		ds := &c.descs[i]
+		name := fmt.Sprintf("mc.desc%d.", i)
+		r.Gauge(name+"active", func() uint64 {
+			if ds.active {
+				return 1
+			}
+			return 0
+		})
+		r.Counter(name+"gathers", &ds.gathers)
+		r.Counter(name+"buf_hits", &ds.bufHits)
+		r.Counter(name+"prefetches", &ds.prefetches)
+	}
+}
 
 // SetPrefetch enables or disables controller prefetching.
 func (c *Controller) SetPrefetch(on bool) { c.cfg.Prefetch = on }

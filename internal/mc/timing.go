@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"impulse/internal/addr"
+	"impulse/internal/obs"
 	"impulse/internal/timeline"
 )
 
@@ -32,8 +33,10 @@ func (c *Controller) readNormal(t0 timeline.Time, p addr.PAddr) timeline.Time {
 	if e := c.sramFind(la); e != nil {
 		c.st.MCPrefetchHits++
 		ready = maxTime(t0, e.readyAt)
+		c.h.Span(c.track, "sram-hit", t0, ready)
 	} else {
 		ready = c.dram.Read(t0, p)
+		c.h.Span(c.track, "fill", t0, ready)
 	}
 	if c.cfg.Prefetch {
 		next := la + 1
@@ -43,6 +46,7 @@ func (c *Controller) readNormal(t0 timeline.Time, p addr.PAddr) timeline.Time {
 			done := c.dram.Read(ready, nextP)
 			c.sramInsert(bufEntry{lineAddr: next, readyAt: done, valid: true})
 			c.st.MCPrefetches++
+			c.h.Span(c.track, "prefetch", ready, done)
 		}
 	}
 	return ready
@@ -81,12 +85,22 @@ func (c *Controller) readShadow(t0 timeline.Time, p addr.PAddr) (timeline.Time, 
 	var ready timeline.Time
 	if e := descBufFind(ds, la); e != nil {
 		c.st.SDescPrefHits++
+		ds.bufHits++
 		ready = maxTime(t0, e.readyAt)
+		if c.h != nil {
+			c.h.Span(c.track, "sdesc-hit", t0, ready)
+			c.h.Event(obs.SDescHit, t0)
+		}
 	} else {
 		var err error
 		ready, err = c.gather(t0, ds, p)
 		if err != nil {
 			return 0, err
+		}
+		ds.gathers++
+		if c.h != nil {
+			c.h.Span(c.track, "gather", t0, ready)
+			c.h.Event(obs.SDescMiss, t0)
 		}
 	}
 	if c.cfg.Prefetch {
@@ -120,6 +134,8 @@ func (c *Controller) descPrefetchNext(ds *descState, la uint64, issue timeline.T
 	ds.buf[ds.bufNext] = bufEntry{lineAddr: next, readyAt: done, valid: true}
 	ds.bufNext = (ds.bufNext + 1) % len(ds.buf)
 	c.st.SDescPrefetches++
+	ds.prefetches++
+	c.h.Span(c.track, "sdesc-prefetch", issue, done)
 	return nil
 }
 
@@ -301,6 +317,7 @@ func (c *Controller) WriteLine(at timeline.Time, p addr.PAddr) (timeline.Time, e
 			}
 		}
 	}
+	c.h.Span(c.track, "scatter", t0, done)
 	return done, nil
 }
 

@@ -1,0 +1,130 @@
+// Package obs is the simulator's cycle-attributed observability layer:
+// span tracing (exported as Chrome trace-event / Perfetto JSON), windowed
+// utilization time-series (exported as CSV or JSON), and a named-counter
+// registry with expvar-style text exposition.
+//
+// The design is pay-for-what-you-use. Components hold a *Hub pointer that
+// may be nil; every method is nil-safe, so an unattached machine does one
+// pointer comparison per instrumentation site and nothing else. Within a
+// Hub, each facility is independently enabled by Config: a Hub created
+// with a zero Config still carries a Registry (registration is one-time
+// setup cost, reads happen only at dump time) but records no spans and no
+// series samples.
+//
+// Observers never advance the simulated clock or touch any timeline
+// resource: attaching a Hub must not change a single simulated cycle.
+// The machine-level differential tests enforce this.
+//
+// Like the rest of the simulator, a Hub is single-threaded; it models the
+// paper's single-issue machine and carries no locks.
+package obs
+
+// Cycle is a simulated cycle count. It mirrors timeline.Time without
+// importing it, keeping obs a leaf package usable from every layer.
+type Cycle = uint64
+
+// TrackID names one hardware resource's timeline ("track" in the Perfetto
+// UI): the bus, the memory controller, one DRAM bank, the L2 port, the
+// CPU's memory pipeline. Track 0 is the zero value handed out by a nil
+// Hub; real tracks start at 1.
+type TrackID int
+
+// Config selects which facilities a Hub records.
+type Config struct {
+	// TraceLimit is the maximum number of span/instant events retained
+	// (0 disables span tracing). Past the limit events are counted as
+	// dropped but not stored, bounding memory on long runs.
+	TraceLimit int
+	// Window is the time-series bucket width in cycles (0 disables the
+	// series sampler).
+	Window uint64
+}
+
+// Hub is the per-machine observability sink.
+type Hub struct {
+	trace  *Trace
+	series *Series
+	reg    Registry
+	tracks []string // index = TrackID-1
+}
+
+// New builds a Hub. See Config for what each field enables.
+func New(cfg Config) *Hub {
+	h := &Hub{}
+	if cfg.TraceLimit > 0 {
+		h.trace = &Trace{limit: cfg.TraceLimit}
+	}
+	if cfg.Window > 0 {
+		h.series = &Series{window: cfg.Window}
+	}
+	return h
+}
+
+// Track registers a named track and returns its ID. A nil Hub returns 0.
+// Names are not deduplicated: attaching two machines to one Hub yields
+// two same-named tracks, which the trace viewer displays separately.
+func (h *Hub) Track(name string) TrackID {
+	if h == nil {
+		return 0
+	}
+	h.tracks = append(h.tracks, name)
+	return TrackID(len(h.tracks))
+}
+
+// Span records a named interval [start, end) on a track.
+func (h *Hub) Span(t TrackID, name string, start, end Cycle) {
+	if h == nil || h.trace == nil {
+		return
+	}
+	h.trace.add(traceEvent{track: t, name: name, start: start, end: end})
+}
+
+// Instant records a point event on a track.
+func (h *Hub) Instant(t TrackID, name string, at Cycle) {
+	if h == nil || h.trace == nil {
+		return
+	}
+	h.trace.add(traceEvent{track: t, name: name, start: at, end: at, instant: true})
+}
+
+// Busy attributes the cycles of [start, end) to a busy-cycle metric,
+// split across the windows the interval overlaps.
+func (h *Hub) Busy(m Metric, start, end Cycle) {
+	if h == nil || h.series == nil {
+		return
+	}
+	h.series.AddBusy(m, start, end)
+}
+
+// Event counts one occurrence of a count metric in the window holding at.
+func (h *Hub) Event(m Metric, at Cycle) {
+	if h == nil || h.series == nil {
+		return
+	}
+	h.series.AddEvent(m, at)
+}
+
+// Reg returns the Hub's counter registry (nil for a nil Hub; Registry
+// methods are themselves nil-safe).
+func (h *Hub) Reg() *Registry {
+	if h == nil {
+		return nil
+	}
+	return &h.reg
+}
+
+// Series returns the windowed sampler, or nil when disabled.
+func (h *Hub) Series() *Series {
+	if h == nil {
+		return nil
+	}
+	return h.series
+}
+
+// Trace returns the span buffer, or nil when disabled.
+func (h *Hub) Trace() *Trace {
+	if h == nil {
+		return nil
+	}
+	return h.trace
+}

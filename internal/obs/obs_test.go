@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilHubIsSafe(t *testing.T) {
+	var h *Hub
+	if id := h.Track("bus"); id != 0 {
+		t.Fatalf("nil hub Track = %d, want 0", id)
+	}
+	h.Span(0, "x", 1, 2)
+	h.Instant(0, "x", 1)
+	h.Busy(BusBusy, 0, 10)
+	h.Event(L1Hit, 3)
+	if h.Series() != nil || h.Trace() != nil {
+		t.Fatal("nil hub returned non-nil facilities")
+	}
+	r := h.Reg()
+	r.Counter("a", new(uint64)) // nil registry must also be safe
+	r.Gauge("b", func() uint64 { return 1 })
+	if err := r.WriteText(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesBucketing(t *testing.T) {
+	s := &Series{window: 10}
+	s.AddBusy(BusBusy, 5, 8)   // window 0: 3
+	s.AddBusy(BusBusy, 8, 23)  // windows 0,1,2: 2,10,3
+	s.AddBusy(BusBusy, 40, 40) // empty interval: nothing
+	s.AddEvent(L1Hit, 0)       // window 0
+	s.AddEvent(L1Hit, 9)       // window 0
+	s.AddEvent(L1Hit, 10)      // window 1
+	s.AddEvent(L1Miss, 35)     // window 3
+	if got := s.Values(BusBusy); got[0] != 5 || got[1] != 10 || got[2] != 3 {
+		t.Fatalf("bus busy per window = %v, want [5 10 3 ...]", got)
+	}
+	if got := s.Values(L1Hit); got[0] != 2 || got[1] != 1 {
+		t.Fatalf("l1 hits per window = %v, want [2 1 ...]", got)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("series has %d windows, want 4", s.Len())
+	}
+
+	var csv bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 5 { // header + 4 windows
+		t.Fatalf("CSV has %d lines, want 5:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasPrefix(lines[0], "window_start,bus_busy,") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,5,") {
+		t.Fatalf("window 0 row = %q", lines[1])
+	}
+
+	var js bytes.Buffer
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Window  uint64              `json:"window_cycles"`
+		Metrics map[string][]uint64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatalf("series JSON invalid: %v", err)
+	}
+	if decoded.Window != 10 || decoded.Metrics["bus_busy"][1] != 10 {
+		t.Fatalf("series JSON content wrong: %+v", decoded)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	var r Registry
+	c := uint64(7)
+	r.Counter("mem.Loads", &c)
+	r.Gauge("machine.cycles", func() uint64 { return 42 })
+	c = 9 // counters are live
+	if v, ok := r.Value("mem.Loads"); !ok || v != 9 {
+		t.Fatalf("Value(mem.Loads) = %d,%v want 9,true", v, ok)
+	}
+	// Re-registration replaces, does not duplicate.
+	r.Gauge("machine.cycles", func() uint64 { return 43 })
+	if r.Len() != 2 {
+		t.Fatalf("registry has %d entries, want 2", r.Len())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "machine.cycles 43\nmem.Loads 9\n"
+	if buf.String() != want {
+		t.Fatalf("dump = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTraceLimitAndPerfettoJSON(t *testing.T) {
+	h := New(Config{TraceLimit: 3})
+	bus := h.Track("bus")
+	bank := h.Track("dram.bank00")
+	h.Span(bus, "req", 0, 4)
+	h.Span(bank, "read miss", 7, 27)
+	h.Instant(bus, "drop", 30)
+	h.Span(bus, "xfer", 31, 47) // over the limit: dropped
+	if h.Trace().Len() != 3 || h.Trace().Dropped() != 1 {
+		t.Fatalf("trace len=%d dropped=%d, want 3,1", h.Trace().Len(), h.Trace().Dropped())
+	}
+
+	var buf bytes.Buffer
+	if err := h.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+		OtherData   struct {
+			Dropped uint64 `json:"dropped_events"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v\n%s", err, buf.String())
+	}
+	if doc.OtherData.Dropped != 1 {
+		t.Fatalf("dropped_events = %d, want 1", doc.OtherData.Dropped)
+	}
+	var threadNames []string
+	var spans, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			if ev["name"] == "thread_name" {
+				threadNames = append(threadNames, ev["args"].(map[string]interface{})["name"].(string))
+			}
+		case "X":
+			spans++
+		case "i":
+			instants++
+		}
+	}
+	if len(threadNames) != 2 || threadNames[0] != "bus" || threadNames[1] != "dram.bank00" {
+		t.Fatalf("thread names = %v", threadNames)
+	}
+	if spans != 2 || instants != 1 {
+		t.Fatalf("spans=%d instants=%d, want 2,1", spans, instants)
+	}
+}
+
+func TestWriteTraceWithoutTracing(t *testing.T) {
+	h := New(Config{})
+	if err := h.WriteTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteTrace on a hub without tracing should error")
+	}
+}

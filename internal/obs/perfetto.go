@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// traceEvent is one recorded span or instant. Names are expected to be
+// compile-time constants at the instrumentation sites, so retaining the
+// string costs a header, not a copy.
+type traceEvent struct {
+	track   TrackID
+	name    string
+	start   Cycle
+	end     Cycle
+	instant bool
+}
+
+// Trace is a bounded in-memory span buffer.
+type Trace struct {
+	limit   int
+	events  []traceEvent
+	dropped uint64
+}
+
+func (t *Trace) add(e traceEvent) {
+	if len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Len returns the number of retained events.
+func (t *Trace) Len() int { return len(t.events) }
+
+// Dropped returns how many events were discarded past the limit.
+func (t *Trace) Dropped() uint64 { return t.dropped }
+
+// WriteTrace emits the Hub's spans as Chrome trace-event JSON (the format
+// both chrome://tracing and ui.perfetto.dev load). One trace "thread" per
+// registered track; ts/dur are simulated cycles written as microseconds,
+// so 1 ms of viewer time is 1000 cycles.
+func (h *Hub) WriteTrace(w io.Writer) error {
+	if h == nil || h.trace == nil {
+		return fmt.Errorf("obs: span tracing was not enabled")
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(s)
+	}
+	emit(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"impulse machine"}}`)
+	for i, name := range h.tracks {
+		emit(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			i+1, strconv.Quote(name)))
+		// sort_index keeps tracks in registration order (cpu, bus, mc,
+		// banks...) rather than alphabetical.
+		emit(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
+			i+1, i))
+	}
+	for _, e := range h.trace.events {
+		if e.instant {
+			emit(fmt.Sprintf(`{"ph":"i","pid":1,"tid":%d,"ts":%d,"s":"t","cat":"sim","name":%s}`,
+				int(e.track), e.start, strconv.Quote(e.name)))
+			continue
+		}
+		dur := uint64(1) // zero-width spans are invisible; clamp to 1 cycle
+		if e.end > e.start {
+			dur = e.end - e.start
+		}
+		emit(fmt.Sprintf(`{"ph":"X","pid":1,"tid":%d,"ts":%d,"dur":%d,"cat":"sim","name":%s}`,
+			int(e.track), e.start, dur, strconv.Quote(e.name)))
+	}
+	if _, err := fmt.Fprintf(bw, "\n],\"otherData\":{\"dropped_events\":%d}}\n", h.trace.dropped); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Registry is a named counter/gauge registry with expvar-style text
+// exposition: one "name value" line per entry, sorted by name. Counters
+// are registered as *uint64 and read at dump time, so live simulator
+// counters (MemStats fields, timeline.Resource accounting, controller
+// descriptor activity) cost nothing between dumps. The zero value is
+// ready to use; all methods are nil-safe so unobserved components can
+// register unconditionally.
+type Registry struct {
+	names []string
+	fns   map[string]func() uint64
+}
+
+// Counter registers a live counter by pointer. Registering a name twice
+// replaces the earlier entry (the newest machine wins).
+func (r *Registry) Counter(name string, p *uint64) {
+	r.Gauge(name, func() uint64 { return *p })
+}
+
+// Gauge registers a computed value.
+func (r *Registry) Gauge(name string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	if r.fns == nil {
+		r.fns = make(map[string]func() uint64)
+	}
+	if _, seen := r.fns[name]; !seen {
+		r.names = append(r.names, name)
+	}
+	r.fns[name] = fn
+}
+
+// Value reads one entry.
+func (r *Registry) Value(name string) (uint64, bool) {
+	if r == nil || r.fns[name] == nil {
+		return 0, false
+	}
+	return r.fns[name](), true
+}
+
+// Len returns the number of registered entries.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.names)
+}
+
+// WriteText dumps every entry as "name value\n", sorted by name.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	names := append([]string(nil), r.names...)
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, r.fns[n]()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

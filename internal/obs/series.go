@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Metric indexes one column of the windowed time-series. The set is fixed
+// (an array per window, no map lookups on the hot path): the quantities
+// §4 of the paper uses to explain where cycles go.
+type Metric int
+
+const (
+	// BusBusy is bus-occupied cycles (request + data phases).
+	BusBusy Metric = iota
+	// DRAMBusy is bank-occupied cycles summed over all banks.
+	DRAMBusy
+	// L1Hit / L1Miss classify each load at the L1.
+	L1Hit
+	L1Miss
+	// L2Hit / L2Miss classify each load that reached the L2.
+	L2Hit
+	L2Miss
+	// SDescHit / SDescMiss classify each shadow-line fill by whether a
+	// descriptor prefetch buffer supplied it.
+	SDescHit
+	SDescMiss
+	numMetrics
+)
+
+var metricNames = [numMetrics]string{
+	"bus_busy", "dram_busy",
+	"l1_hits", "l1_misses", "l2_hits", "l2_misses",
+	"sdesc_hits", "sdesc_misses",
+}
+
+// String returns the metric's export column name.
+func (m Metric) String() string {
+	if m >= 0 && m < numMetrics {
+		return metricNames[m]
+	}
+	return fmt.Sprintf("Metric(%d)", int(m))
+}
+
+type windowCounts [numMetrics]uint64
+
+// Series buckets busy-cycles and event counts into fixed-width cycle
+// windows, making phase behaviour visible that end-of-run aggregates
+// average away. Samples may arrive out of time order (background
+// activity completes in the future); windows grow on demand.
+type Series struct {
+	window uint64
+	banks  uint64 // DRAM bank count, for utilization normalization
+	wins   []windowCounts
+}
+
+// Window returns the bucket width in cycles.
+func (s *Series) Window() uint64 { return s.window }
+
+// SetBanks records the DRAM bank count used to normalize DRAMBusy into a
+// utilization. Nil-safe (called from attach paths that may lack a series).
+func (s *Series) SetBanks(n uint64) {
+	if s != nil {
+		s.banks = n
+	}
+}
+
+// Len returns the number of windows touched so far.
+func (s *Series) Len() int { return len(s.wins) }
+
+func (s *Series) grow(win int) {
+	for len(s.wins) <= win {
+		s.wins = append(s.wins, windowCounts{})
+	}
+}
+
+// AddBusy attributes the cycles of [start, end) to metric m, split across
+// the overlapped windows.
+func (s *Series) AddBusy(m Metric, start, end Cycle) {
+	if end <= start {
+		return
+	}
+	w := s.window
+	first := int(start / w)
+	last := int((end - 1) / w)
+	s.grow(last)
+	if first == last {
+		s.wins[first][m] += end - start
+		return
+	}
+	s.wins[first][m] += uint64(first+1)*w - start
+	for i := first + 1; i < last; i++ {
+		s.wins[i][m] += w
+	}
+	s.wins[last][m] += end - uint64(last)*w
+}
+
+// AddEvent counts one occurrence of m in the window holding at.
+func (s *Series) AddEvent(m Metric, at Cycle) {
+	win := int(at / s.window)
+	s.grow(win)
+	s.wins[win][m]++
+}
+
+// Values returns one metric's per-window values (shared backing removed:
+// the slice is freshly allocated).
+func (s *Series) Values(m Metric) []uint64 {
+	out := make([]uint64, len(s.wins))
+	for i := range s.wins {
+		out[i] = s.wins[i][m]
+	}
+	return out
+}
+
+func rate(hit, miss uint64) float64 {
+	if hit+miss == 0 {
+		return 0
+	}
+	return float64(hit) / float64(hit+miss)
+}
+
+// WriteCSV emits the series as one row per window: the window's starting
+// cycle, raw counts for every metric, and derived utilizations/rates.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "window_start,%s,%s,%s,%s,%s,%s,%s,%s,bus_util,dram_util,l1_hit_rate,l2_hit_rate,sdesc_hit_rate\n",
+		metricNames[0], metricNames[1], metricNames[2], metricNames[3],
+		metricNames[4], metricNames[5], metricNames[6], metricNames[7]); err != nil {
+		return err
+	}
+	for i, win := range s.wins {
+		busUtil := float64(win[BusBusy]) / float64(s.window)
+		dramUtil := 0.0
+		if s.banks > 0 {
+			dramUtil = float64(win[DRAMBusy]) / float64(s.window*s.banks)
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			uint64(i)*s.window,
+			win[BusBusy], win[DRAMBusy],
+			win[L1Hit], win[L1Miss], win[L2Hit], win[L2Miss],
+			win[SDescHit], win[SDescMiss],
+			busUtil, dramUtil,
+			rate(win[L1Hit], win[L1Miss]),
+			rate(win[L2Hit], win[L2Miss]),
+			rate(win[SDescHit], win[SDescMiss])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seriesJSON is the machine-readable envelope for WriteJSON.
+type seriesJSON struct {
+	Window  uint64              `json:"window_cycles"`
+	Banks   uint64              `json:"dram_banks"`
+	Windows int                 `json:"windows"`
+	Metrics map[string][]uint64 `json:"metrics"`
+}
+
+// WriteJSON emits the raw per-window counts keyed by metric name.
+func (s *Series) WriteJSON(w io.Writer) error {
+	out := seriesJSON{
+		Window:  s.window,
+		Banks:   s.banks,
+		Windows: len(s.wins),
+		Metrics: make(map[string][]uint64, numMetrics),
+	}
+	for m := Metric(0); m < numMetrics; m++ {
+		out.Metrics[metricNames[m]] = s.Values(m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -11,6 +11,7 @@ import (
 	"impulse/internal/kernel"
 	"impulse/internal/mc"
 	"impulse/internal/membuf"
+	"impulse/internal/obs"
 	"impulse/internal/stats"
 	"impulse/internal/timeline"
 	"impulse/internal/tlb"
@@ -48,6 +49,10 @@ type Machine struct {
 	l2LineMask uint64
 
 	tracer Tracer
+
+	// obs is the observability hub (nil = not attached, near-zero cost).
+	obs      *obs.Hub
+	cpuTrack obs.TrackID
 }
 
 // New builds a machine.
@@ -165,6 +170,7 @@ func (m *Machine) translate(v addr.VAddr) addr.PAddr {
 	}
 	m.St.TLBMisses++
 	m.St.TLBWalkCost += m.cfg.TLBMissPenalty
+	m.obs.Span(m.cpuTrack, "tlb-walk", m.clock, m.clock+m.cfg.TLBMissPenalty)
 	m.clock += m.cfg.TLBMissPenalty
 	m.TLB.Insert(v.PageNum(), p.PageNum())
 	return p
@@ -275,6 +281,9 @@ func (m *Machine) load(v addr.VAddr, size uint64) uint64 {
 		m.St.L1LoadHits++
 		m.finishLoad(start, done)
 		m.traceLoad(v, p, size, start, LevelL1)
+		if m.obs != nil {
+			m.obsLoad(start, LevelL1)
+		}
 		return value
 	}
 
@@ -286,6 +295,9 @@ func (m *Machine) load(v addr.VAddr, size uint64) uint64 {
 		m.fillL1(v, p, done)
 		m.finishLoad(start, done)
 		m.traceLoad(v, p, size, start, LevelL2)
+		if m.obs != nil {
+			m.obsLoad(start, LevelL2)
+		}
 		m.maybeL1Prefetch(v, done)
 		return value
 	}
@@ -296,6 +308,9 @@ func (m *Machine) load(v addr.VAddr, size uint64) uint64 {
 	m.St.MemLoads++
 	m.finishLoad(start, done)
 	m.traceLoad(v, p, size, start, LevelMem)
+	if m.obs != nil {
+		m.obsLoad(start, LevelMem)
+	}
 	m.maybeL1Prefetch(v, done)
 	return value
 }

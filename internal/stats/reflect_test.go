@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"impulse/internal/obs"
+)
+
+// fillDistinct sets every uint64 field of s (including LatencyHist
+// scalars and buckets) to a distinct non-zero value derived from seed.
+func fillDistinct(s *MemStats, seed uint64) {
+	n := seed
+	var walk func(v reflect.Value)
+	walk = func(v reflect.Value) {
+		switch v.Kind() {
+		case reflect.Uint64:
+			n++
+			v.SetUint(n)
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				walk(v.Field(i))
+			}
+		case reflect.Array:
+			for i := 0; i < v.Len(); i++ {
+				walk(v.Index(i))
+			}
+		default:
+			// TestMemStatsFieldKinds rejects anything else.
+		}
+	}
+	walk(reflect.ValueOf(s).Elem())
+}
+
+// TestMemStatsFieldKinds pins the structural assumption behind the
+// hand-maintained Add/Delta lists and the reflective Register walk:
+// every MemStats field is a uint64 counter or the LatencyHist.
+func TestMemStatsFieldKinds(t *testing.T) {
+	t.Parallel()
+	histType := reflect.TypeOf(LatencyHist{})
+	st := reflect.TypeOf(MemStats{})
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if f.Type.Kind() != reflect.Uint64 && f.Type != histType {
+			t.Errorf("MemStats.%s has kind %s; Add/Delta/Register only handle uint64 and LatencyHist",
+				f.Name, f.Type)
+		}
+	}
+	ht := reflect.TypeOf(LatencyHist{})
+	for i := 0; i < ht.NumField(); i++ {
+		f := ht.Field(i)
+		k := f.Type.Kind()
+		if k != reflect.Uint64 && !(k == reflect.Array && f.Type.Elem().Kind() == reflect.Uint64) {
+			t.Errorf("LatencyHist.%s has kind %s; expected uint64 or [N]uint64", f.Name, f.Type)
+		}
+	}
+}
+
+// TestAddCoversEveryField catches the classic drift bug: a new field
+// added to MemStats but forgotten in Add. Adding a fully-distinct
+// struct to a zero struct must reproduce it exactly (LatencyHist.Max
+// uses max, which equals the operand when starting from zero).
+func TestAddCoversEveryField(t *testing.T) {
+	t.Parallel()
+	var src, dst MemStats
+	fillDistinct(&src, 100)
+	dst.Add(&src)
+	if !reflect.DeepEqual(dst, src) {
+		t.Errorf("Add from zero does not reproduce the source; some field is missing from Add:\n got %+v\nwant %+v", dst, src)
+	}
+}
+
+// TestDeltaCoversEveryField: after - before must equal the increment
+// that was applied between the two snapshots, for every uint64 field.
+// (LatencyHist.Max is documented to keep the 'after' value; it is
+// excluded by construction since fillDistinct makes after.Max larger.)
+func TestDeltaCoversEveryField(t *testing.T) {
+	t.Parallel()
+	var before, inc MemStats
+	fillDistinct(&before, 1000)
+	fillDistinct(&inc, 5000)
+	after := before
+	after.Add(&inc)
+	got := Delta(&before, &after)
+	// Delta documents that Max is carried from `after`, not subtracted.
+	want := inc
+	want.LoadLatency.Max = after.LoadLatency.Max
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Delta(before, before+inc) != inc; some field is missing from Delta:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRegisterExposesEveryField checks that the reflective Register
+// walk emits one registry entry per uint64 field plus the LoadLatency
+// components, and that entries are live pointers.
+func TestRegisterExposesEveryField(t *testing.T) {
+	t.Parallel()
+	var s MemStats
+	var r obs.Registry
+	s.Register(&r, "stats.")
+
+	st := reflect.TypeOf(MemStats{})
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if f.Type.Kind() != reflect.Uint64 {
+			continue
+		}
+		if _, ok := r.Value("stats." + f.Name); !ok {
+			t.Errorf("field %s not registered", f.Name)
+		}
+	}
+	for _, name := range []string{
+		"stats.LoadLatency.Count", "stats.LoadLatency.Total", "stats.LoadLatency.Max",
+		"stats.LoadLatency.P50", "stats.LoadLatency.P95", "stats.LoadLatency.P99",
+	} {
+		if _, ok := r.Value(name); !ok {
+			t.Errorf("%s not registered", name)
+		}
+	}
+
+	s.Loads = 42
+	s.LoadLatency.Observe(7)
+	s.LoadLatency.Observe(100)
+	if v, _ := r.Value("stats.Loads"); v != 42 {
+		t.Errorf("stats.Loads = %d, want 42 (registry must read live state)", v)
+	}
+	if v, _ := r.Value("stats.LoadLatency.Count"); v != 2 {
+		t.Errorf("LoadLatency.Count = %d, want 2", v)
+	}
+	if v, _ := r.Value("stats.LoadLatency.P99"); v == 0 {
+		t.Error("LoadLatency.P99 = 0 after observations")
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "stats.Loads 42\n") {
+		t.Errorf("dump missing live stats.Loads line:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,31 @@
+package stats
+
+import (
+	"reflect"
+
+	"impulse/internal/obs"
+)
+
+// Register exposes every MemStats counter in r under prefix. Fields are
+// discovered by reflection, so a counter added to the struct shows up in
+// the registry dump without touching this file (TestMemStatsFieldKinds
+// guards the assumption that every field is a uint64 or a LatencyHist).
+// The LoadLatency histogram is exposed as its scalar components plus
+// percentile upper bounds, evaluated lazily at dump time.
+func (s *MemStats) Register(r *obs.Registry, prefix string) {
+	v := reflect.ValueOf(s).Elem()
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := v.Field(i)
+		if f.Kind() == reflect.Uint64 {
+			r.Counter(prefix+t.Field(i).Name, f.Addr().Interface().(*uint64))
+		}
+	}
+	h := &s.LoadLatency
+	r.Counter(prefix+"LoadLatency.Count", &h.Count)
+	r.Counter(prefix+"LoadLatency.Total", &h.Total)
+	r.Counter(prefix+"LoadLatency.Max", &h.Max)
+	r.Gauge(prefix+"LoadLatency.P50", func() uint64 { return h.Percentile(50) })
+	r.Gauge(prefix+"LoadLatency.P95", func() uint64 { return h.Percentile(95) })
+	r.Gauge(prefix+"LoadLatency.P99", func() uint64 { return h.Percentile(99) })
+}

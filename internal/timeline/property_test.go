@@ -1,0 +1,86 @@
+package timeline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAccountingProperty drives a Resource with seeded-random interleaved
+// Acquire and Reset operations and checks it against a reference model:
+//
+//   - BusyCycles is the sum of durations since the last Reset, Uses the
+//     number of reservations since the last Reset.
+//   - A reservation never starts before its request time and never before
+//     the end of the previous reservation (time never goes backwards,
+//     even when request times jump around).
+//   - The installed observer sees exactly the (start, end) pair returned
+//     by every Acquire, including ones made after a Reset.
+func TestAccountingProperty(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var r Resource
+
+		type span struct{ start, end Time }
+		var observed []span
+		r.Observe(func(start, end Time) { observed = append(observed, span{start, end}) })
+
+		var (
+			wantBusy, wantUses uint64
+			wantUntil, prevEnd Time
+			acquires           int
+		)
+		for op := 0; op < 500; op++ {
+			if rng.Intn(10) == 0 {
+				r.Reset()
+				wantBusy, wantUses, wantUntil, prevEnd = 0, 0, 0, 0
+				if r.BusyCycles() != 0 || r.Uses() != 0 || r.BusyUntil() != 0 {
+					t.Fatalf("seed %d op %d: Reset left accounting: busy=%d uses=%d until=%d",
+						seed, op, r.BusyCycles(), r.Uses(), r.BusyUntil())
+				}
+				continue
+			}
+			// Request times deliberately non-monotone: background
+			// activity (prefetches, writebacks) reserves future time
+			// while the CPU is still in the past.
+			at := Time(rng.Intn(10000))
+			dur := uint64(rng.Intn(50))
+			start, end := r.Acquire(at, dur)
+			acquires++
+
+			if start < at {
+				t.Fatalf("seed %d op %d: start %d before request %d", seed, op, start, at)
+			}
+			if start < prevEnd {
+				t.Fatalf("seed %d op %d: start %d before previous reservation end %d (time went backwards)",
+					seed, op, start, prevEnd)
+			}
+			if end != start+dur {
+				t.Fatalf("seed %d op %d: end %d != start %d + dur %d", seed, op, end, start, dur)
+			}
+			wantStart := at
+			if wantUntil > wantStart {
+				wantStart = wantUntil
+			}
+			if start != wantStart {
+				t.Fatalf("seed %d op %d: start %d, model says %d", seed, op, start, wantStart)
+			}
+			prevEnd = end
+			wantUntil = end
+			wantBusy += dur
+			wantUses++
+			if r.BusyCycles() != wantBusy || r.Uses() != wantUses || r.BusyUntil() != wantUntil {
+				t.Fatalf("seed %d op %d: accounting busy=%d uses=%d until=%d, model %d/%d/%d",
+					seed, op, r.BusyCycles(), r.Uses(), r.BusyUntil(), wantBusy, wantUses, wantUntil)
+			}
+			if len(observed) != acquires {
+				t.Fatalf("seed %d op %d: observer saw %d reservations, want %d (did Reset drop it?)",
+					seed, op, len(observed), acquires)
+			}
+			if got := observed[len(observed)-1]; got.start != start || got.end != end {
+				t.Fatalf("seed %d op %d: observer saw [%d,%d), Acquire returned [%d,%d)",
+					seed, op, got.start, got.end, start, end)
+			}
+		}
+	}
+}

@@ -13,13 +13,25 @@ package timeline
 // Time is a cycle count since simulation start.
 type Time = uint64
 
+// AcquireObserver receives each reservation made on a Resource, after its
+// start/end have been decided. Observers must not mutate the resource;
+// they exist so the observability layer can attribute busy time to cycle
+// windows and trace tracks without the resource knowing about either.
+type AcquireObserver func(start, end Time)
+
 // Resource serializes use of one hardware unit. The zero value is an idle
 // resource.
 type Resource struct {
 	busyUntil  Time
 	busyCycles uint64
 	uses       uint64
+	obs        AcquireObserver
 }
+
+// Observe installs (or clears, with nil) the reservation observer. The
+// observer survives Reset: accounting state is per-run, instrumentation
+// is per-machine.
+func (r *Resource) Observe(f AcquireObserver) { r.obs = f }
 
 // Acquire reserves the resource for dur cycles starting no earlier than at,
 // and no earlier than the end of any previous reservation. It returns the
@@ -33,6 +45,9 @@ func (r *Resource) Acquire(at Time, dur uint64) (start, end Time) {
 	r.busyUntil = end
 	r.busyCycles += dur
 	r.uses++
+	if r.obs != nil {
+		r.obs(start, end)
+	}
 	return start, end
 }
 
@@ -45,5 +60,6 @@ func (r *Resource) BusyCycles() uint64 { return r.busyCycles }
 // Uses returns how many reservations have been made.
 func (r *Resource) Uses() uint64 { return r.uses }
 
-// Reset returns the resource to idle and clears its accounting.
-func (r *Resource) Reset() { *r = Resource{} }
+// Reset returns the resource to idle and clears its accounting. The
+// installed observer, if any, is preserved.
+func (r *Resource) Reset() { *r = Resource{obs: r.obs} }

@@ -1,0 +1,107 @@
+package tracefile
+
+import (
+	"bytes"
+	"testing"
+
+	"impulse/internal/addr"
+	"impulse/internal/core"
+	"impulse/internal/obs"
+)
+
+// TestReplayMatchesLiveSeries is the observability differential test: a
+// conventional run's recorded trace, replayed on an identical machine,
+// must produce the identical windowed bus-occupancy (and DRAM-occupancy)
+// time-series as the original execution-driven run — window by window,
+// not just in total. This pins down both directions at once: the replay
+// path loses no timing information, and attaching an obs hub observes
+// the run without perturbing it.
+//
+// Determinism requires the two runs to see the same physical layout and
+// the same cycle spacing, so the live side mirrors Replay's conventions:
+// pages are hand-mapped in first-touch order before the timed loop (as
+// Replay pre-maps), and each access is followed by Tick(1) (matching
+// perAccessTicks=1).
+func TestReplayMatchesLiveSeries(t *testing.T) {
+	const (
+		window = 2000
+		region = 128 << 10 // bytes; 32 pages
+		base   = addr.VAddr(1 << 22)
+	)
+
+	live := newSys(t, core.PrefetchNone)
+	liveHub := obs.New(obs.Config{Window: window})
+	live.AttachObs(liveHub)
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.SetTracer(w.Attach())
+
+	// Map the region in sequential page order — the order the trace's
+	// first touches will request frames in, so Replay reproduces the
+	// same virtual-to-physical layout on its fresh machine.
+	for pg := base.PageNum(); pg <= (uint64(base)+region-1)>>addr.PageShift; pg++ {
+		f, err := live.K.AllocFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := live.K.MapPage(pg, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A sequential pass (fills caches, establishes first-touch order),
+	// then a strided read/write pass (bus and writeback traffic with
+	// structure across windows).
+	for off := uint64(0); off < region; off += 8 {
+		live.Load64(base + addr.VAddr(off))
+		live.Tick(1)
+	}
+	for stride := uint64(256); stride >= 64; stride /= 2 {
+		for off := uint64(0); off < region; off += stride {
+			live.Store64(base+addr.VAddr(off), off)
+			live.Tick(1)
+			live.Load64(base + addr.VAddr(off^8))
+			live.Tick(1)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records captured")
+	}
+
+	replay := newSys(t, core.PrefetchNone)
+	replayHub := obs.New(obs.Config{Window: window})
+	replay.AttachObs(replayHub)
+	if _, err := Replay(replay, recs, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	if live.Now() != replay.Now() {
+		t.Errorf("cycle counts diverge: live %d, replay %d", live.Now(), replay.Now())
+	}
+	for _, m := range []obs.Metric{obs.BusBusy, obs.DRAMBusy} {
+		lv, rv := liveHub.Series().Values(m), replayHub.Series().Values(m)
+		if len(lv) == 0 {
+			t.Fatalf("%v: live series empty", m)
+		}
+		if len(lv) != len(rv) {
+			t.Fatalf("%v: window counts diverge: live %d, replay %d", m, len(lv), len(rv))
+		}
+		for i := range lv {
+			if lv[i] != rv[i] {
+				t.Errorf("%v window %d: live %d, replay %d", m, i, lv[i], rv[i])
+			}
+		}
+	}
+}
