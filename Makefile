@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench tables report sweeps examples fmt vet clean
+.PHONY: all build test test-short race bench bench-json ci tables report sweeps examples fmt vet clean
 
 all: build vet test race
 
@@ -20,6 +20,23 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-json runs the benchmark suite and writes the machine-readable
+# results committed with each PR (name, ns/op, B/op, allocs/op, and the
+# sim-cycles metric). Progress streams to stderr while it runs.
+BENCH_JSON ?= BENCH_PR2.json
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
+
+# ci is the pre-PR gate: formatting, vet, build, full tests, and the
+# race detector over the short suite. Run it before every PR.
+ci:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race -short ./...
 
 tables:
 	$(GO) run ./cmd/table1

@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench -benchmem` text output
+// (read from stdin) into a stable JSON document, so benchmark results
+// can be committed and diffed across PRs (`make bench-json`).
+//
+// Each benchmark line becomes one record:
+//
+//	{"name": "SimL1Hit", "ns_per_op": 23.58, "bytes_per_op": 0,
+//	 "allocs_per_op": 0, "iterations": 48036778}
+//
+// Custom metrics (the sim benchmarks report "sim-cycles") are carried
+// through in a "metrics" map. Non-benchmark lines are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkSimL1Hit-8  48036778  23.58 ns/op  0 B/op  0 allocs/op  12 sim-cycles
+//
+// returning ok=false for anything that is not a benchmark result.
+func parseLine(line string) (record, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return record{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return record{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix so names are machine-independent.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	r := record{Name: name, Iterations: iters}
+	// Remaining fields come in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return record{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, true
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+
+	var recs []record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		// Mirror the raw line to stderr so piping through benchjson
+		// doesn't hide the live benchmark progress.
+		fmt.Fprintln(os.Stderr, sc.Text())
+		if r, ok := parseLine(sc.Text()); ok {
+			recs = append(recs, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(recs) == 0 {
+		log.Fatal("no benchmark lines found on stdin (run: go test -run '^$' -bench . -benchmem | benchjson)")
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		log.Fatal(err)
+	}
+}

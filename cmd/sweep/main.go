@@ -11,6 +11,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"strings"
 
 	"impulse/internal/core"
 	"impulse/internal/harness"
@@ -18,52 +20,86 @@ import (
 	"impulse/internal/workloads"
 )
 
+// experiment is one named entry of the sweep. The table below is the
+// single source of truth: the -exp usage string, input validation, and
+// the run order are all derived from it.
+type experiment struct {
+	name string
+	run  func(w io.Writer) error
+}
+
+func experiments() []experiment {
+	cgPar := workloads.CGParams{N: 4096, Nonzer: 6, Niter: 1, CGIts: 4, Shift: 10, RCond: 0.1}
+	return []experiment{
+		{"scheduler", func(w io.Writer) error { return harness.SchedulerAblation(cgPar, w) }},
+		{"superpage", func(w io.Writer) error { return harness.SuperpageExperiment(2048, 4, w) }},
+		{"ipc", func(w io.Writer) error { return harness.IPCExperiment(32, 1024, 4, w) }},
+		{"sram", func(w io.Writer) error {
+			return harness.PrefetchBufferSweep([]uint64{128, 256, 512, 1024, 2048, 4096, 8192}, w)
+		}},
+		{"stride", func(w io.Writer) error {
+			return harness.GatherStrideSweep([]int{1, 2, 4, 8, 16, 32}, 16384, w)
+		}},
+		{"policy", func(w io.Writer) error { return harness.PagePolicyAblation(cgPar, w) }},
+		{"geometry", func(w io.Writer) error {
+			return harness.CacheGeometrySweep(cgPar, []uint64{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}, w)
+		}},
+		{"cholesky", func(w io.Writer) error { return harness.CholeskyExperiment(256, 32, w) }},
+		{"spark", func(w io.Writer) error { return harness.SparkExperiment(300, 300, 1, w) }},
+		{"db", func(w io.Writer) error { return harness.DBExperiment(workloads.DBDefault(), 16, w) }},
+		{"superscalar", func(w io.Writer) error {
+			// Larger geometry: the prediction is about memory-bound runs.
+			par := workloads.CGParams{N: 14000, Nonzer: 7, Niter: 1, CGIts: 3, Shift: 20, RCond: 0.1}
+			return harness.SuperscalarExperiment(par, []uint64{1, 2, 4, 8}, w)
+		}},
+	}
+}
+
+// names returns the valid -exp values, in run order, "all" last.
+func names(exps []experiment) []string {
+	ns := make([]string, 0, len(exps)+1)
+	for _, e := range exps {
+		ns = append(ns, e.name)
+	}
+	return append(ns, "all")
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
-	exp := flag.String("exp", "all", "experiment: scheduler|superpage|ipc|sram|stride|policy|geometry|cholesky|spark|superscalar|db|all")
+	exps := experiments()
+	valid := names(exps)
+	exp := flag.String("exp", "all", "experiment: "+strings.Join(valid, "|"))
 	counters := flag.String("counters", "", "dump every measured row's counters to this file after the run (\"-\" for stdout)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for experiment rows (output is identical for any value)")
 	flag.Parse()
+	harness.SetWorkers(*jobs)
+
+	found := false
+	for _, n := range valid {
+		if *exp == n {
+			found = true
+			break
+		}
+	}
+	if !found {
+		log.Fatalf("unknown experiment %q; valid: %s", *exp, strings.Join(valid, ", "))
+	}
 
 	var reg obs.Registry
 	if *counters != "" {
 		core.SetRowObserver(core.CollectRows(&reg))
 	}
 
-	cgPar := workloads.CGParams{N: 4096, Nonzer: 6, Niter: 1, CGIts: 4, Shift: 10, RCond: 0.1}
-	run := func(name string, f func() error) {
-		if *exp != "all" && *exp != name {
-			return
+	for _, e := range exps {
+		if *exp != "all" && *exp != e.name {
+			continue
 		}
-		if err := f(); err != nil {
-			log.Fatalf("%s: %v", name, err)
+		if err := e.run(os.Stdout); err != nil {
+			log.Fatalf("%s: %v", e.name, err)
 		}
 		fmt.Println()
 	}
-
-	run("scheduler", func() error { return harness.SchedulerAblation(cgPar, os.Stdout) })
-	run("superpage", func() error { return harness.SuperpageExperiment(2048, 4, os.Stdout) })
-	run("ipc", func() error { return harness.IPCExperiment(32, 1024, 4, os.Stdout) })
-	run("sram", func() error {
-		return harness.PrefetchBufferSweep([]uint64{128, 256, 512, 1024, 2048, 4096, 8192}, os.Stdout)
-	})
-	run("stride", func() error {
-		return harness.GatherStrideSweep([]int{1, 2, 4, 8, 16, 32}, 16384, os.Stdout)
-	})
-	run("policy", func() error { return harness.PagePolicyAblation(cgPar, os.Stdout) })
-	run("geometry", func() error {
-		return harness.CacheGeometrySweep(cgPar, []uint64{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}, os.Stdout)
-	})
-	run("cholesky", func() error { return harness.CholeskyExperiment(256, 32, os.Stdout) })
-	run("spark", func() error { return harness.SparkExperiment(300, 300, 1, os.Stdout) })
-	run("db", func() error {
-		return harness.DBExperiment(workloads.DBDefault(), 16, os.Stdout)
-	})
-	run("superscalar", func() error {
-		// Larger geometry: the prediction is about memory-bound runs.
-		par := workloads.CGParams{N: 14000, Nonzer: 7, Niter: 1, CGIts: 3, Shift: 20, RCond: 0.1}
-		return harness.SuperscalarExperiment(par, []uint64{1, 2, 4, 8}, os.Stdout)
-	})
 
 	if *counters != "" {
 		w := io.Writer(os.Stdout)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"impulse"
 )
@@ -30,7 +31,9 @@ func main() {
 	shift := flag.Float64("shift", par.Shift, "diagonal shift")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of the text table")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for table cells (output is identical for any value)")
 	flag.Parse()
+	impulse.SetWorkers(*jobs)
 
 	par.N, par.Nonzer, par.Niter, par.CGIts, par.Shift = *n, *nonzer, *niter, *cgits, *shift
 	if *full {

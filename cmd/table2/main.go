@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"impulse"
 )
@@ -25,7 +26,9 @@ func main() {
 	tile := flag.Int("tile", def.Tile, "tile dimension (paper: 32)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of the text table")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for table cells (output is identical for any value)")
 	flag.Parse()
+	impulse.SetWorkers(*jobs)
 
 	par := impulse.MMPParams{N: *n, Tile: *tile}
 	progress := func(section, column string) {

@@ -132,6 +132,14 @@ func RunMMP(s *System, par MMPParams, mode workloads.MMPMode) (workloads.MMPResu
 	return workloads.RunMMP(s, par, mode)
 }
 
+// SetWorkers sets the number of worker goroutines experiment rows fan
+// across (the cmd binaries' -j flag). Output is byte-identical for any
+// worker count; see internal/harness's pool for the determinism rules.
+func SetWorkers(n int) { harness.SetWorkers(n) }
+
+// Workers returns the configured experiment pool width.
+func Workers() int { return harness.Workers() }
+
 // Table1 regenerates the paper's Table 1 at the given geometry.
 func Table1(par CGParams, progress harness.Progress) (*Grid, error) {
 	return harness.Table1(par, progress)

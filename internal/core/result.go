@@ -27,13 +27,29 @@ var rowObserver func(Row)
 
 // SetRowObserver installs f as the package-wide row observer (nil
 // removes it). Not safe for concurrent use with running systems; call
-// it once during setup.
+// it once during setup. Systems built with a per-system RowObserver
+// (Options.RowObserver) bypass the global observer entirely — that is
+// how the parallel experiment pool keeps row observation deterministic:
+// workers buffer rows locally and the pool replays them through EmitRow
+// in submission order.
 func SetRowObserver(f func(Row)) { rowObserver = f }
 
-func observeRow(r Row) {
+// EmitRow delivers r to the global row observer (if any). The harness
+// pool uses it to replay per-task buffered rows in submission order
+// after a parallel run, so registry contents are independent of worker
+// scheduling. Call it only from one goroutine at a time.
+func EmitRow(r Row) {
 	if rowObserver != nil {
 		rowObserver(r)
 	}
+}
+
+func (s *System) observeRow(r Row) {
+	if s.rowObs != nil {
+		s.rowObs(r)
+		return
+	}
+	EmitRow(r)
 }
 
 // Result summarizes the system's full run so far.
@@ -51,7 +67,7 @@ func (s *System) Result(label string) (Row, error) {
 		AvgLoad:  st.AvgLoadTime(),
 		Stats:    st,
 	}
-	observeRow(r)
+	s.observeRow(r)
 	return r, nil
 }
 
@@ -86,7 +102,7 @@ func (sec Section) End(label string) (Row, error) {
 		AvgLoad:  d.AvgLoadTime(),
 		Stats:    d,
 	}
-	observeRow(r)
+	sec.s.observeRow(r)
 	return r, nil
 }
 

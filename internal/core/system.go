@@ -95,15 +95,21 @@ type Options struct {
 	// Config optionally overrides the machine configuration. Nil means
 	// sim.DefaultConfig().
 	Config *sim.Config
+	// RowObserver, when non-nil, receives every Row this system produces
+	// (Result / Section.End) instead of the package-global observer set
+	// with SetRowObserver. The parallel experiment pool injects one per
+	// task so concurrent systems never touch shared observer state.
+	RowObserver func(Row)
 }
 
 // System is an Impulse (or conventional) machine plus its OS interface.
 type System struct {
 	*sim.Machine
 
-	kind  ControllerKind
-	pf    PrefetchPolicy
-	costs Costs
+	kind   ControllerKind
+	pf     PrefetchPolicy
+	costs  Costs
+	rowObs func(Row)
 
 	// Pseudo-virtual space bump allocator for descriptor targets.
 	pvNext uint64
@@ -127,6 +133,7 @@ func NewSystem(opts Options) (*System, error) {
 		kind:    opts.Controller,
 		pf:      opts.Prefetch,
 		costs:   opts.Costs,
+		rowObs:  opts.RowObserver,
 		pvNext:  0x1_0000_0000,
 	}
 	m.SetMCPrefetch(opts.Prefetch == PrefetchMC || opts.Prefetch == PrefetchBoth)

@@ -44,22 +44,28 @@ func CacheGeometrySweep(par workloads.CGParams, l2Sizes []uint64, w io.Writer) e
 	}
 
 	cols := make([]string, len(l2Sizes))
+	for i, size := range l2Sizes {
+		cols[i] = fmt.Sprintf("L2=%dK", size>>10)
+	}
+	// The captured trace is shared read-only; each replay gets its own
+	// machine at the configured L2 capacity.
+	rows, err := Run(len(l2Sizes), func(i int, tc *TaskCtx) (core.Row, error) {
+		cfg := sim.DefaultConfig()
+		cfg.L2.Bytes = l2Sizes[i]
+		s, err := tc.NewSystem(core.Options{Controller: core.Conventional, Config: &cfg})
+		if err != nil {
+			return core.Row{}, err
+		}
+		return tracefile.Replay(s, recs, 2)
+	})
+	if err != nil {
+		return err
+	}
 	l1r := make([]float64, len(l2Sizes))
 	l2r := make([]float64, len(l2Sizes))
 	memr := make([]float64, len(l2Sizes))
 	avg := make([]interface{}, len(l2Sizes))
-	for i, size := range l2Sizes {
-		cols[i] = fmt.Sprintf("L2=%dK", size>>10)
-		cfg := sim.DefaultConfig()
-		cfg.L2.Bytes = size
-		s, err := core.NewSystem(core.Options{Controller: core.Conventional, Config: &cfg})
-		if err != nil {
-			return err
-		}
-		row, err := tracefile.Replay(s, recs, 2)
-		if err != nil {
-			return err
-		}
+	for i, row := range rows {
 		l1r[i], l2r[i], memr[i] = row.L1Ratio, row.L2Ratio, row.MemRatio
 		avg[i] = row.AvgLoad
 	}

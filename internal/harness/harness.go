@@ -102,7 +102,10 @@ func (g *Grid) fillSpeedups() {
 	}
 }
 
-// Progress is an optional callback invoked before each cell runs.
+// Progress is an optional callback invoked before each cell runs. With
+// a parallel pool (SetWorkers > 1) it is called from worker goroutines,
+// concurrently and in no particular order; implementations must be safe
+// for that (a plain fmt.Fprintf to stderr is).
 type Progress func(section, column string)
 
 // Table1 regenerates the paper's Table 1 ("Simulated results for the NAS
@@ -123,31 +126,36 @@ func Table1(par workloads.CGParams, progress Progress) (*Grid, error) {
 	}
 	g := &Grid{Title: fmt.Sprintf("Table 1: NAS conjugate gradient (n=%d, nnz=%d, %d CG iterations)",
 		par.N, m.NNZ(), par.Niter*par.CGIts)}
-	for _, sec := range sections {
-		g.Sections = append(g.Sections, sec.name)
-		var cells []Cell
-		for ci, pf := range prefetchColumns {
-			if progress != nil {
-				progress(sec.name, columnNames[ci])
-			}
-			s, err := core.NewSystem(core.Options{
-				Controller: controllerFor(sec.mode != workloads.CGConventional, pf),
-				Prefetch:   pf,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := workloads.RunCG(s, par, sec.mode, m)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s/%s: %w", sec.name, columnNames[ci], err)
-			}
-			if res.Zeta != wantZeta || res.RNorm != wantRNorm {
-				return nil, fmt.Errorf("harness: %s/%s computed zeta=%v rnorm=%v, reference %v/%v",
-					sec.name, columnNames[ci], res.Zeta, res.RNorm, wantZeta, wantRNorm)
-			}
-			cells = append(cells, Cell{Row: res.Row})
+	nc := len(prefetchColumns)
+	cells, err := Run(len(sections)*nc, func(idx int, tc *TaskCtx) (Cell, error) {
+		sec, ci := sections[idx/nc], idx%nc
+		pf := prefetchColumns[ci]
+		if progress != nil {
+			progress(sec.name, columnNames[ci])
 		}
-		g.Cells = append(g.Cells, cells)
+		s, err := tc.NewSystem(core.Options{
+			Controller: controllerFor(sec.mode != workloads.CGConventional, pf),
+			Prefetch:   pf,
+		})
+		if err != nil {
+			return Cell{}, err
+		}
+		res, err := workloads.RunCG(s, par, sec.mode, m)
+		if err != nil {
+			return Cell{}, fmt.Errorf("harness: %s/%s: %w", sec.name, columnNames[ci], err)
+		}
+		if res.Zeta != wantZeta || res.RNorm != wantRNorm {
+			return Cell{}, fmt.Errorf("harness: %s/%s computed zeta=%v rnorm=%v, reference %v/%v",
+				sec.name, columnNames[ci], res.Zeta, res.RNorm, wantZeta, wantRNorm)
+		}
+		return Cell{Row: res.Row}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sec := range sections {
+		g.Sections = append(g.Sections, sec.name)
+		g.Cells = append(g.Cells, cells[si*nc:(si+1)*nc])
 	}
 	g.fillSpeedups()
 	return g, nil
@@ -168,31 +176,36 @@ func Table2(par workloads.MMPParams, progress Progress) (*Grid, error) {
 	}
 	g := &Grid{Title: fmt.Sprintf("Table 2: tiled matrix-matrix product (%dx%d, %dx%d tiles)",
 		par.N, par.N, par.Tile, par.Tile)}
-	for _, sec := range sections {
-		g.Sections = append(g.Sections, sec.name)
-		var cells []Cell
-		for ci, pf := range prefetchColumns {
-			if progress != nil {
-				progress(sec.name, columnNames[ci])
-			}
-			s, err := core.NewSystem(core.Options{
-				Controller: controllerFor(sec.mode == workloads.MMPTileRemap, pf),
-				Prefetch:   pf,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := workloads.RunMMP(s, par, sec.mode)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s/%s: %w", sec.name, columnNames[ci], err)
-			}
-			if res.Checksum != want {
-				return nil, fmt.Errorf("harness: %s/%s checksum %v != reference %v",
-					sec.name, columnNames[ci], res.Checksum, want)
-			}
-			cells = append(cells, Cell{Row: res.Row})
+	nc := len(prefetchColumns)
+	cells, err := Run(len(sections)*nc, func(idx int, tc *TaskCtx) (Cell, error) {
+		sec, ci := sections[idx/nc], idx%nc
+		pf := prefetchColumns[ci]
+		if progress != nil {
+			progress(sec.name, columnNames[ci])
 		}
-		g.Cells = append(g.Cells, cells)
+		s, err := tc.NewSystem(core.Options{
+			Controller: controllerFor(sec.mode == workloads.MMPTileRemap, pf),
+			Prefetch:   pf,
+		})
+		if err != nil {
+			return Cell{}, err
+		}
+		res, err := workloads.RunMMP(s, par, sec.mode)
+		if err != nil {
+			return Cell{}, fmt.Errorf("harness: %s/%s: %w", sec.name, columnNames[ci], err)
+		}
+		if res.Checksum != want {
+			return Cell{}, fmt.Errorf("harness: %s/%s checksum %v != reference %v",
+				sec.name, columnNames[ci], res.Checksum, want)
+		}
+		return Cell{Row: res.Row}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sec := range sections {
+		g.Sections = append(g.Sections, sec.name)
+		g.Cells = append(g.Cells, cells[si*nc:(si+1)*nc])
 	}
 	g.fillSpeedups()
 	return g, nil
@@ -203,22 +216,18 @@ func Table2(par workloads.MMPParams, progress Progress) (*Grid, error) {
 // Impulse strided remapping.
 func Figure1(dim, sweeps int, w io.Writer) error {
 	want := workloads.RefDiagonal(dim)
-	conv, err := core.NewSystem(core.Options{Controller: core.Conventional})
+	kinds := []core.ControllerKind{core.Conventional, core.Impulse}
+	rows, err := Run(len(kinds), func(i int, tc *TaskCtx) (workloads.DiagResult, error) {
+		s, err := tc.NewSystem(core.Options{Controller: kinds[i]})
+		if err != nil {
+			return workloads.DiagResult{}, err
+		}
+		return workloads.RunDiagonal(s, dim, sweeps, kinds[i] == core.Impulse)
+	})
 	if err != nil {
 		return err
 	}
-	rc, err := workloads.RunDiagonal(conv, dim, sweeps, false)
-	if err != nil {
-		return err
-	}
-	imp, err := core.NewSystem(core.Options{Controller: core.Impulse})
-	if err != nil {
-		return err
-	}
-	ri, err := workloads.RunDiagonal(imp, dim, sweeps, true)
-	if err != nil {
-		return err
-	}
+	rc, ri := rows[0], rows[1]
 	if rc.Sum != want || ri.Sum != want {
 		return fmt.Errorf("harness: figure 1 sums %v/%v != reference %v", rc.Sum, ri.Sum, want)
 	}

@@ -1,0 +1,139 @@
+// Parallel experiment engine. Every table and sweep in this package is a
+// set of independent simulator configurations — separate *sim.Machine
+// instances that share nothing but read-only inputs (a sparse matrix, a
+// captured trace). The pool fans those rows across worker goroutines and
+// re-serializes everything that must stay deterministic:
+//
+//   - results are returned in submission order, so rendered tables are
+//     byte-identical to a serial run regardless of worker count;
+//   - rows observed through core's row-observer mechanism are buffered
+//     per task and replayed through core.EmitRow in submission order, so
+//     registry dumps (-counters) are byte-identical too;
+//   - on error, the surfaced error is the one from the lowest-index
+//     failing task — never a scheduling-dependent "first past the post".
+//
+// Determinism is the property that makes a simulator useful as a sweep
+// platform: `-j 8` must be a faster spelling of `-j 1`, nothing more.
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"impulse/internal/core"
+)
+
+// workers is the pool width used by Run. Set once at startup (flag
+// parsing) via SetWorkers; not safe to change while a Run is in flight.
+var workers = runtime.GOMAXPROCS(0)
+
+// SetWorkers sets the number of worker goroutines experiment rows fan
+// across. n < 1 means 1 (serial). Call it during setup, before any
+// experiment runs.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	workers = n
+}
+
+// Workers returns the configured pool width.
+func Workers() int { return workers }
+
+// TaskCtx is the per-task context handed to every pool task. Systems
+// built through it buffer their observed rows locally; the pool replays
+// them in submission order after the parallel phase, keeping the global
+// row observer (and therefore -counters output) deterministic.
+type TaskCtx struct {
+	rows []core.Row
+}
+
+// NewSystem builds a core.System whose rows are captured by this task.
+// Pool tasks must create systems through this method (not core.NewSystem
+// directly), or their rows would race on the global observer.
+func (tc *TaskCtx) NewSystem(opts core.Options) (*core.System, error) {
+	opts.RowObserver = func(r core.Row) { tc.rows = append(tc.rows, r) }
+	return core.NewSystem(opts)
+}
+
+// Observe adds a row to the task's buffered row log directly (for tasks
+// that synthesize rows without a System, e.g. trace replays).
+func (tc *TaskCtx) Observe(r core.Row) { tc.rows = append(tc.rows, r) }
+
+// Run executes n independent tasks across the configured worker count
+// and returns their results in submission order. task is called with the
+// task index and a fresh TaskCtx; it must not share mutable state with
+// other tasks.
+//
+// Error semantics: if any task fails, Run returns the error of the
+// lowest-index failing task and cancels tasks with higher indices that
+// have not started yet. This is deterministic regardless of scheduling:
+// a task is skipped only when a lower-index task has already failed, so
+// the lowest-index task that would fail always runs, and its error
+// always wins.
+func Run[T any](n int, task func(i int, tc *TaskCtx) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	ctxs := make([]*TaskCtx, n)
+	errs := make([]error, n)
+
+	var (
+		mu       sync.Mutex
+		firstErr = n // lowest failing index so far; n = none
+		next     atomic.Int64
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+
+	w := workers
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1))
+			if i >= n {
+				return
+			}
+			mu.Lock()
+			cancelled := firstErr < i
+			mu.Unlock()
+			if cancelled {
+				continue
+			}
+			tc := &TaskCtx{}
+			res, err := task(i, tc)
+			if err != nil {
+				errs[i] = err // only worker i writes slot i
+				mu.Lock()
+				if i < firstErr {
+					firstErr = i
+				}
+				mu.Unlock()
+				continue
+			}
+			results[i] = res
+			ctxs[i] = tc
+		}
+	}
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go worker()
+	}
+	wg.Wait()
+
+	if firstErr < n {
+		return nil, errs[firstErr]
+	}
+	// Replay buffered rows in submission order on the caller's goroutine.
+	for _, tc := range ctxs {
+		for _, r := range tc.rows {
+			core.EmitRow(r)
+		}
+	}
+	return results, nil
+}

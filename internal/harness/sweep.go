@@ -23,10 +23,11 @@ import (
 // strided vector accesses", §5).
 func SchedulerAblation(par workloads.CGParams, w io.Writer) error {
 	m := workloads.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
-	run := func(order dram.Order) (core.Row, error) {
+	orders := []dram.Order{dram.InOrder, dram.RowMajor}
+	rows, err := Run(len(orders), func(i int, tc *TaskCtx) (core.Row, error) {
 		cfg := sim.DefaultConfig()
-		cfg.MC.Order = order
-		s, err := core.NewSystem(core.Options{
+		cfg.MC.Order = orders[i]
+		s, err := tc.NewSystem(core.Options{
 			Controller: core.Impulse,
 			Prefetch:   core.PrefetchMC,
 			Config:     &cfg,
@@ -39,15 +40,11 @@ func SchedulerAblation(par workloads.CGParams, w io.Writer) error {
 			return core.Row{}, err
 		}
 		return res.Row, nil
-	}
-	inOrder, err := run(dram.InOrder)
+	})
 	if err != nil {
 		return err
 	}
-	rowMajor, err := run(dram.RowMajor)
-	if err != nil {
-		return err
-	}
+	inOrder, rowMajor := rows[0], rows[1]
 	t := stats.NewTable("DRAM scheduler ablation (scatter/gather CG, controller prefetch)",
 		"in-order (paper)", "row-major (future work)")
 	t.AddRow("cycles", stats.FormatCycles(inOrder.Cycles), stats.FormatCycles(rowMajor.Cycles))
@@ -70,10 +67,10 @@ func SchedulerAblation(par workloads.CGParams, w io.Writer) error {
 // thrashes every row buffer while row-major grouping keeps rows open.
 func schedulerAdversarial(w io.Writer) error {
 	const elems = 8192
-	run := func(order dram.Order) (core.Row, error) {
+	run := func(order dram.Order, tc *TaskCtx) (core.Row, error) {
 		cfg := sim.DefaultConfig()
 		cfg.MC.Order = order
-		s, err := core.NewSystem(core.Options{Controller: core.Impulse, Config: &cfg})
+		s, err := tc.NewSystem(core.Options{Controller: core.Impulse, Config: &cfg})
 		if err != nil {
 			return core.Row{}, err
 		}
@@ -111,14 +108,14 @@ func schedulerAdversarial(w io.Writer) error {
 		}
 		return sec.End(order.String())
 	}
-	inOrder, err := run(dram.InOrder)
+	orders := []dram.Order{dram.InOrder, dram.RowMajor}
+	rows, err := Run(len(orders), func(i int, tc *TaskCtx) (core.Row, error) {
+		return run(orders[i], tc)
+	})
 	if err != nil {
 		return err
 	}
-	rowMajor, err := run(dram.RowMajor)
-	if err != nil {
-		return err
-	}
+	inOrder, rowMajor := rows[0], rows[1]
 	t := stats.NewTable("DRAM scheduler ablation (adversarial row-alternating gather)",
 		"in-order (paper)", "row-major (future work)")
 	t.AddRow("cycles", stats.FormatCycles(inOrder.Cycles), stats.FormatCycles(rowMajor.Cycles))
@@ -136,8 +133,8 @@ func schedulerAdversarial(w io.Writer) error {
 // on SPECint95. The workload is a page-strided walk over a region far
 // beyond TLB reach.
 func SuperpageExperiment(pages, sweeps int, w io.Writer) error {
-	run := func(super bool) (core.Row, error) {
-		s, err := core.NewSystem(core.Options{Controller: core.Impulse})
+	run := func(super bool, tc *TaskCtx) (core.Row, error) {
+		s, err := tc.NewSystem(core.Options{Controller: core.Impulse})
 		if err != nil {
 			return core.Row{}, err
 		}
@@ -165,14 +162,13 @@ func SuperpageExperiment(pages, sweeps int, w io.Writer) error {
 		}
 		return sec.End(label)
 	}
-	base, err := run(false)
+	rows, err := Run(2, func(i int, tc *TaskCtx) (core.Row, error) {
+		return run(i == 1, tc)
+	})
 	if err != nil {
 		return err
 	}
-	sp, err := run(true)
-	if err != nil {
-		return err
-	}
+	base, sp := rows[0], rows[1]
 	t := stats.NewTable(
 		fmt.Sprintf("Superpages from non-contiguous pages ([21]): %d-page strided walk, %d sweeps", pages, sweeps),
 		"4K pages", "Impulse superpage")
@@ -187,22 +183,18 @@ func SuperpageExperiment(pages, sweeps int, w io.Writer) error {
 // IPCExperiment quantifies §6's no-copy message gather.
 func IPCExperiment(bufCount, wordsPerBuf, messages int, w io.Writer) error {
 	want := workloads.RefIPC(bufCount, wordsPerBuf, messages)
-	conv, err := core.NewSystem(core.Options{Controller: core.Conventional})
+	kinds := []core.ControllerKind{core.Conventional, core.Impulse}
+	rows, err := Run(len(kinds), func(i int, tc *TaskCtx) (workloads.IPCResult, error) {
+		s, err := tc.NewSystem(core.Options{Controller: kinds[i]})
+		if err != nil {
+			return workloads.IPCResult{}, err
+		}
+		return workloads.RunIPC(s, bufCount, wordsPerBuf, messages, kinds[i] == core.Impulse)
+	})
 	if err != nil {
 		return err
 	}
-	rc, err := workloads.RunIPC(conv, bufCount, wordsPerBuf, messages, false)
-	if err != nil {
-		return err
-	}
-	imp, err := core.NewSystem(core.Options{Controller: core.Impulse})
-	if err != nil {
-		return err
-	}
-	ri, err := workloads.RunIPC(imp, bufCount, wordsPerBuf, messages, true)
-	if err != nil {
-		return err
-	}
+	rc, ri := rows[0], rows[1]
 	if rc.Checksum != want || ri.Checksum != want {
 		return fmt.Errorf("harness: IPC checksums %v/%v != %v", rc.Checksum, ri.Checksum, want)
 	}
@@ -229,24 +221,24 @@ func PrefetchBufferSweep(sizes []uint64, w io.Writer) error {
 	const streams = 12
 	const perStream = 128 << 10
 	cols := make([]string, len(sizes))
-	cycles := make([]interface{}, len(sizes))
-	hits := make([]interface{}, len(sizes))
 	for i, size := range sizes {
 		cols[i] = fmt.Sprintf("%dB", size)
+	}
+	rows, err := Run(len(sizes), func(i int, tc *TaskCtx) (core.Row, error) {
 		cfg := sim.DefaultConfig()
-		cfg.MC.SRAMBytes = size
-		s, err := core.NewSystem(core.Options{
+		cfg.MC.SRAMBytes = sizes[i]
+		s, err := tc.NewSystem(core.Options{
 			Controller: core.Impulse,
 			Prefetch:   core.PrefetchMC,
 			Config:     &cfg,
 		})
 		if err != nil {
-			return err
+			return core.Row{}, err
 		}
 		bases := make([]addr.VAddr, streams)
 		for j := range bases {
 			if bases[j], err = s.Alloc(perStream, 0); err != nil {
-				return err
+				return core.Row{}, err
 			}
 		}
 		sec := s.BeginSection()
@@ -256,10 +248,14 @@ func PrefetchBufferSweep(sizes []uint64, w io.Writer) error {
 				s.Tick(1)
 			}
 		}
-		row, err := sec.End(cols[i])
-		if err != nil {
-			return err
-		}
+		return sec.End(cols[i])
+	})
+	if err != nil {
+		return err
+	}
+	cycles := make([]interface{}, len(sizes))
+	hits := make([]interface{}, len(sizes))
+	for i, row := range rows {
 		cycles[i] = stats.FormatCycles(row.Cycles)
 		hits[i] = row.Stats.MCPrefetchHits
 	}
@@ -267,7 +263,7 @@ func PrefetchBufferSweep(sizes []uint64, w io.Writer) error {
 		fmt.Sprintf("Controller prefetch SRAM sweep (%d interleaved streams)", streams), cols...)
 	t.AddRow("cycles", cycles...)
 	t.AddRow("SRAM hits", hits...)
-	_, err := io.WriteString(w, t.Render())
+	_, err = io.WriteString(w, t.Render())
 	return err
 }
 
@@ -277,55 +273,57 @@ func PrefetchBufferSweep(sizes []uint64, w io.Writer) error {
 // the behaviour behind §2.2's per-descriptor prefetch buffers.
 func GatherStrideSweep(strides []int, elems int, w io.Writer) error {
 	cols := make([]string, len(strides))
-	noPF := make([]interface{}, len(strides))
-	withPF := make([]interface{}, len(strides))
 	for i, stride := range strides {
 		cols[i] = fmt.Sprintf("stride %d", stride)
-		for _, pf := range []bool{false, true} {
-			opt := core.Options{Controller: core.Impulse}
-			if pf {
-				opt.Prefetch = core.PrefetchMC
-			}
-			s, err := core.NewSystem(opt)
-			if err != nil {
-				return err
-			}
-			xN := uint64(elems * stride)
-			x, err := s.Alloc(xN*8, 0)
-			if err != nil {
-				return err
-			}
-			vec, err := s.Alloc(uint64(elems)*4, 0)
-			if err != nil {
-				return err
-			}
-			for k := 0; k < elems; k++ {
-				s.Store32(vec+addr.VAddr(4*k), uint32(k*stride))
-			}
-			alias, err := s.MapScatterGather(x, xN*8, 8, vec, uint64(elems), 0)
-			if err != nil {
-				return err
-			}
-			sec := s.BeginSection()
-			for k := 0; k < elems; k++ {
-				s.LoadF64(alias + addr.VAddr(8*k))
-				s.Tick(1)
-			}
-			row, err := sec.End(cols[i])
-			if err != nil {
-				return err
-			}
-			if pf {
-				withPF[i] = row.AvgLoad
-			} else {
-				noPF[i] = row.AvgLoad
-			}
+	}
+	// Task order matches the serial loop: stride-major, no-prefetch first.
+	rows, err := Run(2*len(strides), func(idx int, tc *TaskCtx) (core.Row, error) {
+		i, pf := idx/2, idx%2 == 1
+		stride := strides[i]
+		opt := core.Options{Controller: core.Impulse}
+		if pf {
+			opt.Prefetch = core.PrefetchMC
 		}
+		s, err := tc.NewSystem(opt)
+		if err != nil {
+			return core.Row{}, err
+		}
+		xN := uint64(elems * stride)
+		x, err := s.Alloc(xN*8, 0)
+		if err != nil {
+			return core.Row{}, err
+		}
+		vec, err := s.Alloc(uint64(elems)*4, 0)
+		if err != nil {
+			return core.Row{}, err
+		}
+		for k := 0; k < elems; k++ {
+			s.Store32(vec+addr.VAddr(4*k), uint32(k*stride))
+		}
+		alias, err := s.MapScatterGather(x, xN*8, 8, vec, uint64(elems), 0)
+		if err != nil {
+			return core.Row{}, err
+		}
+		sec := s.BeginSection()
+		for k := 0; k < elems; k++ {
+			s.LoadF64(alias + addr.VAddr(8*k))
+			s.Tick(1)
+		}
+		return sec.End(cols[i])
+	})
+	if err != nil {
+		return err
+	}
+	noPF := make([]interface{}, len(strides))
+	withPF := make([]interface{}, len(strides))
+	for i := range strides {
+		noPF[i] = rows[2*i].AvgLoad
+		withPF[i] = rows[2*i+1].AvgLoad
 	}
 	t := stats.NewTable(fmt.Sprintf("Gather avg load time vs indirection stride (%d elements)", elems), cols...)
 	t.AddRow("no prefetch", noPF...)
 	t.AddRow("controller prefetch", withPF...)
-	_, err := io.WriteString(w, t.Render())
+	_, err = io.WriteString(w, t.Render())
 	return err
 }
 
@@ -334,32 +332,32 @@ func GatherStrideSweep(strides []int, elems int, w io.Writer) error {
 // verified against the host reference.
 func CholeskyExperiment(n, tile int, w io.Writer) error {
 	want := workloads.RefCholesky(n, tile)
-	run := func(kind core.ControllerKind, mode workloads.CholeskyMode) (core.Row, error) {
-		s, err := core.NewSystem(core.Options{Controller: kind})
+	configs := []struct {
+		kind core.ControllerKind
+		mode workloads.CholeskyMode
+	}{
+		{core.Conventional, workloads.CholNoCopy},
+		{core.Conventional, workloads.CholCopy},
+		{core.Impulse, workloads.CholRemap},
+	}
+	rows, err := Run(len(configs), func(i int, tc *TaskCtx) (core.Row, error) {
+		s, err := tc.NewSystem(core.Options{Controller: configs[i].kind})
 		if err != nil {
 			return core.Row{}, err
 		}
-		res, err := workloads.RunCholesky(s, n, tile, mode)
+		res, err := workloads.RunCholesky(s, n, tile, configs[i].mode)
 		if err != nil {
 			return core.Row{}, err
 		}
 		if res.Checksum != want {
-			return core.Row{}, fmt.Errorf("harness: cholesky %v checksum %v != reference %v", mode, res.Checksum, want)
+			return core.Row{}, fmt.Errorf("harness: cholesky %v checksum %v != reference %v", configs[i].mode, res.Checksum, want)
 		}
 		return res.Row, nil
-	}
-	nocopy, err := run(core.Conventional, workloads.CholNoCopy)
+	})
 	if err != nil {
 		return err
 	}
-	cp, err := run(core.Conventional, workloads.CholCopy)
-	if err != nil {
-		return err
-	}
-	remap, err := run(core.Impulse, workloads.CholRemap)
-	if err != nil {
-		return err
-	}
+	nocopy, cp, remap := rows[0], rows[1], rows[2]
 	t := stats.NewTable(
 		fmt.Sprintf("Tiled Cholesky factorization (§3.2 extension): %dx%d, %dx%d tiles", n, n, tile, tile),
 		"no-copy", "tile copy", "Impulse remap")
@@ -381,12 +379,21 @@ func CholeskyExperiment(n, tile int, w io.Writer) error {
 func SparkExperiment(nodesX, nodesY, iters int, w io.Writer) error {
 	mesh := workloads.MakeSparkMesh(nodesX, nodesY)
 	want := workloads.RefSpark(mesh, iters)
-	run := func(kind core.ControllerKind, pf core.PrefetchPolicy, gather bool) (core.Row, error) {
-		s, err := core.NewSystem(core.Options{Controller: kind, Prefetch: pf})
+	configs := []struct {
+		kind   core.ControllerKind
+		pf     core.PrefetchPolicy
+		gather bool
+	}{
+		{core.Conventional, core.PrefetchNone, false},
+		{core.Impulse, core.PrefetchNone, true},
+		{core.Impulse, core.PrefetchMC, true},
+	}
+	rows, err := Run(len(configs), func(i int, tc *TaskCtx) (core.Row, error) {
+		s, err := tc.NewSystem(core.Options{Controller: configs[i].kind, Prefetch: configs[i].pf})
 		if err != nil {
 			return core.Row{}, err
 		}
-		res, err := workloads.RunSpark(s, mesh, iters, gather)
+		res, err := workloads.RunSpark(s, mesh, iters, configs[i].gather)
 		if err != nil {
 			return core.Row{}, err
 		}
@@ -394,19 +401,11 @@ func SparkExperiment(nodesX, nodesY, iters int, w io.Writer) error {
 			return core.Row{}, fmt.Errorf("harness: spark checksum %v != reference %v", res.Checksum, want)
 		}
 		return res.Row, nil
-	}
-	conv, err := run(core.Conventional, core.PrefetchNone, false)
+	})
 	if err != nil {
 		return err
 	}
-	sg, err := run(core.Impulse, core.PrefetchNone, true)
-	if err != nil {
-		return err
-	}
-	sgPF, err := run(core.Impulse, core.PrefetchMC, true)
-	if err != nil {
-		return err
-	}
+	conv, sg, sgPF := rows[0], rows[1], rows[2]
 	t := stats.NewTable(
 		fmt.Sprintf("Spark98-style symmetric SMVP (§3.1 [17]): %s, %d iterations", mesh, iters),
 		"conventional", "scatter/gather", "s/g + prefetch")
@@ -431,32 +430,38 @@ func SparkExperiment(nodesX, nodesY, iters int, w io.Writer) error {
 func SuperscalarExperiment(par workloads.CGParams, widths []uint64, w io.Writer) error {
 	m := workloads.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
 	cols := make([]string, len(widths))
+	for i, width := range widths {
+		cols[i] = fmt.Sprintf("width %d", width)
+	}
+	// Task order matches the serial loop: width-major, conventional first.
+	rows, err := Run(2*len(widths), func(idx int, tc *TaskCtx) (core.Row, error) {
+		width, impulse := widths[idx/2], idx%2 == 1
+		cfg := sim.DefaultConfig()
+		cfg.IssueWidth = width
+		opt := core.Options{Controller: core.Conventional, Config: &cfg}
+		mode := workloads.CGConventional
+		if impulse {
+			opt.Controller, opt.Prefetch = core.Impulse, core.PrefetchMC
+			mode = workloads.CGScatterGather
+		}
+		s, err := tc.NewSystem(opt)
+		if err != nil {
+			return core.Row{}, err
+		}
+		res, err := workloads.RunCG(s, par, mode, m)
+		if err != nil {
+			return core.Row{}, err
+		}
+		return res.Row, nil
+	})
+	if err != nil {
+		return err
+	}
 	convRow := make([]interface{}, len(widths))
 	sgRow := make([]interface{}, len(widths))
 	speedups := make([]interface{}, len(widths))
-	for i, width := range widths {
-		cols[i] = fmt.Sprintf("width %d", width)
-		run := func(kind core.ControllerKind, mode workloads.CGMode, pf core.PrefetchPolicy) (core.Row, error) {
-			cfg := sim.DefaultConfig()
-			cfg.IssueWidth = width
-			s, err := core.NewSystem(core.Options{Controller: kind, Prefetch: pf, Config: &cfg})
-			if err != nil {
-				return core.Row{}, err
-			}
-			res, err := workloads.RunCG(s, par, mode, m)
-			if err != nil {
-				return core.Row{}, err
-			}
-			return res.Row, nil
-		}
-		conv, err := run(core.Conventional, workloads.CGConventional, core.PrefetchNone)
-		if err != nil {
-			return err
-		}
-		sg, err := run(core.Impulse, workloads.CGScatterGather, core.PrefetchMC)
-		if err != nil {
-			return err
-		}
+	for i := range widths {
+		conv, sg := rows[2*i], rows[2*i+1]
 		convRow[i] = stats.FormatCycles(conv.Cycles)
 		sgRow[i] = stats.FormatCycles(sg.Cycles)
 		speedups[i] = fmt.Sprintf("%.2f", core.Speedup(conv, sg))
@@ -466,7 +471,7 @@ func SuperscalarExperiment(par workloads.CGParams, widths []uint64, w io.Writer)
 	t.AddRow("conventional", convRow...)
 	t.AddRow("impulse s/g+pf", sgRow...)
 	t.AddRow("speedup", speedups...)
-	_, err := io.WriteString(w, t.Render())
+	_, err = io.WriteString(w, t.Render())
 	return err
 }
 
@@ -476,10 +481,11 @@ func SuperscalarExperiment(par workloads.CGParams, widths []uint64, w io.Writer)
 // (mixed locality).
 func PagePolicyAblation(par workloads.CGParams, w io.Writer) error {
 	m := workloads.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
-	run := func(policy dram.PagePolicy) (core.Row, error) {
+	policies := []dram.PagePolicy{dram.OpenPage, dram.ClosedPage}
+	rows, err := Run(len(policies), func(i int, tc *TaskCtx) (core.Row, error) {
 		cfg := sim.DefaultConfig()
-		cfg.DRAM.Policy = policy
-		s, err := core.NewSystem(core.Options{Controller: core.Impulse, Prefetch: core.PrefetchMC, Config: &cfg})
+		cfg.DRAM.Policy = policies[i]
+		s, err := tc.NewSystem(core.Options{Controller: core.Impulse, Prefetch: core.PrefetchMC, Config: &cfg})
 		if err != nil {
 			return core.Row{}, err
 		}
@@ -488,15 +494,11 @@ func PagePolicyAblation(par workloads.CGParams, w io.Writer) error {
 			return core.Row{}, err
 		}
 		return res.Row, nil
-	}
-	open_, err := run(dram.OpenPage)
+	})
 	if err != nil {
 		return err
 	}
-	closed, err := run(dram.ClosedPage)
-	if err != nil {
-		return err
-	}
+	open_, closed := rows[0], rows[1]
 	t := stats.NewTable("DRAM page-policy ablation (scatter/gather CG, controller prefetch)",
 		"open-page (default)", "closed-page")
 	t.AddRow("cycles", stats.FormatCycles(open_.Cycles), stats.FormatCycles(closed.Cycles))
@@ -513,54 +515,42 @@ func PagePolicyAblation(par workloads.CGParams, w io.Writer) error {
 func DBExperiment(p workloads.DBParams, selectivity int, w io.Writer) error {
 	wantProj := workloads.RefDBProjection(p)
 	wantIdx := workloads.RefDBIndexScan(p, selectivity)
-	type cell struct{ conv, imp core.Row }
-	run := func(idx bool) (cell, error) {
-		var c cell
-		s, err := core.NewSystem(core.Options{Controller: core.Conventional})
-		if err != nil {
-			return c, err
+	// Task order matches the serial loop: projection conv/imp, index conv/imp.
+	rows, err := Run(4, func(i int, tc *TaskCtx) (core.Row, error) {
+		idx, impulse := i/2 == 1, i%2 == 1
+		opt := core.Options{Controller: core.Conventional}
+		if impulse {
+			opt.Controller, opt.Prefetch = core.Impulse, core.PrefetchMC
 		}
-		s2, err := core.NewSystem(core.Options{Controller: core.Impulse, Prefetch: core.PrefetchMC})
+		s, err := tc.NewSystem(opt)
 		if err != nil {
-			return c, err
+			return core.Row{}, err
 		}
 		if idx {
-			rc, err := workloads.RunDBIndexScan(s, p, selectivity, false)
+			r, err := workloads.RunDBIndexScan(s, p, selectivity, impulse)
 			if err != nil {
-				return c, err
+				return core.Row{}, err
 			}
-			ri, err := workloads.RunDBIndexScan(s2, p, selectivity, true)
-			if err != nil {
-				return c, err
+			if r.Sum != wantIdx {
+				return core.Row{}, fmt.Errorf("harness: db index sum %v != %v", r.Sum, wantIdx)
 			}
-			if rc.Sum != wantIdx || ri.Sum != wantIdx {
-				return c, fmt.Errorf("harness: db index sums %v/%v != %v", rc.Sum, ri.Sum, wantIdx)
-			}
-			c.conv, c.imp = rc.Row, ri.Row
-		} else {
-			rc, err := workloads.RunDBProjection(s, p, false)
-			if err != nil {
-				return c, err
-			}
-			ri, err := workloads.RunDBProjection(s2, p, true)
-			if err != nil {
-				return c, err
-			}
-			if rc.Sum != wantProj || ri.Sum != wantProj {
-				return c, fmt.Errorf("harness: db projection sums %v/%v != %v", rc.Sum, ri.Sum, wantProj)
-			}
-			c.conv, c.imp = rc.Row, ri.Row
+			return r.Row, nil
 		}
-		return c, nil
-	}
-	proj, err := run(false)
+		r, err := workloads.RunDBProjection(s, p, impulse)
+		if err != nil {
+			return core.Row{}, err
+		}
+		if r.Sum != wantProj {
+			return core.Row{}, fmt.Errorf("harness: db projection sum %v != %v", r.Sum, wantProj)
+		}
+		return r.Row, nil
+	})
 	if err != nil {
 		return err
 	}
-	idx, err := run(true)
-	if err != nil {
-		return err
-	}
+	type cell struct{ conv, imp core.Row }
+	proj := cell{conv: rows[0], imp: rows[1]}
+	idx := cell{conv: rows[2], imp: rows[3]}
 	t := stats.NewTable(
 		fmt.Sprintf("Database scans (abstract's 'commercial importance'): %d records x %dB, 1/%d selectivity",
 			p.Records, p.RecordBytes, selectivity),

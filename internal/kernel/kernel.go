@@ -46,6 +46,15 @@ type Kernel struct {
 	shNext    uint64
 	shTop     uint64
 	shRegions []shadowRegion
+
+	// Last-translation cache in front of the page-table map. Workload
+	// access streams revisit the same page for long runs, so this single
+	// entry absorbs most Translate calls (the processor TLB sits above
+	// this, but TLB misses and kernel-side translations still land
+	// here). Invalidated on any page-table mutation or process switch.
+	ltPage  uint64
+	ltFrame uint64
+	ltOK    bool
 }
 
 // procState is one process's address space.
@@ -242,6 +251,7 @@ func (k *Kernel) MapPage(vpage, frame uint64) error {
 	if old, ok := k.p().pt[vpage]; ok {
 		return fmt.Errorf("kernel: virtual page %#x already mapped to frame %d", vpage, old)
 	}
+	k.invalidateLT()
 	k.p().pt[vpage] = frame
 	return nil
 }
@@ -252,6 +262,7 @@ func (k *Kernel) RemapPage(vpage, frame uint64) error {
 	if _, ok := k.p().pt[vpage]; !ok {
 		return fmt.Errorf("kernel: virtual page %#x not mapped", vpage)
 	}
+	k.invalidateLT()
 	k.p().pt[vpage] = frame
 	return nil
 }
@@ -266,6 +277,7 @@ func (k *Kernel) MapShadowPage(vpage uint64, shadow addr.PAddr) error {
 	if err := k.shadowAccessible(shadow); err != nil {
 		return err
 	}
+	k.invalidateLT()
 	k.p().pt[vpage] = shadow.PageNum()
 	return nil
 }
@@ -281,23 +293,34 @@ func (k *Kernel) RemapToShadow(vpage uint64, shadow addr.PAddr) error {
 	if err := k.shadowAccessible(shadow); err != nil {
 		return err
 	}
+	k.invalidateLT()
 	k.p().pt[vpage] = shadow.PageNum()
 	return nil
 }
 
 // Unmap removes a virtual page mapping.
 func (k *Kernel) Unmap(vpage uint64) {
+	k.invalidateLT()
 	delete(k.p().pt, vpage)
 }
 
 // Translate translates a virtual address to a bus address.
 func (k *Kernel) Translate(v addr.VAddr) (addr.PAddr, bool) {
-	f, ok := k.p().pt[v.PageNum()]
+	page := v.PageNum()
+	if k.ltOK && k.ltPage == page {
+		return addr.PAddr(k.ltFrame<<addr.PageShift | v.PageOff()), true
+	}
+	f, ok := k.p().pt[page]
 	if !ok {
 		return 0, false
 	}
+	k.ltPage, k.ltFrame, k.ltOK = page, f, true
 	return addr.PAddr(f<<addr.PageShift | v.PageOff()), true
 }
+
+// invalidateLT drops the last-translation cache; every page-table
+// mutation and process switch must call it.
+func (k *Kernel) invalidateLT() { k.ltOK = false }
 
 // TranslatePage returns the frame (or shadow page) number mapped at vpage.
 func (k *Kernel) TranslatePage(vpage uint64) (uint64, bool) {
@@ -431,6 +454,7 @@ func (k *Kernel) SwitchProcess(pid int) error {
 	if _, ok := k.procs[pid]; !ok {
 		return fmt.Errorf("kernel: no process %d", pid)
 	}
+	k.invalidateLT()
 	k.cur = pid
 	return nil
 }

@@ -95,6 +95,11 @@ type descState struct {
 	vecLines []uint64   // cached indirection-vector DRAM line addresses
 	vecNext  int
 
+	// vecFn is the functional indirection-vector reader (Gather only;
+	// nil otherwise), built once at SetDescriptor so the per-access
+	// resolve/gather paths don't allocate a closure per call.
+	vecFn func(i uint64) uint32
+
 	// Per-descriptor activity, exposed through the obs registry. Plain
 	// increments kept whether or not a hub is attached: one add per
 	// shadow-line event is cheaper than a branch is worth.
@@ -116,6 +121,15 @@ type Controller struct {
 
 	sram     []bufEntry
 	sramNext int
+
+	// Scratch buffers for the per-line resolve/gather paths. A gather
+	// runs for every shadow cache line; reusing these keeps that path
+	// allocation-free. Single-threaded like the rest of the controller.
+	piecesBuf []piece
+	reqsBuf   []lineReq
+	linesBuf  []addr.PAddr
+	runsBuf   []Run
+	seenBuf   []addr.PAddr
 
 	h     *obs.Hub
 	track obs.TrackID
@@ -203,6 +217,9 @@ func (c *Controller) SetDescriptor(slot int, d Descriptor) error {
 		buf:      make([]bufEntry, c.cfg.DescBufBytes/c.cfg.LineBytes),
 		vecLines: []uint64{^uint64(0), ^uint64(0)},
 	}
+	if d.Kind == Gather {
+		c.descs[slot].vecFn = c.makeVecFn(&c.descs[slot])
+	}
 	return nil
 }
 
@@ -278,16 +295,23 @@ type Run struct {
 // uses it to move actual data for loads/stores to shadow space, and the
 // property tests use it as the remapping oracle.
 func (c *Controller) Resolve(p addr.PAddr, n uint64) ([]Run, error) {
+	return c.ResolveInto(nil, p, n)
+}
+
+// ResolveInto is Resolve appending into dst, so per-access callers can
+// reuse a scratch buffer (pass dst[:0]) and keep the shadow load/store
+// data path allocation-free. The result aliases dst's backing array.
+func (c *Controller) ResolveInto(dst []Run, p addr.PAddr, n uint64) ([]Run, error) {
 	ds := c.findDesc(p)
 	if ds == nil {
 		return nil, fmt.Errorf("mc: no descriptor covers shadow address %v", p)
 	}
 	off := uint64(p) - uint64(ds.d.ShadowBase)
-	pieces, err := ds.d.pseudoVirtual(off, n, c.vecReader(ds))
+	pieces, err := ds.d.appendPieces(c.piecesBuf[:0], off, n, ds.vecFn)
+	c.piecesBuf = pieces[:0]
 	if err != nil {
 		return nil, err
 	}
-	runs := make([]Run, 0, len(pieces))
 	for _, pc := range pieces {
 		// A piece may cross pseudo-virtual pages.
 		pv, remain := pc.pv, pc.bytes
@@ -300,21 +324,18 @@ func (c *Controller) Resolve(p addr.PAddr, n uint64) ([]Run, error) {
 			if take > remain {
 				take = remain
 			}
-			runs = append(runs, Run{P: addr.PAddr(frame<<addr.PageShift | pv.PageOff()), Bytes: take})
+			dst = append(dst, Run{P: addr.PAddr(frame<<addr.PageShift | pv.PageOff()), Bytes: take})
 			pv += addr.PVAddr(take)
 			remain -= take
 		}
 	}
-	return runs, nil
+	return dst, nil
 }
 
-// vecReader returns the functional indirection-vector reader for a gather
+// makeVecFn builds the functional indirection-vector reader for a gather
 // descriptor: entry i is a uint32 at VecPV + 4i, translated through the
 // backing page table and read from simulated memory.
-func (c *Controller) vecReader(ds *descState) func(i uint64) uint32 {
-	if ds.d.Kind != Gather {
-		return nil
-	}
+func (c *Controller) makeVecFn(ds *descState) func(i uint64) uint32 {
 	return func(i uint64) uint32 {
 		pv := ds.d.VecPV + addr.PVAddr(4*i)
 		frame, ok := c.backing[pv.PageNum()]

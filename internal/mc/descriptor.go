@@ -117,37 +117,38 @@ type piece struct {
 	vecIndex int64
 }
 
-// pseudoVirtual enumerates the pseudo-virtual pieces for the shadow byte
-// range [off, off+n) relative to the descriptor base. vec supplies
-// indirection-vector entries for Gather descriptors (it is the functional
-// read of vector memory; timing is charged separately).
-func (d *Descriptor) pseudoVirtual(off, n uint64, vec func(i uint64) uint32) ([]piece, error) {
+// appendPieces appends the pseudo-virtual pieces for the shadow byte
+// range [off, off+n) relative to the descriptor base onto dst. vec
+// supplies indirection-vector entries for Gather descriptors (it is the
+// functional read of vector memory; timing is charged separately).
+// Append-style so hot callers can reuse a scratch buffer: the gather
+// timing path runs once per shadow line and must not allocate.
+func (d *Descriptor) appendPieces(dst []piece, off, n uint64, vec func(i uint64) uint32) ([]piece, error) {
 	if off+n > d.Bytes {
 		return nil, fmt.Errorf("mc: shadow range [%d,%d) outside descriptor (%d bytes)", off, off+n, d.Bytes)
 	}
 	switch d.Kind {
 	case Direct:
-		return []piece{{pv: d.PVBase + addr.PVAddr(off), bytes: n, vecIndex: -1}}, nil
+		return append(dst, piece{pv: d.PVBase + addr.PVAddr(off), bytes: n, vecIndex: -1}), nil
 	case Strided:
-		return d.objectPieces(off, n, func(i uint64) addr.PVAddr {
+		return d.appendObjectPieces(dst, off, n, func(i uint64) addr.PVAddr {
 			return d.PVBase + addr.PVAddr(i*d.StrideBytes)
-		})
+		}), nil
 	case Gather:
 		if vec == nil {
 			return nil, fmt.Errorf("mc: gather descriptor needs an indirection vector reader")
 		}
-		return d.objectPieces(off, n, func(i uint64) addr.PVAddr {
+		return d.appendObjectPieces(dst, off, n, func(i uint64) addr.PVAddr {
 			return d.PVBase + addr.PVAddr(uint64(vec(i))*d.StrideBytes)
-		})
+		}), nil
 	default:
 		return nil, fmt.Errorf("mc: unknown remap kind %v", d.Kind)
 	}
 }
 
-func (d *Descriptor) objectPieces(off, n uint64, objPV func(i uint64) addr.PVAddr) ([]piece, error) {
+func (d *Descriptor) appendObjectPieces(dst []piece, off, n uint64, objPV func(i uint64) addr.PVAddr) []piece {
 	objShift := bitutil.Log2(d.ObjBytes)
 	objMask := d.ObjBytes - 1
-	pieces := make([]piece, 0, n>>objShift+2)
 	for n > 0 {
 		i := off >> objShift
 		inObj := off & objMask
@@ -159,9 +160,9 @@ func (d *Descriptor) objectPieces(off, n uint64, objPV func(i uint64) addr.PVAdd
 		if d.Kind == Gather {
 			vi = int64(i)
 		}
-		pieces = append(pieces, piece{pv: objPV(i) + addr.PVAddr(inObj), bytes: take, vecIndex: vi})
+		dst = append(dst, piece{pv: objPV(i) + addr.PVAddr(inObj), bytes: take, vecIndex: vi})
 		off += take
 		n -= take
 	}
-	return pieces, nil
+	return dst
 }

@@ -23,7 +23,7 @@ func TestQuickPiecesCoverRange(t *testing.T) {
 		if off+n > d.Bytes {
 			n = d.Bytes - off
 		}
-		pieces, err := d.pseudoVirtual(off, n, nil)
+		pieces, err := d.appendPieces(nil, off, n, nil)
 		if err != nil {
 			return false
 		}
@@ -62,7 +62,7 @@ func TestQuickPiecesBounds(t *testing.T) {
 	}
 	f := func(off uint16, n uint16) bool {
 		o, nn := uint64(off), uint64(n)+1
-		_, err := d.pseudoVirtual(o, nn, nil)
+		_, err := d.appendPieces(nil, o, nn, nil)
 		if o+nn > d.Bytes {
 			return err != nil
 		}

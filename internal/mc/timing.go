@@ -148,17 +148,26 @@ func descBufFind(ds *descState, lineAddr uint64) *bufEntry {
 	return nil
 }
 
+// lineReq is one distinct element DRAM line a gather must read, with the
+// time its translation is available.
+type lineReq struct {
+	line  addr.PAddr
+	ready timeline.Time
+}
+
 // gather computes the timing of building one shadow cache line:
 // AddrCalc per element, indirection-vector fetches (Gather), PgTbl
 // translations (on-chip TLB, misses fetch a PTE from DRAM), then the
 // element reads issued to the DRAM scheduler; finally line assembly.
+// Runs once per shadow line — the scratch buffers keep it allocation-free.
 func (c *Controller) gather(t0 timeline.Time, ds *descState, p addr.PAddr) (timeline.Time, error) {
 	off := uint64(p) - uint64(ds.d.ShadowBase)
 	n := c.cfg.LineBytes
 	if off+n > ds.d.Bytes {
 		n = ds.d.Bytes - off
 	}
-	pieces, err := ds.d.pseudoVirtual(off, n, c.vecReader(ds))
+	pieces, err := ds.d.appendPieces(c.piecesBuf[:0], off, n, ds.vecFn)
+	c.piecesBuf = pieces[:0]
 	if err != nil {
 		return 0, err
 	}
@@ -174,11 +183,7 @@ func (c *Controller) gather(t0 timeline.Time, ds *descState, p addr.PAddr) (time
 
 	// Translate each piece's pseudo-virtual page; collect distinct element
 	// DRAM lines with the time their translation is available.
-	type lineReq struct {
-		line  addr.PAddr
-		ready timeline.Time
-	}
-	reqs := make([]lineReq, 0, len(pieces)+2)
+	reqs := c.reqsBuf[:0]
 	addLine := func(line addr.PAddr, ready timeline.Time) {
 		for i := range reqs {
 			if reqs[i].line == line {
@@ -195,6 +200,7 @@ func (c *Controller) gather(t0 timeline.Time, ds *descState, p addr.PAddr) (time
 		for remain > 0 {
 			tready, frame, err := c.translatePV(start, pv.PageNum())
 			if err != nil {
+				c.reqsBuf = reqs[:0]
 				return 0, err
 			}
 			take := uint64(addr.PageSize) - pv.PageOff()
@@ -211,17 +217,19 @@ func (c *Controller) gather(t0 timeline.Time, ds *descState, p addr.PAddr) (time
 			remain -= take
 		}
 	}
+	c.reqsBuf = reqs[:0]
 
 	// Issue the element reads. In-order issue follows request order; the
 	// row-major ablation reorders for page locality.
-	lines := make([]addr.PAddr, len(reqs))
+	lines := c.linesBuf[:0]
 	issueAt := start
-	for i, r := range reqs {
-		lines[i] = r.line
+	for _, r := range reqs {
+		lines = append(lines, r.line)
 		if r.ready > issueAt {
 			issueAt = r.ready
 		}
 	}
+	c.linesBuf = lines[:0]
 	done := c.dram.ReadBatch(issueAt, lines, c.cfg.Order)
 	c.st.ShadowDRAMReads += uint64(len(lines))
 	return done + c.cfg.AssembleCycles, nil
@@ -297,26 +305,33 @@ func (c *Controller) WriteLine(at timeline.Time, p addr.PAddr) (timeline.Time, e
 	if e := descBufFind(ds, la); e != nil {
 		e.valid = false
 	}
-	runs, err := c.Resolve(p, c.lineSpan(ds, p))
+	runs, err := c.ResolveInto(c.runsBuf[:0], p, c.lineSpan(ds, p))
+	c.runsBuf = runs[:0]
 	if err != nil {
 		return 0, err
 	}
 	done := t0
-	seen := make(map[addr.PAddr]bool, len(runs))
+	// A line holds few distinct element lines; a linear scan over a
+	// reused slice beats a per-call map.
+	seen := c.seenBuf[:0]
 	for _, r := range runs {
 		first := uint64(r.P) / c.cfg.LineBytes
 		last := (uint64(r.P) + r.Bytes - 1) / c.cfg.LineBytes
+	scan:
 		for l := first; l <= last; l++ {
 			lp := addr.PAddr(l * c.cfg.LineBytes)
-			if seen[lp] {
-				continue
+			for _, s := range seen {
+				if s == lp {
+					continue scan
+				}
 			}
-			seen[lp] = true
+			seen = append(seen, lp)
 			if t := c.dram.Write(t0, lp); t > done {
 				done = t
 			}
 		}
 	}
+	c.seenBuf = seen[:0]
 	c.h.Span(c.track, "scatter", t0, done)
 	return done, nil
 }

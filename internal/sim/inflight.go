@@ -1,0 +1,119 @@
+package sim
+
+import "impulse/internal/timeline"
+
+// inflightTable maps L1 line address -> prefetch arrival time without
+// allocating on the hot path. It replaces a map[uint64]timeline.Time
+// whose put/delete churn dominated the simulator's allocation profile:
+// open addressing with linear probing, Fibonacci hashing on the top
+// bits (line addresses have zero low bits, so low-bit indexing would
+// cluster), backward-shift deletion, and growth at half load. Growth
+// preserves exact map semantics — entries are never evicted — so
+// simulated timing is identical to the map-backed version.
+type inflightTable struct {
+	slots []inflightSlot
+	shift uint // 64 - log2(len(slots))
+	n     int
+}
+
+type inflightSlot struct {
+	key  uint64
+	val  timeline.Time
+	used bool
+}
+
+const inflightMinSlots = 64
+
+func (t *inflightTable) init() {
+	t.slots = make([]inflightSlot, inflightMinSlots)
+	t.shift = 64 - 6
+	t.n = 0
+}
+
+func (t *inflightTable) home(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> t.shift
+}
+
+func (t *inflightTable) get(key uint64) (timeline.Time, bool) {
+	mask := uint64(len(t.slots) - 1)
+	for i := t.home(key); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if !s.used {
+			return 0, false
+		}
+		if s.key == key {
+			return s.val, true
+		}
+	}
+}
+
+func (t *inflightTable) put(key uint64, val timeline.Time) {
+	if 2*(t.n+1) > len(t.slots) {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := t.home(key); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if !s.used {
+			*s = inflightSlot{key: key, val: val, used: true}
+			t.n++
+			return
+		}
+		if s.key == key {
+			s.val = val
+			return
+		}
+	}
+}
+
+// del removes key if present, compacting the probe chain behind it
+// (backward-shift deletion keeps lookups tombstone-free).
+func (t *inflightTable) del(key uint64) {
+	mask := uint64(len(t.slots) - 1)
+	i := t.home(key)
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			return
+		}
+		if s.key == key {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		j = (j + 1) & mask
+		s := &t.slots[j]
+		if !s.used {
+			break
+		}
+		// s may fill the hole at i only if its home position does not
+		// lie strictly inside (i, j] — otherwise moving it would break
+		// its own probe chain.
+		if (j-t.home(s.key))&mask >= (j-i)&mask {
+			t.slots[i] = *s
+			i = j
+		}
+	}
+	t.slots[i] = inflightSlot{}
+	t.n--
+}
+
+func (t *inflightTable) grow() {
+	old := t.slots
+	t.slots = make([]inflightSlot, 2*len(old))
+	t.shift--
+	t.n = 0
+	for i := range old {
+		if old[i].used {
+			t.put(old[i].key, old[i].val)
+		}
+	}
+}
+
+// reset empties the table, keeping its capacity.
+func (t *inflightTable) reset() {
+	clear(t.slots)
+	t.n = 0
+}

@@ -38,7 +38,7 @@ type Machine struct {
 	// inflight tracks L1 prefetches whose data has not yet arrived:
 	// L1 line address -> arrival time. A demand hit on such a line stalls
 	// until arrival (a "partial hit").
-	inflight map[uint64]timeline.Time
+	inflight inflightTable
 
 	// blockTLB holds superpage-style block translations that never miss
 	// (the paper's machine maps the kernel this way; Impulse superpages
@@ -47,6 +47,10 @@ type Machine struct {
 
 	l1LineMask uint64
 	l2LineMask uint64
+
+	// runScratch backs the MC.ResolveInto calls in readValue/writeValue,
+	// keeping the shadow data path allocation-free.
+	runScratch []mc.Run
 
 	tracer Tracer
 
@@ -93,7 +97,7 @@ func New(cfg Config) (*Machine, error) {
 	if err := k.ReserveFrameRange(ptLo, ptHi); err != nil {
 		return nil, err
 	}
-	return &Machine{
+	m := &Machine{
 		cfg:        cfg,
 		St:         st,
 		Mem:        mem,
@@ -104,10 +108,11 @@ func New(cfg Config) (*Machine, error) {
 		Bus:        b,
 		DRAM:       d,
 		TLB:        tlb.New(cfg.TLBEntries),
-		inflight:   make(map[uint64]timeline.Time),
 		l1LineMask: cfg.L1.LineBytes - 1,
 		l2LineMask: cfg.L2.LineBytes - 1,
-	}, nil
+	}
+	m.inflight.init()
+	return m, nil
 }
 
 // Config returns the machine configuration.
@@ -204,10 +209,11 @@ func (m *Machine) readValue(p addr.PAddr, size uint64) uint64 {
 			panic(fmt.Sprintf("sim: unsupported access size %d", size))
 		}
 	}
-	runs, err := m.MC.Resolve(p, size)
+	runs, err := m.MC.ResolveInto(m.runScratch[:0], p, size)
 	if err != nil {
 		panic(fmt.Sprintf("sim: shadow read failed: %v", err))
 	}
+	m.runScratch = runs[:0]
 	var v uint64
 	shift := uint(0)
 	for _, r := range runs {
@@ -231,10 +237,11 @@ func (m *Machine) writeValue(p addr.PAddr, size, v uint64) {
 		}
 		return
 	}
-	runs, err := m.MC.Resolve(p, size)
+	runs, err := m.MC.ResolveInto(m.runScratch[:0], p, size)
 	if err != nil {
 		panic(fmt.Sprintf("sim: shadow write failed: %v", err))
 	}
+	m.runScratch = runs[:0]
 	shift := uint(0)
 	for _, r := range runs {
 		for i := uint64(0); i < r.Bytes; i++ {
@@ -268,11 +275,11 @@ func (m *Machine) load(v addr.VAddr, size uint64) uint64 {
 		done := m.clock + m.cfg.L1.HitCycles
 		if r.WasPrefetched {
 			m.St.L1PrefetchHits++
-			if arr, ok := m.inflight[m.L1.LineAddr(uint64(p))]; ok {
+			if arr, ok := m.inflight.get(m.L1.LineAddr(uint64(p))); ok {
 				if arr > done {
 					done = arr // partial hit: data still in flight
 				}
-				delete(m.inflight, m.L1.LineAddr(uint64(p)))
+				m.inflight.del(m.L1.LineAddr(uint64(p)))
 			}
 			// PA 7200-style streaming: consuming a prefetched line
 			// triggers the next prefetch, keeping streams ahead.
@@ -442,7 +449,7 @@ func (m *Machine) maybeL1Prefetch(v addr.VAddr, at timeline.Time) {
 	m.St.L1Prefetches++
 	ev := m.L1.Insert(uint64(nv), uint64(np), false, true)
 	m.l1Victim(ev, arrive)
-	m.inflight[m.L1.LineAddr(uint64(np))] = arrive
+	m.inflight.put(m.L1.LineAddr(uint64(np)), arrive)
 }
 
 // --- Store path ----------------------------------------------------------
@@ -576,7 +583,7 @@ func (m *Machine) ResetCachesUntimed() {
 	m.L2.FlushAll(nil)
 	m.TLB.InvalidateAll()
 	m.MC.InvalidateBuffers()
-	m.inflight = make(map[uint64]timeline.Time)
+	m.inflight.reset()
 }
 
 // FlushAllCaches empties both caches, writing dirty lines back
