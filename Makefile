@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json ci tables report sweeps examples fmt vet clean
+.PHONY: all build test test-short race bench bench-json bench-diff fuzz-short ci tables report sweeps examples fmt vet clean
 
 all: build vet test race
 
@@ -24,12 +24,27 @@ bench:
 # bench-json runs the benchmark suite and writes the machine-readable
 # results committed with each PR (name, ns/op, B/op, allocs/op, and the
 # sim-cycles metric). Progress streams to stderr while it runs.
-BENCH_JSON ?= BENCH_PR2.json
+BENCH_JSON ?= BENCH_PR3.json
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
-# ci is the pre-PR gate: formatting, vet, build, full tests, and the
-# race detector over the short suite. Run it before every PR.
+# bench-diff reruns the suite and diffs it against the committed
+# baseline: per-benchmark ns/op deltas plus the sim-cycles metric (which
+# must not move in a pure-performance change). Exits non-zero when any
+# ns/op regression exceeds BENCH_THRESHOLD percent.
+BENCH_THRESHOLD ?= 10
+bench-diff:
+	$(GO) test -run '^$$' -bench . -benchmem ./... | \
+		$(GO) run ./cmd/benchjson -compare $(BENCH_JSON) -threshold $(BENCH_THRESHOLD)
+
+# fuzz-short gives the trace decoder a brief randomized shakedown; the
+# corpus seeds cover a real recorded trace plus known-malformed shapes.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzTraceDecode -fuzztime 10s ./internal/tracefile
+
+# ci is the pre-PR gate: formatting, vet, build, full tests, the race
+# detector over the short suite, and a short decoder fuzz. Run it before
+# every PR.
 ci:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
@@ -37,6 +52,7 @@ ci:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./...
+	$(MAKE) fuzz-short
 
 tables:
 	$(GO) run ./cmd/table1

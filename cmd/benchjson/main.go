@@ -9,6 +9,11 @@
 //
 // Custom metrics (the sim benchmarks report "sim-cycles") are carried
 // through in a "metrics" map. Non-benchmark lines are ignored.
+//
+// With -compare BASELINE.json the fresh results are instead diffed
+// against a previously committed document (`make bench-diff`): one line
+// per benchmark with the ns/op delta and the sim-cycles movement, and a
+// non-zero exit when any ns/op regression exceeds -threshold percent.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -80,10 +86,66 @@ func parseLine(line string) (record, bool) {
 	return r, true
 }
 
+// diff prints one line per fresh benchmark with the ns/op movement
+// against the baseline and the sim-cycles metric movement (simulated
+// work should not change in a pure-performance PR). It returns an error
+// naming every benchmark whose ns/op regressed beyond thresholdPct.
+func diff(w io.Writer, baselinePath string, fresh []record, thresholdPct float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base []record
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	byName := make(map[string]record, len(base))
+	for _, r := range base {
+		byName[r.Name] = r
+	}
+	fmt.Fprintf(w, "%-32s %14s %14s %9s  %s\n", "benchmark", "base ns/op", "new ns/op", "delta", "sim-cycles")
+	var regressed []string
+	for _, r := range fresh {
+		b, ok := byName[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-32s %14s %14.0f %9s  new benchmark\n", r.Name, "-", r.NsPerOp, "-")
+			continue
+		}
+		delete(byName, r.Name)
+		pct := (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		cyc := ""
+		if bc, ok := b.Metrics["sim-cycles"]; ok {
+			if nc := r.Metrics["sim-cycles"]; nc == bc {
+				cyc = fmt.Sprintf("%.0f (unchanged)", nc)
+			} else {
+				cyc = fmt.Sprintf("%.0f -> %.0f (CHANGED)", bc, nc)
+			}
+		}
+		fmt.Fprintf(w, "%-32s %14.0f %14.0f %+8.1f%%  %s\n", r.Name, b.NsPerOp, r.NsPerOp, pct, cyc)
+		if pct > thresholdPct {
+			regressed = append(regressed, fmt.Sprintf("%s (%+.1f%%)", r.Name, pct))
+		}
+	}
+	removed := make([]string, 0, len(byName))
+	for name := range byName {
+		removed = append(removed, name)
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "%-32s %14.0f %14s %9s  removed\n", name, byName[name].NsPerOp, "-", "-")
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("ns/op regressions beyond %.1f%%: %s", thresholdPct, strings.Join(regressed, ", "))
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	compare := flag.String("compare", "", "diff against this baseline JSON instead of emitting JSON")
+	threshold := flag.Float64("threshold", 10, "with -compare: exit non-zero when any ns/op regression exceeds this percent")
 	flag.Parse()
 
 	var recs []record
@@ -104,18 +166,31 @@ func main() {
 		log.Fatal("no benchmark lines found on stdin (run: go test -run '^$' -bench . -benchmem | benchjson)")
 	}
 
-	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		w = f
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(recs); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(recs); err != nil {
-		log.Fatal(err)
+	if *compare != "" {
+		if err := diff(os.Stdout, *compare, recs, *threshold); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *out == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(recs); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

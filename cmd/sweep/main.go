@@ -72,8 +72,14 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: "+strings.Join(valid, "|"))
 	counters := flag.String("counters", "", "dump every measured row's counters to this file after the run (\"-\" for stdout)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for experiment rows (output is identical for any value)")
+	traceCache := flag.Bool("trace-cache", true, "record each reference stream once and replay it across timing-only cells")
+	traceRecord := flag.String("trace-record", "", "persist recorded traces to this directory")
+	traceReplay := flag.String("trace-replay", "", "load previously persisted traces from this directory")
 	flag.Parse()
 	harness.SetWorkers(*jobs)
+	harness.SetTraceCache(*traceCache)
+	harness.SetTraceRecordDir(*traceRecord)
+	harness.SetTraceReplayDir(*traceReplay)
 
 	found := false
 	for _, n := range valid {

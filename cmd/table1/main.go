@@ -32,8 +32,14 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress output")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of the text table")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for table cells (output is identical for any value)")
+	traceCache := flag.Bool("trace-cache", true, "record each reference stream once and replay it for the other prefetch columns")
+	traceRecord := flag.String("trace-record", "", "persist recorded traces to this directory")
+	traceReplay := flag.String("trace-replay", "", "load previously persisted traces from this directory")
 	flag.Parse()
 	impulse.SetWorkers(*jobs)
+	impulse.SetTraceCache(*traceCache)
+	impulse.SetTraceRecordDir(*traceRecord)
+	impulse.SetTraceReplayDir(*traceReplay)
 
 	par.N, par.Nonzer, par.Niter, par.CGIts, par.Shift = *n, *nonzer, *niter, *cgits, *shift
 	if *full {

@@ -140,6 +140,24 @@ func SetWorkers(n int) { harness.SetWorkers(n) }
 // Workers returns the configured experiment pool width.
 func Workers() int { return harness.Workers() }
 
+// SetTraceCache enables or disables the experiment harness's trace
+// cache (the cmd binaries' -trace-cache flag, on by default): sweep
+// families whose cells differ only in timing knobs execute each
+// distinct reference stream once and replay the recorded trace
+// everywhere else, with cycle- and counter-identical results.
+func SetTraceCache(on bool) { harness.SetTraceCache(on) }
+
+// TraceCacheEnabled reports whether the trace cache is on.
+func TraceCacheEnabled() bool { return harness.TraceCacheEnabled() }
+
+// SetTraceRecordDir persists every trace the cache records to dir (the
+// -trace-record flag). Empty disables persistence.
+func SetTraceRecordDir(dir string) { harness.SetTraceRecordDir(dir) }
+
+// SetTraceReplayDir loads previously persisted traces from dir instead
+// of executing workloads (the -trace-replay flag). Empty disables.
+func SetTraceReplayDir(dir string) { harness.SetTraceReplayDir(dir) }
+
 // Table1 regenerates the paper's Table 1 at the given geometry.
 func Table1(par CGParams, progress harness.Progress) (*Grid, error) {
 	return harness.Table1(par, progress)

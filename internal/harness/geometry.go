@@ -1,62 +1,51 @@
 package harness
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 
 	"impulse/internal/core"
 	"impulse/internal/sim"
 	"impulse/internal/stats"
-	"impulse/internal/tracefile"
 	"impulse/internal/workloads"
 )
 
 // CacheGeometrySweep is a classic trace-driven sensitivity study: the
-// conventional CG access trace is captured once and replayed across L2
-// capacities, reporting how the paper's conventional-system hit-ratio
-// profile depends on cache geometry. It demonstrates the record/replay
-// mode and locates the paper's operating point (multiplicand bigger
-// than L1, smaller than L2) on the capacity curve.
+// conventional CG reference stream is recorded once and replayed across
+// L2 capacities, reporting how the paper's conventional-system hit-ratio
+// profile depends on cache geometry. It locates the paper's operating
+// point (multiplicand bigger than L1, smaller than L2) on the capacity
+// curve. L2 capacity is pure timing, so every size shares one trace —
+// and, unlike the v1 flat load/store replay this sweep used to run,
+// v2 replay reproduces the exact cycle counts execution would have
+// produced at each size.
 func CacheGeometrySweep(par workloads.CGParams, l2Sizes []uint64, w io.Writer) error {
 	m := workloads.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
-
-	// Capture the conventional trace once.
-	capSys, err := core.NewSystem(core.Options{Controller: core.Conventional})
-	if err != nil {
-		return err
-	}
-	var buf bytes.Buffer
-	tw, err := tracefile.NewWriter(&buf)
-	if err != nil {
-		return err
-	}
-	capSys.SetTracer(tw.Attach())
-	if _, err := workloads.RunCG(capSys, par, workloads.CGConventional, m); err != nil {
-		return err
-	}
-	if err := tw.Flush(); err != nil {
-		return err
-	}
-	recs, err := tracefile.Read(bytes.NewReader(buf.Bytes()))
-	if err != nil {
-		return err
-	}
+	wantZeta, wantRNorm := workloads.RefCG(m, par)
 
 	cols := make([]string, len(l2Sizes))
 	for i, size := range l2Sizes {
 		cols[i] = fmt.Sprintf("L2=%dK", size>>10)
 	}
-	// The captured trace is shared read-only; each replay gets its own
-	// machine at the configured L2 capacity.
 	rows, err := Run(len(l2Sizes), func(i int, tc *TaskCtx) (core.Row, error) {
 		cfg := sim.DefaultConfig()
 		cfg.L2.Bytes = l2Sizes[i]
-		s, err := tc.NewSystem(core.Options{Controller: core.Conventional, Config: &cfg})
-		if err != nil {
-			return core.Row{}, err
-		}
-		return tracefile.Replay(s, recs, 2)
+		return runCell(tc, cellSpec{
+			key:     cgKey(par, workloads.CGConventional, &cfg),
+			opts:    core.Options{Controller: core.Conventional, Config: &cfg},
+			relabel: relabelPf(core.PrefetchNone),
+			exec: func(s *core.System) (core.Row, error) {
+				res, err := workloads.RunCG(s, par, workloads.CGConventional, m)
+				if err != nil {
+					return core.Row{}, err
+				}
+				if res.Zeta != wantZeta || res.RNorm != wantRNorm {
+					return core.Row{}, fmt.Errorf("harness: geometry sweep computed zeta=%v rnorm=%v, reference %v/%v",
+						res.Zeta, res.RNorm, wantZeta, wantRNorm)
+				}
+				return res.Row, nil
+			},
+		})
 	})
 	if err != nil {
 		return err
@@ -70,8 +59,8 @@ func CacheGeometrySweep(par workloads.CGParams, l2Sizes []uint64, w io.Writer) e
 		avg[i] = row.AvgLoad
 	}
 	t := stats.NewTable(
-		fmt.Sprintf("L2-capacity sensitivity (trace-driven replay of conventional CG, n=%d, %d accesses)",
-			par.N, len(recs)), cols...)
+		fmt.Sprintf("L2-capacity sensitivity (trace-driven replay of conventional CG, n=%d)", par.N),
+		cols...)
 	t.AddPercentRow("L1 hit ratio", l1r...)
 	t.AddPercentRow("L2 hit ratio", l2r...)
 	t.AddPercentRow("mem hit ratio", memr...)

@@ -133,22 +133,33 @@ func Table1(par workloads.CGParams, progress Progress) (*Grid, error) {
 		if progress != nil {
 			progress(sec.name, columnNames[ci])
 		}
-		s, err := tc.NewSystem(core.Options{
-			Controller: controllerFor(sec.mode != workloads.CGConventional, pf),
-			Prefetch:   pf,
+		// The four prefetch columns of a section share one reference
+		// stream; one column records, the others replay.
+		row, err := runCell(tc, cellSpec{
+			key: cgKey(par, sec.mode, nil),
+			opts: core.Options{
+				Controller: controllerFor(sec.mode != workloads.CGConventional, pf),
+				Prefetch:   pf,
+			},
+			relabel: relabelPf(pf),
+			// Error text names only the section: all four columns share
+			// the stream, so which column recorded must not show through.
+			exec: func(s *core.System) (core.Row, error) {
+				res, err := workloads.RunCG(s, par, sec.mode, m)
+				if err != nil {
+					return core.Row{}, fmt.Errorf("harness: %s: %w", sec.name, err)
+				}
+				if res.Zeta != wantZeta || res.RNorm != wantRNorm {
+					return core.Row{}, fmt.Errorf("harness: %s computed zeta=%v rnorm=%v, reference %v/%v",
+						sec.name, res.Zeta, res.RNorm, wantZeta, wantRNorm)
+				}
+				return res.Row, nil
+			},
 		})
 		if err != nil {
 			return Cell{}, err
 		}
-		res, err := workloads.RunCG(s, par, sec.mode, m)
-		if err != nil {
-			return Cell{}, fmt.Errorf("harness: %s/%s: %w", sec.name, columnNames[ci], err)
-		}
-		if res.Zeta != wantZeta || res.RNorm != wantRNorm {
-			return Cell{}, fmt.Errorf("harness: %s/%s computed zeta=%v rnorm=%v, reference %v/%v",
-				sec.name, columnNames[ci], res.Zeta, res.RNorm, wantZeta, wantRNorm)
-		}
-		return Cell{Row: res.Row}, nil
+		return Cell{Row: row}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -183,22 +194,29 @@ func Table2(par workloads.MMPParams, progress Progress) (*Grid, error) {
 		if progress != nil {
 			progress(sec.name, columnNames[ci])
 		}
-		s, err := tc.NewSystem(core.Options{
-			Controller: controllerFor(sec.mode == workloads.MMPTileRemap, pf),
-			Prefetch:   pf,
+		row, err := runCell(tc, cellSpec{
+			key: mmpKey(par, sec.mode, nil),
+			opts: core.Options{
+				Controller: controllerFor(sec.mode == workloads.MMPTileRemap, pf),
+				Prefetch:   pf,
+			},
+			relabel: relabelPf(pf),
+			exec: func(s *core.System) (core.Row, error) {
+				res, err := workloads.RunMMP(s, par, sec.mode)
+				if err != nil {
+					return core.Row{}, fmt.Errorf("harness: %s: %w", sec.name, err)
+				}
+				if res.Checksum != want {
+					return core.Row{}, fmt.Errorf("harness: %s checksum %v != reference %v",
+						sec.name, res.Checksum, want)
+				}
+				return res.Row, nil
+			},
 		})
 		if err != nil {
 			return Cell{}, err
 		}
-		res, err := workloads.RunMMP(s, par, sec.mode)
-		if err != nil {
-			return Cell{}, fmt.Errorf("harness: %s/%s: %w", sec.name, columnNames[ci], err)
-		}
-		if res.Checksum != want {
-			return Cell{}, fmt.Errorf("harness: %s/%s checksum %v != reference %v",
-				sec.name, columnNames[ci], res.Checksum, want)
-		}
-		return Cell{Row: res.Row}, nil
+		return Cell{Row: row}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -215,6 +233,7 @@ func Table2(par workloads.MMPParams, progress Progress) (*Grid, error) {
 // bus traffic, and hit ratios for a diagonal traversal, conventional vs
 // Impulse strided remapping.
 func Figure1(dim, sweeps int, w io.Writer) error {
+	noteIneligible("figure1", "each cell runs a different workload variant")
 	want := workloads.RefDiagonal(dim)
 	kinds := []core.ControllerKind{core.Conventional, core.Impulse}
 	rows, err := Run(len(kinds), func(i int, tc *TaskCtx) (workloads.DiagResult, error) {

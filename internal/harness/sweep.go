@@ -24,22 +24,27 @@ import (
 func SchedulerAblation(par workloads.CGParams, w io.Writer) error {
 	m := workloads.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
 	orders := []dram.Order{dram.InOrder, dram.RowMajor}
+	// The scheduler is pure timing: both orders share one reference
+	// stream (and share it with any other sweep at these CG parameters).
 	rows, err := Run(len(orders), func(i int, tc *TaskCtx) (core.Row, error) {
 		cfg := sim.DefaultConfig()
 		cfg.MC.Order = orders[i]
-		s, err := tc.NewSystem(core.Options{
-			Controller: core.Impulse,
-			Prefetch:   core.PrefetchMC,
-			Config:     &cfg,
+		return runCell(tc, cellSpec{
+			key: cgKey(par, workloads.CGScatterGather, &cfg),
+			opts: core.Options{
+				Controller: core.Impulse,
+				Prefetch:   core.PrefetchMC,
+				Config:     &cfg,
+			},
+			relabel: relabelPf(core.PrefetchMC),
+			exec: func(s *core.System) (core.Row, error) {
+				res, err := workloads.RunCG(s, par, workloads.CGScatterGather, m)
+				if err != nil {
+					return core.Row{}, err
+				}
+				return res.Row, nil
+			},
 		})
-		if err != nil {
-			return core.Row{}, err
-		}
-		res, err := workloads.RunCG(s, par, workloads.CGScatterGather, m)
-		if err != nil {
-			return core.Row{}, err
-		}
-		return res.Row, nil
 	})
 	if err != nil {
 		return err
@@ -67,50 +72,56 @@ func SchedulerAblation(par workloads.CGParams, w io.Writer) error {
 // thrashes every row buffer while row-major grouping keeps rows open.
 func schedulerAdversarial(w io.Writer) error {
 	const elems = 8192
-	run := func(order dram.Order, tc *TaskCtx) (core.Row, error) {
-		cfg := sim.DefaultConfig()
-		cfg.MC.Order = order
-		s, err := tc.NewSystem(core.Options{Controller: core.Impulse, Config: &cfg})
-		if err != nil {
-			return core.Row{}, err
-		}
-		// Consecutive elements alternate between two rows of the same
-		// bank: even elements walk one row region in same-bank line
-		// steps (banks x lineBytes apart), odd elements walk a region a
-		// full row-span away. In-order issue ping-pongs each row buffer
-		// 16 times per gathered cache line; row-major grouping opens
-		// each row once.
-		lineElems := cfg.DRAM.LineBytes / 8
-		bankStep := cfg.DRAM.Banks * lineElems            // same bank, next line
-		rowSpan := cfg.DRAM.RowBytes * cfg.DRAM.Banks / 8 // same bank, next row region
-		const walk = 128                                  // lines walked per region
-		xN := rowSpan + walk*bankStep + lineElems
-		x, err := s.Alloc(xN*8, 0)
-		if err != nil {
-			return core.Row{}, err
-		}
-		vec, err := s.Alloc(elems*4, 0)
-		if err != nil {
-			return core.Row{}, err
-		}
-		for k := uint64(0); k < elems; k++ {
-			idx := (k%2)*rowSpan + ((k/2)%walk)*bankStep
-			s.Store32(vec+addr.VAddr(4*k), uint32(idx))
-		}
-		alias, err := s.MapScatterGather(x, xN*8, 8, vec, elems, 0)
-		if err != nil {
-			return core.Row{}, err
-		}
-		sec := s.BeginSection()
-		for k := uint64(0); k < elems; k++ {
-			s.LoadF64(alias + addr.VAddr(8*k))
-			s.Tick(1)
-		}
-		return sec.End(order.String())
-	}
 	orders := []dram.Order{dram.InOrder, dram.RowMajor}
 	rows, err := Run(len(orders), func(i int, tc *TaskCtx) (core.Row, error) {
-		return run(orders[i], tc)
+		order := orders[i]
+		cfg := sim.DefaultConfig()
+		cfg.MC.Order = order
+		// The gather's index pattern is computed from the DRAM geometry,
+		// so the geometry belongs in the stream key; the scheduler order
+		// itself is pure timing and both cells share one trace.
+		key := fmt.Sprintf("sched-adv-e%d-line%d-banks%d-row%d-%s",
+			elems, cfg.DRAM.LineBytes, cfg.DRAM.Banks, cfg.DRAM.RowBytes, streamSig(&cfg))
+		return runCell(tc, cellSpec{
+			key:     key,
+			opts:    core.Options{Controller: core.Impulse, Config: &cfg},
+			relabel: constLabel(order.String()),
+			exec: func(s *core.System) (core.Row, error) {
+				// Consecutive elements alternate between two rows of the same
+				// bank: even elements walk one row region in same-bank line
+				// steps (banks x lineBytes apart), odd elements walk a region a
+				// full row-span away. In-order issue ping-pongs each row buffer
+				// 16 times per gathered cache line; row-major grouping opens
+				// each row once.
+				lineElems := cfg.DRAM.LineBytes / 8
+				bankStep := cfg.DRAM.Banks * lineElems            // same bank, next line
+				rowSpan := cfg.DRAM.RowBytes * cfg.DRAM.Banks / 8 // same bank, next row region
+				const walk = 128                                  // lines walked per region
+				xN := rowSpan + walk*bankStep + lineElems
+				x, err := s.Alloc(xN*8, 0)
+				if err != nil {
+					return core.Row{}, err
+				}
+				vec, err := s.Alloc(elems*4, 0)
+				if err != nil {
+					return core.Row{}, err
+				}
+				for k := uint64(0); k < elems; k++ {
+					idx := (k%2)*rowSpan + ((k/2)%walk)*bankStep
+					s.Store32(vec+addr.VAddr(4*k), uint32(idx))
+				}
+				alias, err := s.MapScatterGather(x, xN*8, 8, vec, elems, 0)
+				if err != nil {
+					return core.Row{}, err
+				}
+				sec := s.BeginSection()
+				for k := uint64(0); k < elems; k++ {
+					s.LoadF64(alias + addr.VAddr(8*k))
+					s.Tick(1)
+				}
+				return sec.End(order.String())
+			},
+		})
 	})
 	if err != nil {
 		return err
@@ -133,6 +144,7 @@ func schedulerAdversarial(w io.Writer) error {
 // on SPECint95. The workload is a page-strided walk over a region far
 // beyond TLB reach.
 func SuperpageExperiment(pages, sweeps int, w io.Writer) error {
+	noteIneligible("superpage", "cells issue different remap syscalls")
 	run := func(super bool, tc *TaskCtx) (core.Row, error) {
 		s, err := tc.NewSystem(core.Options{Controller: core.Impulse})
 		if err != nil {
@@ -182,6 +194,7 @@ func SuperpageExperiment(pages, sweeps int, w io.Writer) error {
 
 // IPCExperiment quantifies §6's no-copy message gather.
 func IPCExperiment(bufCount, wordsPerBuf, messages int, w io.Writer) error {
+	noteIneligible("ipc", "each cell runs a different workload variant")
 	want := workloads.RefIPC(bufCount, wordsPerBuf, messages)
 	kinds := []core.ControllerKind{core.Conventional, core.Impulse}
 	rows, err := Run(len(kinds), func(i int, tc *TaskCtx) (workloads.IPCResult, error) {
@@ -224,31 +237,37 @@ func PrefetchBufferSweep(sizes []uint64, w io.Writer) error {
 	for i, size := range sizes {
 		cols[i] = fmt.Sprintf("%dB", size)
 	}
+	// SRAM capacity is pure timing: every size shares one stream.
 	rows, err := Run(len(sizes), func(i int, tc *TaskCtx) (core.Row, error) {
 		cfg := sim.DefaultConfig()
 		cfg.MC.SRAMBytes = sizes[i]
-		s, err := tc.NewSystem(core.Options{
-			Controller: core.Impulse,
-			Prefetch:   core.PrefetchMC,
-			Config:     &cfg,
+		key := fmt.Sprintf("sramsweep-streams%d-per%d-%s", streams, perStream, streamSig(&cfg))
+		return runCell(tc, cellSpec{
+			key: key,
+			opts: core.Options{
+				Controller: core.Impulse,
+				Prefetch:   core.PrefetchMC,
+				Config:     &cfg,
+			},
+			relabel: constLabel(cols[i]),
+			exec: func(s *core.System) (core.Row, error) {
+				bases := make([]addr.VAddr, streams)
+				for j := range bases {
+					var err error
+					if bases[j], err = s.Alloc(perStream, 0); err != nil {
+						return core.Row{}, err
+					}
+				}
+				sec := s.BeginSection()
+				for off := uint64(0); off < perStream; off += 8 {
+					for j := range bases {
+						s.Load64(bases[j] + addr.VAddr(off))
+						s.Tick(1)
+					}
+				}
+				return sec.End(cols[i])
+			},
 		})
-		if err != nil {
-			return core.Row{}, err
-		}
-		bases := make([]addr.VAddr, streams)
-		for j := range bases {
-			if bases[j], err = s.Alloc(perStream, 0); err != nil {
-				return core.Row{}, err
-			}
-		}
-		sec := s.BeginSection()
-		for off := uint64(0); off < perStream; off += 8 {
-			for j := range bases {
-				s.Load64(bases[j] + addr.VAddr(off))
-				s.Tick(1)
-			}
-		}
-		return sec.End(cols[i])
 	})
 	if err != nil {
 		return err
@@ -277,6 +296,8 @@ func GatherStrideSweep(strides []int, elems int, w io.Writer) error {
 		cols[i] = fmt.Sprintf("stride %d", stride)
 	}
 	// Task order matches the serial loop: stride-major, no-prefetch first.
+	// The stride shapes the indirection vector (the reference stream);
+	// the prefetch pair at each stride shares one trace.
 	rows, err := Run(2*len(strides), func(idx int, tc *TaskCtx) (core.Row, error) {
 		i, pf := idx/2, idx%2 == 1
 		stride := strides[i]
@@ -284,32 +305,35 @@ func GatherStrideSweep(strides []int, elems int, w io.Writer) error {
 		if pf {
 			opt.Prefetch = core.PrefetchMC
 		}
-		s, err := tc.NewSystem(opt)
-		if err != nil {
-			return core.Row{}, err
-		}
-		xN := uint64(elems * stride)
-		x, err := s.Alloc(xN*8, 0)
-		if err != nil {
-			return core.Row{}, err
-		}
-		vec, err := s.Alloc(uint64(elems)*4, 0)
-		if err != nil {
-			return core.Row{}, err
-		}
-		for k := 0; k < elems; k++ {
-			s.Store32(vec+addr.VAddr(4*k), uint32(k*stride))
-		}
-		alias, err := s.MapScatterGather(x, xN*8, 8, vec, uint64(elems), 0)
-		if err != nil {
-			return core.Row{}, err
-		}
-		sec := s.BeginSection()
-		for k := 0; k < elems; k++ {
-			s.LoadF64(alias + addr.VAddr(8*k))
-			s.Tick(1)
-		}
-		return sec.End(cols[i])
+		key := fmt.Sprintf("gstride-s%d-e%d-%s", stride, elems, streamSig(nil))
+		return runCell(tc, cellSpec{
+			key:  key,
+			opts: opt,
+			exec: func(s *core.System) (core.Row, error) {
+				xN := uint64(elems * stride)
+				x, err := s.Alloc(xN*8, 0)
+				if err != nil {
+					return core.Row{}, err
+				}
+				vec, err := s.Alloc(uint64(elems)*4, 0)
+				if err != nil {
+					return core.Row{}, err
+				}
+				for k := 0; k < elems; k++ {
+					s.Store32(vec+addr.VAddr(4*k), uint32(k*stride))
+				}
+				alias, err := s.MapScatterGather(x, xN*8, 8, vec, uint64(elems), 0)
+				if err != nil {
+					return core.Row{}, err
+				}
+				sec := s.BeginSection()
+				for k := 0; k < elems; k++ {
+					s.LoadF64(alias + addr.VAddr(8*k))
+					s.Tick(1)
+				}
+				return sec.End(cols[i])
+			},
+		})
 	})
 	if err != nil {
 		return err
@@ -331,6 +355,7 @@ func GatherStrideSweep(strides []int, elems int, w io.Writer) error {
 // factorization, the other dense kernel §3.2 names. Checksums are
 // verified against the host reference.
 func CholeskyExperiment(n, tile int, w io.Writer) error {
+	noteIneligible("cholesky", "each cell runs a different workload variant")
 	want := workloads.RefCholesky(n, tile)
 	configs := []struct {
 		kind core.ControllerKind
@@ -388,19 +413,25 @@ func SparkExperiment(nodesX, nodesY, iters int, w io.Writer) error {
 		{core.Impulse, core.PrefetchNone, true},
 		{core.Impulse, core.PrefetchMC, true},
 	}
+	// The conventional cell and the two gather cells issue different
+	// streams; the gather pair (with and without prefetch) shares one.
 	rows, err := Run(len(configs), func(i int, tc *TaskCtx) (core.Row, error) {
-		s, err := tc.NewSystem(core.Options{Controller: configs[i].kind, Prefetch: configs[i].pf})
-		if err != nil {
-			return core.Row{}, err
-		}
-		res, err := workloads.RunSpark(s, mesh, iters, configs[i].gather)
-		if err != nil {
-			return core.Row{}, err
-		}
-		if res.Checksum != want {
-			return core.Row{}, fmt.Errorf("harness: spark checksum %v != reference %v", res.Checksum, want)
-		}
-		return res.Row, nil
+		gather := configs[i].gather
+		key := fmt.Sprintf("spark-x%d-y%d-it%d-g%v-%s", nodesX, nodesY, iters, gather, streamSig(nil))
+		return runCell(tc, cellSpec{
+			key:  key,
+			opts: core.Options{Controller: configs[i].kind, Prefetch: configs[i].pf},
+			exec: func(s *core.System) (core.Row, error) {
+				res, err := workloads.RunSpark(s, mesh, iters, gather)
+				if err != nil {
+					return core.Row{}, err
+				}
+				if res.Checksum != want {
+					return core.Row{}, fmt.Errorf("harness: spark checksum %v != reference %v", res.Checksum, want)
+				}
+				return res.Row, nil
+			},
+		})
 	})
 	if err != nil {
 		return err
@@ -434,6 +465,8 @@ func SuperscalarExperiment(par workloads.CGParams, widths []uint64, w io.Writer)
 		cols[i] = fmt.Sprintf("width %d", width)
 	}
 	// Task order matches the serial loop: width-major, conventional first.
+	// Issue width only rescales Tick batches (replay divides by its own
+	// width), so every width of a mode shares that mode's stream.
 	rows, err := Run(2*len(widths), func(idx int, tc *TaskCtx) (core.Row, error) {
 		width, impulse := widths[idx/2], idx%2 == 1
 		cfg := sim.DefaultConfig()
@@ -444,15 +477,18 @@ func SuperscalarExperiment(par workloads.CGParams, widths []uint64, w io.Writer)
 			opt.Controller, opt.Prefetch = core.Impulse, core.PrefetchMC
 			mode = workloads.CGScatterGather
 		}
-		s, err := tc.NewSystem(opt)
-		if err != nil {
-			return core.Row{}, err
-		}
-		res, err := workloads.RunCG(s, par, mode, m)
-		if err != nil {
-			return core.Row{}, err
-		}
-		return res.Row, nil
+		return runCell(tc, cellSpec{
+			key:     cgKey(par, mode, &cfg),
+			opts:    opt,
+			relabel: relabelPf(opt.Prefetch),
+			exec: func(s *core.System) (core.Row, error) {
+				res, err := workloads.RunCG(s, par, mode, m)
+				if err != nil {
+					return core.Row{}, err
+				}
+				return res.Row, nil
+			},
+		})
 	})
 	if err != nil {
 		return err
@@ -482,18 +518,22 @@ func SuperscalarExperiment(par workloads.CGParams, widths []uint64, w io.Writer)
 func PagePolicyAblation(par workloads.CGParams, w io.Writer) error {
 	m := workloads.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
 	policies := []dram.PagePolicy{dram.OpenPage, dram.ClosedPage}
+	// Row management is pure timing: both policies share one stream.
 	rows, err := Run(len(policies), func(i int, tc *TaskCtx) (core.Row, error) {
 		cfg := sim.DefaultConfig()
 		cfg.DRAM.Policy = policies[i]
-		s, err := tc.NewSystem(core.Options{Controller: core.Impulse, Prefetch: core.PrefetchMC, Config: &cfg})
-		if err != nil {
-			return core.Row{}, err
-		}
-		res, err := workloads.RunCG(s, par, workloads.CGScatterGather, m)
-		if err != nil {
-			return core.Row{}, err
-		}
-		return res.Row, nil
+		return runCell(tc, cellSpec{
+			key:     cgKey(par, workloads.CGScatterGather, &cfg),
+			opts:    core.Options{Controller: core.Impulse, Prefetch: core.PrefetchMC, Config: &cfg},
+			relabel: relabelPf(core.PrefetchMC),
+			exec: func(s *core.System) (core.Row, error) {
+				res, err := workloads.RunCG(s, par, workloads.CGScatterGather, m)
+				if err != nil {
+					return core.Row{}, err
+				}
+				return res.Row, nil
+			},
+		})
 	})
 	if err != nil {
 		return err
@@ -513,6 +553,7 @@ func PagePolicyAblation(par workloads.CGParams, w io.Writer) error {
 // memory-bound applications of commercial importance, such as database
 // and multimedia programs").
 func DBExperiment(p workloads.DBParams, selectivity int, w io.Writer) error {
+	noteIneligible("db", "each cell runs a different workload variant")
 	wantProj := workloads.RefDBProjection(p)
 	wantIdx := workloads.RefDBIndexScan(p, selectivity)
 	// Task order matches the serial loop: projection conv/imp, index conv/imp.

@@ -1,0 +1,254 @@
+// Trace cache: sweep families whose cells differ only in *timing* knobs
+// (cache geometry, DRAM policy, controller SRAM size, issue width,
+// prefetch policy) issue the exact same machine-command stream, so the
+// workload's functional execution — the CG arithmetic, the tiled
+// multiply, the data movement of every load and store — needs to happen
+// only once per distinct reference stream. The first cell of a family to
+// need a given stream executes the workload under a tracefile v2
+// recorder; every other cell (possibly on other pool workers,
+// concurrently) replays the recorded command stream on its own machine
+// with functional data movement disabled. Replay is cycle- and
+// counter-identical to execution by construction (the differential tests
+// in internal/tracefile pin this), including Impulse shadow runs, whose
+// indirection vectors travel inside the trace as a memory image.
+//
+// Families whose cells change the reference stream itself (different
+// workload variants per cell, multi-process runs) are ineligible; they
+// execute every cell as before and say so once on stderr.
+package harness
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"impulse/internal/core"
+	"impulse/internal/sim"
+	"impulse/internal/tracefile"
+	"impulse/internal/workloads"
+)
+
+var (
+	traceCacheOn   = true
+	traceRecordDir string
+	traceReplayDir string
+
+	// traceCache maps cellSpec.key -> *traceEntry. Entries are recorded
+	// once (sync.Once) and replayed by every other cell with the key.
+	traceCache sync.Map
+
+	// ineligibleNoted dedups the per-family ineligibility notes.
+	ineligibleNoted sync.Map
+)
+
+// SetTraceCache enables or disables the in-process trace cache (the
+// -trace-cache flag). On by default. Call during setup, not while an
+// experiment runs.
+func SetTraceCache(on bool) { traceCacheOn = on }
+
+// TraceCacheEnabled reports whether the trace cache is on.
+func TraceCacheEnabled() bool { return traceCacheOn }
+
+// SetTraceRecordDir makes every recorded trace also persist to dir as
+// <key>.imptrc (the -trace-record flag). Empty disables persistence.
+func SetTraceRecordDir(dir string) { traceRecordDir = dir }
+
+// SetTraceReplayDir makes the cache try dir for a previously persisted
+// trace before executing a workload (the -trace-replay flag). Empty
+// disables. A missing or invalid file silently falls back to execution.
+func SetTraceReplayDir(dir string) { traceReplayDir = dir }
+
+// ResetTraceCache drops every cached trace. Benchmarks and tests use it
+// to measure cold/warm behaviour; not safe while a Run is in flight.
+func ResetTraceCache() {
+	traceCache.Range(func(k, _ any) bool {
+		traceCache.Delete(k)
+		return true
+	})
+}
+
+type traceEntry struct {
+	once sync.Once
+	data []byte
+	err  error
+}
+
+// cellSpec describes one grid cell to runCell: the identity of its
+// reference stream (key), the timing configuration to simulate it under
+// (opts), how to rewrite recorded labels for this cell (relabel, nil =
+// keep), and the workload to execute when this cell is the one that
+// records (exec returns the cell's measured row).
+type cellSpec struct {
+	key     string
+	opts    core.Options
+	relabel func(string) string
+	exec    func(s *core.System) (core.Row, error)
+}
+
+// runCell runs one grid cell through the trace cache: the first cell to
+// claim the key executes exec (recording), every other cell replays the
+// recorded stream under its own opts. With the cache off it simply
+// executes.
+func runCell(tc *TaskCtx, spec cellSpec) (core.Row, error) {
+	if !traceCacheOn {
+		s, err := tc.NewSystem(spec.opts)
+		if err != nil {
+			return core.Row{}, err
+		}
+		return spec.exec(s)
+	}
+	v, _ := traceCache.LoadOrStore(spec.key, &traceEntry{})
+	ent := v.(*traceEntry)
+	var row core.Row
+	recorded := false
+	ent.once.Do(func() {
+		if data := loadPersistedTrace(spec.key); data != nil {
+			ent.data = data
+			return
+		}
+		s, err := tc.NewSystem(spec.opts)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		rec := tracefile.RecordRun(s)
+		r, err := spec.exec(s)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		data, err := rec.Bytes()
+		if err != nil {
+			ent.err = err
+			return
+		}
+		ent.data = data
+		row, recorded = r, true
+		persistTrace(spec.key, data)
+	})
+	if ent.err != nil {
+		// Return the recording cell's error verbatim so the surfaced
+		// error text does not depend on which cell happened to record.
+		return core.Row{}, ent.err
+	}
+	if recorded {
+		return row, nil
+	}
+	s, err := tc.NewSystem(spec.opts)
+	if err != nil {
+		return core.Row{}, err
+	}
+	rows, err := tracefile.ReplayV2(s, ent.data, tracefile.ReplayOpts{MapLabel: spec.relabel})
+	if err != nil {
+		return core.Row{}, fmt.Errorf("harness: trace replay (%s): %w", spec.key, err)
+	}
+	if len(rows) == 0 {
+		return core.Row{}, fmt.Errorf("harness: trace replay (%s): no measured rows", spec.key)
+	}
+	return rows[len(rows)-1], nil
+}
+
+// noteIneligible reports (once per family) that a sweep family executes
+// every cell because its cells vary the reference stream, not just
+// timing.
+func noteIneligible(family, reason string) {
+	if !traceCacheOn {
+		return
+	}
+	once, _ := ineligibleNoted.LoadOrStore(family, new(sync.Once))
+	once.(*sync.Once).Do(func() {
+		fmt.Fprintf(os.Stderr, "trace-cache: %s: ineligible (%s); executing every cell\n", family, reason)
+	})
+}
+
+// streamSig captures the configuration knobs that change the *reference
+// stream* a workload issues (as opposed to its timing): the L1 size
+// feeds scatter/gather target placement, and the page-color count feeds
+// recoloring and the frame allocator. Cells that differ here must not
+// share a trace.
+func streamSig(cfg *sim.Config) string {
+	c := sim.DefaultConfig()
+	if cfg != nil {
+		c = *cfg
+	}
+	return fmt.Sprintf("l1=%d,colors=%d", c.L1.Bytes, c.Kernel.PageColors)
+}
+
+// tracePath maps a cache key to a file name under dir: the key,
+// sanitized, plus a hash to keep sanitized collisions apart.
+func tracePath(dir, key string) string {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	san := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_', r == '=', r == ',':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
+	return filepath.Join(dir, fmt.Sprintf("%s-%08x.imptrc", san, h.Sum32()))
+}
+
+func loadPersistedTrace(key string) []byte {
+	if traceReplayDir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(tracePath(traceReplayDir, key))
+	if err != nil || tracefile.Validate(data) != nil {
+		return nil
+	}
+	return data
+}
+
+func persistTrace(key string, data []byte) {
+	if traceRecordDir == "" {
+		return
+	}
+	if err := os.MkdirAll(traceRecordDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "trace-cache: record dir: %v\n", err)
+		return
+	}
+	if err := os.WriteFile(tracePath(traceRecordDir, key), data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "trace-cache: persist %s: %v\n", key, err)
+	}
+}
+
+// relabelPf rewrites the "<...>/<prefetch>" suffix the CG/MMP/Cholesky
+// section labels carry to this cell's prefetch policy, so a row replayed
+// from another column's recording renders (and registers counters)
+// exactly as if this cell had executed.
+func relabelPf(pf core.PrefetchPolicy) func(string) string {
+	suffix := pf.String()
+	return func(label string) string {
+		if i := strings.LastIndexByte(label, '/'); i >= 0 {
+			return label[:i+1] + suffix
+		}
+		return label
+	}
+}
+
+// constLabel relabels every recorded row to a fixed label (families
+// whose cells label rows by the knob being swept).
+func constLabel(l string) func(string) string {
+	return func(string) string { return l }
+}
+
+// cgKey identifies the reference stream of one CG cell: the problem, the
+// remapping mode, and the stream-affecting config knobs. Prefetch policy,
+// controller kind, and pure timing knobs are deliberately absent — cells
+// differing only there share the stream (that is the cache's entire
+// point), including across sweep families run at the same parameters.
+func cgKey(par workloads.CGParams, mode workloads.CGMode, cfg *sim.Config) string {
+	return fmt.Sprintf("cg-n%d-nz%d-ni%d-it%d-sh%g-rc%g-%v-%s",
+		par.N, par.Nonzer, par.Niter, par.CGIts, par.Shift, par.RCond, mode, streamSig(cfg))
+}
+
+// mmpKey identifies the reference stream of one tiled matrix-product cell.
+func mmpKey(par workloads.MMPParams, mode workloads.MMPMode, cfg *sim.Config) string {
+	return fmt.Sprintf("mmp-n%d-t%d-%v-%s", par.N, par.Tile, mode, streamSig(cfg))
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// withTraceCache runs f with the cache forced on or off and the global
+// state (enable flag, cached entries, persistence dirs) restored after.
+func withTraceCache(t *testing.T, on bool, f func()) {
+	t.Helper()
+	was := TraceCacheEnabled()
+	t.Cleanup(func() {
+		SetTraceCache(was)
+		SetTraceRecordDir("")
+		SetTraceReplayDir("")
+		ResetTraceCache()
+	})
+	SetTraceCache(on)
+	ResetTraceCache()
+	f()
+}
+
+func renderTable1(t *testing.T) string {
+	t.Helper()
+	g, err := Table1(smallCG(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := g.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestTraceCacheTable1Identity is the harness-level contract: the full
+// Table 1 family renders byte-identically whether every cell executes or
+// nine of twelve replay a recorded stream.
+func TestTraceCacheTable1Identity(t *testing.T) {
+	var off, on string
+	withTraceCache(t, false, func() { off = renderTable1(t) })
+	withTraceCache(t, true, func() { on = renderTable1(t) })
+	if on != off {
+		t.Errorf("Table 1 differs with trace cache on\n--- off ---\n%s--- on ---\n%s", off, on)
+	}
+}
+
+// TestTraceCacheSweepIdentity checks the same for an inline-workload
+// family (the SRAM sweep: one stream, k cells differing only in
+// controller SRAM size).
+func TestTraceCacheSweepIdentity(t *testing.T) {
+	run := func() string {
+		var b strings.Builder
+		if err := PrefetchBufferSweep([]uint64{256, 1024, 4096}, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	var off, on string
+	withTraceCache(t, false, func() { off = run() })
+	withTraceCache(t, true, func() { on = run() })
+	if on != off {
+		t.Errorf("SRAM sweep differs with trace cache on\n--- off ---\n%s--- on ---\n%s", off, on)
+	}
+}
+
+// TestTraceCacheDiskRoundTrip records a family's traces to disk, then
+// reruns the family replaying from that directory — no cell executes the
+// workload — and requires identical output.
+func TestTraceCacheDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var first, second string
+	withTraceCache(t, true, func() {
+		SetTraceRecordDir(dir)
+		first = renderTable1(t)
+		SetTraceRecordDir("")
+
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 3 {
+			t.Fatalf("persisted %d traces, want 3 (one per Table 1 stream)", len(ents))
+		}
+
+		SetTraceReplayDir(dir)
+		ResetTraceCache()
+		second = renderTable1(t)
+	})
+	if first != second {
+		t.Errorf("disk replay differs from recording run\n--- record ---\n%s--- replay ---\n%s", first, second)
+	}
+}

@@ -131,9 +131,27 @@ type Controller struct {
 	runsBuf   []Run
 	seenBuf   []addr.PAddr
 
+	// opRec observes OS-interface operations (nil = not recording);
+	// trace recording uses it to capture descriptor setup and backing
+	// page-table downloads.
+	opRec OpRecorder
+
 	h     *obs.Hub
 	track obs.TrackID
 }
+
+// OpRecorder observes the controller's OS-interface operations, for
+// trace recording. Callbacks fire after the operation succeeds.
+type OpRecorder interface {
+	RecMapPV(pvpage, frame uint64)
+	RecSetDescriptor(slot int, d Descriptor)
+	RecClearDescriptor(slot int)
+	RecMCInvalidateTLB()
+	RecMCInvalidateBuffers()
+}
+
+// SetOpRecorder attaches (or detaches, with nil) an OS-op recorder.
+func (c *Controller) SetOpRecorder(r OpRecorder) { c.opRec = r }
 
 // New builds a controller attached to the given DRAM model and simulated
 // memory (used for functional indirection-vector reads). st may be nil.
@@ -220,6 +238,9 @@ func (c *Controller) SetDescriptor(slot int, d Descriptor) error {
 	if d.Kind == Gather {
 		c.descs[slot].vecFn = c.makeVecFn(&c.descs[slot])
 	}
+	if c.opRec != nil {
+		c.opRec.RecSetDescriptor(slot, d)
+	}
 	return nil
 }
 
@@ -227,6 +248,9 @@ func (c *Controller) SetDescriptor(slot int, d Descriptor) error {
 func (c *Controller) ClearDescriptor(slot int) {
 	if slot >= 0 && slot < NumDescriptors {
 		c.descs[slot].active = false
+		if c.opRec != nil {
+			c.opRec.RecClearDescriptor(slot)
+		}
 	}
 }
 
@@ -252,6 +276,9 @@ func overlaps(a, b *Descriptor) bool {
 func (c *Controller) MapPV(pvpage, frame uint64) {
 	c.backing[pvpage] = frame
 	c.pgtlb.Invalidate(pvpage)
+	if c.opRec != nil {
+		c.opRec.RecMapPV(pvpage, frame)
+	}
 }
 
 // MapPVRange maps consecutive pseudo-virtual pages starting at the page of
@@ -264,7 +291,12 @@ func (c *Controller) MapPVRange(pvBase addr.PVAddr, frames []uint64) {
 }
 
 // InvalidateTLB drops all cached PgTbl translations.
-func (c *Controller) InvalidateTLB() { c.pgtlb.InvalidateAll() }
+func (c *Controller) InvalidateTLB() {
+	if c.opRec != nil {
+		c.opRec.RecMCInvalidateTLB()
+	}
+	c.pgtlb.InvalidateAll()
+}
 
 // InvalidateBuffers drops all prefetched data held at the controller (the
 // non-remapped SRAM and every descriptor buffer). The OS issues this as
@@ -272,6 +304,9 @@ func (c *Controller) InvalidateTLB() { c.pgtlb.InvalidateAll() }
 // under an active descriptor (e.g. the multiplicand vector of conjugate
 // gradient is rewritten between iterations).
 func (c *Controller) InvalidateBuffers() {
+	if c.opRec != nil {
+		c.opRec.RecMCInvalidateBuffers()
+	}
 	for i := range c.sram {
 		c.sram[i].valid = false
 	}
@@ -370,4 +405,53 @@ func (c *Controller) CoversLine(p addr.PAddr) bool {
 	}
 	ds := c.findDesc(p)
 	return ds != nil && uint64(p)-uint64(ds.d.ShadowBase) < ds.d.Bytes
+}
+
+// --- Pseudo-virtual memory images ---------------------------------------
+
+// pvWalk resolves the pseudo-virtual range [pv, pv+n) through the backing
+// page table and calls fn for each contiguous physical run.
+func (c *Controller) pvWalk(pv addr.PVAddr, n uint64, fn func(p addr.PAddr, bytes uint64)) error {
+	for n > 0 {
+		frame, ok := c.backing[pv.PageNum()]
+		if !ok {
+			return fmt.Errorf("mc: pseudo-virtual page %#x unmapped", pv.PageNum())
+		}
+		take := uint64(addr.PageSize) - pv.PageOff()
+		if take > n {
+			take = n
+		}
+		fn(addr.PAddr(frame<<addr.PageShift|pv.PageOff()), take)
+		pv += addr.PVAddr(take)
+		n -= take
+	}
+	return nil
+}
+
+// ReadPVImage copies n bytes of simulated memory starting at pseudo-
+// virtual address pv, resolved through the backing page table. Trace
+// recording uses it to snapshot indirection vectors: gather timing reads
+// vector values from memory, so a replay that skips functional stores
+// must restore this image first (WritePVImage) for the gathered line
+// addresses — and hence DRAM timing — to come out identical.
+func (c *Controller) ReadPVImage(pv addr.PVAddr, n uint64) ([]byte, error) {
+	out := make([]byte, 0, n)
+	err := c.pvWalk(pv, n, func(p addr.PAddr, bytes uint64) {
+		out = out[:len(out)+int(bytes)]
+		c.mem.ReadBytes(p, out[uint64(len(out))-bytes:])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WritePVImage writes img into simulated memory at pseudo-virtual
+// address pv (the inverse of ReadPVImage, used on trace replay).
+func (c *Controller) WritePVImage(pv addr.PVAddr, img []byte) error {
+	off := uint64(0)
+	return c.pvWalk(pv, uint64(len(img)), func(p addr.PAddr, bytes uint64) {
+		c.mem.WriteBytes(p, img[off:off+bytes])
+		off += bytes
+	})
 }

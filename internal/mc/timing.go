@@ -33,10 +33,14 @@ func (c *Controller) readNormal(t0 timeline.Time, p addr.PAddr) timeline.Time {
 	if e := c.sramFind(la); e != nil {
 		c.st.MCPrefetchHits++
 		ready = maxTime(t0, e.readyAt)
-		c.h.Span(c.track, "sram-hit", t0, ready)
+		if c.h != nil {
+			c.h.Span(c.track, "sram-hit", t0, ready)
+		}
 	} else {
 		ready = c.dram.Read(t0, p)
-		c.h.Span(c.track, "fill", t0, ready)
+		if c.h != nil {
+			c.h.Span(c.track, "fill", t0, ready)
+		}
 	}
 	if c.cfg.Prefetch {
 		next := la + 1
@@ -46,7 +50,9 @@ func (c *Controller) readNormal(t0 timeline.Time, p addr.PAddr) timeline.Time {
 			done := c.dram.Read(ready, nextP)
 			c.sramInsert(bufEntry{lineAddr: next, readyAt: done, valid: true})
 			c.st.MCPrefetches++
-			c.h.Span(c.track, "prefetch", ready, done)
+			if c.h != nil {
+				c.h.Span(c.track, "prefetch", ready, done)
+			}
 		}
 	}
 	return ready
@@ -135,7 +141,9 @@ func (c *Controller) descPrefetchNext(ds *descState, la uint64, issue timeline.T
 	ds.bufNext = (ds.bufNext + 1) % len(ds.buf)
 	c.st.SDescPrefetches++
 	ds.prefetches++
-	c.h.Span(c.track, "sdesc-prefetch", issue, done)
+	if c.h != nil {
+		c.h.Span(c.track, "sdesc-prefetch", issue, done)
+	}
 	return nil
 }
 
@@ -332,7 +340,9 @@ func (c *Controller) WriteLine(at timeline.Time, p addr.PAddr) (timeline.Time, e
 		}
 	}
 	c.seenBuf = seen[:0]
-	c.h.Span(c.track, "scatter", t0, done)
+	if c.h != nil {
+		c.h.Span(c.track, "scatter", t0, done)
+	}
 	return done, nil
 }
 

@@ -54,6 +54,12 @@ type Machine struct {
 
 	tracer Tracer
 
+	// rec receives the machine-command stream (nil = not recording);
+	// functional gates readValue/writeValue so trace replay can skip
+	// data movement. See record.go.
+	rec        CmdRecorder
+	functional bool
+
 	// obs is the observability hub (nil = not attached, near-zero cost).
 	obs      *obs.Hub
 	cpuTrack obs.TrackID
@@ -110,6 +116,7 @@ func New(cfg Config) (*Machine, error) {
 		TLB:        tlb.New(cfg.TLBEntries),
 		l1LineMask: cfg.L1.LineBytes - 1,
 		l2LineMask: cfg.L2.LineBytes - 1,
+		functional: true,
 	}
 	m.inflight.init()
 	return m, nil
@@ -125,6 +132,9 @@ func (m *Machine) Now() timeline.Time { return m.clock }
 // single-issue CPU each costs one cycle; with IssueWidth w the CPU
 // retires w per cycle.
 func (m *Machine) Tick(n uint64) {
+	if m.rec != nil {
+		m.rec.RecTick(n)
+	}
 	m.St.Instructions += n
 	w := m.cfg.IssueWidth
 	if w <= 1 {
@@ -151,11 +161,19 @@ type blockEntry struct {
 // virtual range [v, v+bytes) to the contiguous bus range starting at p.
 // Block entries are checked before the page TLB and never miss.
 func (m *Machine) InstallBlockTLB(v addr.VAddr, p addr.PAddr, bytes uint64) {
+	if m.rec != nil {
+		m.rec.RecInstallBlockTLB(v, p, bytes)
+	}
 	m.blockTLB = append(m.blockTLB, blockEntry{vlo: uint64(v), vhi: uint64(v) + bytes, pbase: uint64(p)})
 }
 
 // ClearBlockTLB removes all block translations.
-func (m *Machine) ClearBlockTLB() { m.blockTLB = nil }
+func (m *Machine) ClearBlockTLB() {
+	if m.rec != nil {
+		m.rec.RecClearBlockTLB()
+	}
+	m.blockTLB = nil
+}
 
 // translate converts a virtual address to a bus address, charging TLB
 // behaviour. Panics on an unmapped address: that is a simulation bug, not
@@ -175,7 +193,9 @@ func (m *Machine) translate(v addr.VAddr) addr.PAddr {
 	}
 	m.St.TLBMisses++
 	m.St.TLBWalkCost += m.cfg.TLBMissPenalty
-	m.obs.Span(m.cpuTrack, "tlb-walk", m.clock, m.clock+m.cfg.TLBMissPenalty)
+	if m.obs != nil {
+		m.obs.Span(m.cpuTrack, "tlb-walk", m.clock, m.clock+m.cfg.TLBMissPenalty)
+	}
 	m.clock += m.cfg.TLBMissPenalty
 	m.TLB.Insert(v.PageNum(), p.PageNum())
 	return p
@@ -189,10 +209,20 @@ func (m *Machine) TranslateNoFault(v addr.VAddr) (addr.PAddr, bool) {
 
 // FlushTLB empties the processor TLB (e.g. after the OS rewrites page
 // tables during a remap).
-func (m *Machine) FlushTLB() { m.TLB.InvalidateAll() }
+func (m *Machine) FlushTLB() {
+	if m.rec != nil {
+		m.rec.RecFlushTLB()
+	}
+	m.TLB.InvalidateAll()
+}
 
 // FlushTLBPage drops one translation.
-func (m *Machine) FlushTLBPage(v addr.VAddr) { m.TLB.Invalidate(v.PageNum()) }
+func (m *Machine) FlushTLBPage(v addr.VAddr) {
+	if m.rec != nil {
+		m.rec.RecFlushTLBPage(v)
+	}
+	m.TLB.Invalidate(v.PageNum())
+}
 
 // --- Functional data movement -------------------------------------------
 
@@ -265,10 +295,16 @@ func (m *Machine) LoadF64(v addr.VAddr) float64 {
 }
 
 func (m *Machine) load(v addr.VAddr, size uint64) uint64 {
+	if m.rec != nil {
+		m.rec.RecLoad(v, size)
+	}
 	m.St.Loads++
 	start := m.clock
 	p := m.translate(v)
-	value := m.readValue(p, size)
+	var value uint64
+	if m.functional {
+		value = m.readValue(p, size)
+	}
 
 	// L1 probe (virtually indexed, physically tagged).
 	if r := m.L1.Lookup(uint64(v), uint64(p)); r.Hit {
@@ -471,10 +507,15 @@ func (m *Machine) StoreF64(v addr.VAddr, val float64) {
 // not stall on stores beyond the issue cycle (posted writes); the bus, L2
 // port, and DRAM time they consume delays later loads.
 func (m *Machine) store(v addr.VAddr, size, val uint64) {
+	if m.rec != nil {
+		m.rec.RecStore(v, size)
+	}
 	m.St.Stores++
 	start := m.clock
 	p := m.translate(v)
-	m.writeValue(p, size, val)
+	if m.functional {
+		m.writeValue(p, size, val)
+	}
 
 	if m.L1.MarkDirty(uint64(v), uint64(p)) {
 		m.St.L1StoreHits++
@@ -486,9 +527,8 @@ func (m *Machine) store(v addr.VAddr, size, val uint64) {
 		_, probed := m.l2port.Acquire(m.clock+1, m.cfg.L2MissProbeCycles)
 		// Write-allocate: fetch the line into L2 in the background and
 		// mark it dirty.
-		done := m.memoryFill(v, p, probed, true)
+		m.memoryFill(v, p, probed, true)
 		m.L2.MarkDirty(uint64(p), uint64(p))
-		_ = done
 	}
 	m.St.Instructions++
 	done := m.clock + 1 // issue cycle; any TLB walk already advanced clock
@@ -517,12 +557,18 @@ const FlushCyclesPerLine = 2
 // requires around remappings ("we assume that an application ... ensures
 // data consistency through appropriate flushing of the caches", §2.3).
 func (m *Machine) FlushVRange(v addr.VAddr, bytes uint64) {
+	if m.rec != nil {
+		m.rec.RecFlushVRange(v, bytes)
+	}
 	m.cacheMaint(v, bytes, true)
 }
 
 // PurgeVRange invalidates without write-back (for data that is dead or
 // clean, e.g. the A and B input tiles in tiled matrix product).
 func (m *Machine) PurgeVRange(v addr.VAddr, bytes uint64) {
+	if m.rec != nil {
+		m.rec.RecPurgeVRange(v, bytes)
+	}
 	m.cacheMaint(v, bytes, false)
 }
 
@@ -579,6 +625,9 @@ func (m *Machine) cacheMaint(v addr.VAddr, bytes uint64, writeback bool) {
 // needed. It must not be used inside a timed section (that is the
 // consistency protocol's job, which costs cycles).
 func (m *Machine) ResetCachesUntimed() {
+	if m.rec != nil {
+		m.rec.RecResetCachesUntimed()
+	}
 	m.L1.FlushAll(nil)
 	m.L2.FlushAll(nil)
 	m.TLB.InvalidateAll()
@@ -589,6 +638,9 @@ func (m *Machine) ResetCachesUntimed() {
 // FlushAllCaches empties both caches, writing dirty lines back
 // functionally-free but charging flush costs.
 func (m *Machine) FlushAllCaches() {
+	if m.rec != nil {
+		m.rec.RecFlushAllCaches()
+	}
 	m.L1.FlushAll(func(lineAddr uint64, dirty bool) {
 		m.St.FlushedLines++
 		m.clock += FlushCyclesPerLine

@@ -1,0 +1,38 @@
+package sim
+
+import "impulse/internal/addr"
+
+// CmdRecorder receives the machine-command stream a run issues: every
+// public operation that can affect timing or machine state, in issue
+// order. A recorder attached while a workload executes captures enough
+// to replay the run cycle-identically on a fresh machine with different
+// timing parameters (see internal/tracefile).
+//
+// Recorder callbacks fire before the operation executes, so a recorder
+// observes the same order a replay will reissue.
+type CmdRecorder interface {
+	RecLoad(v addr.VAddr, size uint64)
+	RecStore(v addr.VAddr, size uint64)
+	RecTick(n uint64)
+	RecFlushVRange(v addr.VAddr, bytes uint64)
+	RecPurgeVRange(v addr.VAddr, bytes uint64)
+	RecInstallBlockTLB(v addr.VAddr, p addr.PAddr, bytes uint64)
+	RecClearBlockTLB()
+	RecFlushTLB()
+	RecFlushTLBPage(v addr.VAddr)
+	RecResetCachesUntimed()
+	RecFlushAllCaches()
+}
+
+// SetCommandRecorder attaches (or detaches, with nil) a command-stream
+// recorder. Recording adds one nil check per operation when detached.
+func (m *Machine) SetCommandRecorder(r CmdRecorder) { m.rec = r }
+
+// SetFunctional toggles functional data movement. With it off, loads
+// return zero and stores discard their value while all timing behaviour
+// (translation, caches, bus, DRAM, controller) is still charged. Trace
+// replay uses this to skip readValue/writeValue: the reference stream
+// already encodes every address, and data values never feed back into
+// timing except through the controller's indirection vectors, which the
+// trace's memory-image section restores separately.
+func (m *Machine) SetFunctional(on bool) { m.functional = on }

@@ -1,21 +1,39 @@
 // Package tracefile implements classic trace-driven simulation on top of
-// the execution-driven machine: record the virtual-address trace of a
-// run once, then replay it under different memory-system configurations
+// the execution-driven machine: record the reference stream of a run
+// once, then replay it under different memory-system configurations
 // without re-executing the workload. This is the methodology most
 // memory-system studies of the paper's era used (and the role Paint's
-// instrumentation played); here it complements execution-driven mode —
-// e.g. capture a conventional run's trace and replay it against machines
-// with different cache geometries, DRAM policies, or prefetchers.
+// instrumentation played); the experiment harness builds its trace cache
+// on it so timing-only sweeps execute each workload once.
 //
-// The format is a compact binary stream: a 8-byte header ("IMPTRC" +
-// 2-byte version) followed by 10-byte records {kind u8, size u8, vaddr
-// u64 little-endian}. Only loads and stores are recorded — replay
-// re-simulates timing, it does not need data values (replayed stores
-// write zeros; replay is a timing instrument, not a computation).
+// Two formats share the 8-byte "IMPTRC" + version header:
 //
-// Remapped (shadow-backed) accesses are deliberately not replayable:
-// their meaning depends on controller state that a flat trace cannot
-// carry. Record conventional runs; replay anywhere.
+// Version 1 (Writer/Read/Replay, kept for compatibility) is a flat
+// load/store stream: 10-byte records {kind u8, size u8, vaddr u64 LE},
+// conventional accesses only. Replay lazily maps touched pages and
+// charges a fixed per-access instruction cost — an approximation good
+// enough for cache-geometry studies, but it cannot reproduce a run's
+// cycle counts, and shadow accesses are skipped entirely.
+//
+// Version 2 (RecordRun/ReplayV2) captures the full machine-command stream a
+// run issues, so replay is cycle- and counter-identical to execution —
+// including Impulse shadow runs. Beyond loads and stores it records Tick
+// batches, Flush/Purge ranges, TLB and block-TLB operations, the OS
+// remap setup (page-table installs with the concrete frames the
+// allocator picked, controller backing-table downloads, shadow
+// descriptor configuration), syscall accounting, and measurement-section
+// boundaries. Descriptor records for Gather remappings carry an untimed
+// memory-image section: the indirection vector's bytes, snapshotted at
+// download time. That image is what makes shadow replay exact — gather
+// timing depends on the vector's *values* (they select the DRAM lines a
+// gather touches), and replay skips functional data movement
+// (sim.Machine.SetFunctional), so the controller would otherwise
+// dereference zeros. Replay restores the image through the backing page
+// table before installing the descriptor.
+//
+// v2 records are opcode-tagged varint sequences (load/store addresses
+// delta-encoded against the previous access), decoded by a bounds-checked
+// streaming decoder (Validate; fuzzed by FuzzTraceDecode).
 package tracefile
 
 import (
