@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json bench-diff fuzz-short ci tables report sweeps examples fmt vet clean
+.PHONY: all build test test-short race bench bench-json bench-diff fuzz-short serve-smoke ci tables report sweeps examples fmt vet clean
 
 all: build vet test race
 
@@ -42,9 +42,32 @@ bench-diff:
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzTraceDecode -fuzztime 10s ./internal/tracefile
 
+# serve-smoke is the end-to-end check for the experiment service: boot
+# impulsed on an ephemeral port, submit a small Table 1 job through
+# impulsectl, diff the bytes against the direct cmd/table1 run, verify
+# the single-flight dedup path with a concurrent load burst, then shut
+# the daemon down gracefully (SIGTERM -> drain).
+serve-smoke:
+	@set -e; dir=$$(mktemp -d); trap 'kill $$pid 2>/dev/null || true; rm -rf "$$dir"' EXIT; \
+	$(GO) build -o $$dir/impulsed ./cmd/impulsed; \
+	$(GO) build -o $$dir/impulsectl ./cmd/impulsectl; \
+	$(GO) build -o $$dir/table1 ./cmd/table1; \
+	$$dir/impulsed -addr 127.0.0.1:0 -addr-file $$dir/addr 2>$$dir/impulsed.log & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $$dir/addr ] && break; sleep 0.1; done; \
+	[ -s $$dir/addr ] || { echo "impulsed never bound"; cat $$dir/impulsed.log; exit 1; }; \
+	addr=$$(cat $$dir/addr); echo "impulsed up at $$addr"; \
+	$$dir/impulsectl -addr $$addr submit -wait \
+		-spec '{"kind":"table1","n":240,"nonzer":4,"niter":1,"cgits":2}' >$$dir/service.out; \
+	$$dir/table1 -n 240 -nonzer 4 -niter 1 -cgits 2 -q >$$dir/direct.out; \
+	diff -u $$dir/direct.out $$dir/service.out || { echo "serve-smoke: service output differs from CLI"; exit 1; }; \
+	$$dir/impulsectl -addr $$addr load -n 8 \
+		-spec '{"kind":"table1","n":240,"nonzer":4,"niter":1,"cgits":2}'; \
+	kill -TERM $$pid; wait $$pid || { echo "impulsed exited non-zero"; cat $$dir/impulsed.log; exit 1; }; \
+	echo "serve-smoke OK"
+
 # ci is the pre-PR gate: formatting, vet, build, full tests, the race
-# detector over the short suite, and a short decoder fuzz. Run it before
-# every PR.
+# detector over the short suite, a short decoder fuzz, and the service
+# smoke test. Run it before every PR.
 ci:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
@@ -53,6 +76,7 @@ ci:
 	$(GO) test ./...
 	$(GO) test -race -short ./...
 	$(MAKE) fuzz-short
+	$(MAKE) serve-smoke
 
 tables:
 	$(GO) run ./cmd/table1

@@ -12,6 +12,7 @@
 package impulse_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -197,7 +198,7 @@ func BenchmarkSuperpage(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if err := harness.SuperpageExperiment(1024, 2, io.Discard); err != nil {
+				if err := harness.SuperpageExperiment(context.Background(), 1024, 2, io.Discard); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -213,7 +214,7 @@ func BenchmarkSchedulerAblation(b *testing.B) {
 	par := impulse.CGParams{N: 2048, Nonzer: 5, Niter: 1, CGIts: 2, Shift: 10, RCond: 0.1}
 	for i := 0; i < b.N; i++ {
 		harness.ResetTraceCache()
-		if err := harness.SchedulerAblation(par, io.Discard); err != nil {
+		if err := harness.SchedulerAblation(context.Background(), par, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,376 @@
+// Command impulsectl is the client for the impulsed experiment
+// service. It submits experiment specs, polls status, fetches results
+// and counters, cancels jobs, tails live progress over SSE, and can
+// load-test the daemon's single-flight dedup path.
+//
+// Usage:
+//
+//	impulsectl [-addr host:port] submit [-wait] [-counters] (-spec JSON | -f spec.json)
+//	impulsectl [-addr host:port] status <job-id>
+//	impulsectl [-addr host:port] result [-counters] <job-id>
+//	impulsectl [-addr host:port] cancel <job-id>
+//	impulsectl [-addr host:port] watch  <job-id>
+//	impulsectl [-addr host:port] load [-n 8] [-spec JSON | -f spec.json]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+var base string
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("impulsectl: ")
+	addr := flag.String("addr", "127.0.0.1:7777", "impulsed address")
+	flag.Usage = usage
+	flag.Parse()
+	base = "http://" + *addr
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch args[0] {
+	case "submit":
+		err = cmdSubmit(args[1:])
+	case "status":
+		err = cmdStatus(args[1:])
+	case "result":
+		err = cmdResult(args[1:])
+	case "cancel":
+		err = cmdCancel(args[1:])
+	case "watch":
+		err = cmdWatch(args[1:])
+	case "load":
+		err = cmdLoad(args[1:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: impulsectl [-addr host:port] <command> [flags]
+
+commands:
+  submit  -spec JSON | -f FILE   submit a job (add -wait to block and print the result)
+  status  <job-id>               print job status JSON
+  result  <job-id>               print result bytes (-counters for the counter dump)
+  cancel  <job-id>               cancel a queued or running job
+  watch   <job-id>               stream progress events (SSE)
+  load    -n N [-spec ...]       submit N identical specs concurrently; verify single-flight
+`)
+}
+
+// specBytes resolves the -spec / -f pair into the request body.
+func specBytes(spec, file string) ([]byte, error) {
+	switch {
+	case spec != "" && file != "":
+		return nil, fmt.Errorf("-spec and -f are mutually exclusive")
+	case spec != "":
+		return []byte(spec), nil
+	case file != "":
+		return os.ReadFile(file)
+	default:
+		return nil, fmt.Errorf("need -spec JSON or -f FILE")
+	}
+}
+
+type jobStatus struct {
+	ID      string          `json:"id"`
+	State   string          `json:"state"`
+	Hash    string          `json:"hash"`
+	Error   string          `json:"error,omitempty"`
+	Deduped bool            `json:"deduped,omitempty"`
+	Spec    json.RawMessage `json:"spec"`
+}
+
+func decodeError(resp *http.Response, body []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+func postJob(body []byte) (jobStatus, error) {
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return jobStatus{}, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return jobStatus{}, decodeError(resp, data)
+	}
+	var st jobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return jobStatus{}, fmt.Errorf("bad response: %v", err)
+	}
+	return st, nil
+}
+
+// fetchResult retrieves a terminal job's payload, long-polling until it
+// finishes when wait is true.
+func fetchResult(id, path string, wait bool) ([]byte, error) {
+	for {
+		url := base + "/v1/jobs/" + id + path
+		if wait {
+			url += "?wait=30s"
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return data, nil
+		case http.StatusAccepted:
+			if !wait {
+				return nil, fmt.Errorf("job %s still pending (use submit -wait or result after it finishes)", id)
+			}
+		default:
+			return nil, decodeError(resp, data)
+		}
+	}
+}
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	spec := fs.String("spec", "", "inline JSON spec")
+	file := fs.String("f", "", "spec file")
+	wait := fs.Bool("wait", false, "block until the job finishes and print its result")
+	counters := fs.Bool("counters", false, "with -wait: print the counter dump instead of the result")
+	fs.Parse(args)
+	body, err := specBytes(*spec, *file)
+	if err != nil {
+		return err
+	}
+	st, err := postJob(body)
+	if err != nil {
+		return err
+	}
+	if !*wait {
+		fmt.Printf("%s\t%s\thash=%s\tdeduped=%t\n", st.ID, st.State, st.Hash, st.Deduped)
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "impulsectl: %s submitted (hash=%s deduped=%t), waiting...\n", st.ID, st.Hash, st.Deduped)
+	path := "/result"
+	if *counters {
+		path = "/counters"
+	}
+	data, err := fetchResult(st.ID, path, true)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
+func cmdStatus(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: status <job-id>")
+	}
+	resp, err := http.Get(base + "/v1/jobs/" + args[0])
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp, data)
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
+func cmdResult(args []string) error {
+	fs := flag.NewFlagSet("result", flag.ExitOnError)
+	counters := fs.Bool("counters", false, "print the counter dump instead of the rendered result")
+	wait := fs.Bool("wait", false, "block until the job finishes")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: result [-counters] [-wait] <job-id>")
+	}
+	path := "/result"
+	if *counters {
+		path = "/counters"
+	}
+	data, err := fetchResult(fs.Arg(0), path, *wait)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
+func cmdCancel(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: cancel <job-id>")
+	}
+	resp, err := http.Post(base+"/v1/jobs/"+args[0]+"/cancel", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp, data)
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
+// cmdWatch tails a job's SSE stream, printing one line per event, and
+// returns once the job reaches a terminal state.
+func cmdWatch(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: watch <job-id>")
+	}
+	resp, err := http.Get(base + "/v1/jobs/" + args[0] + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return decodeError(resp, data)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev struct {
+			Seq     int    `json:"seq"`
+			Type    string `json:"type"`
+			State   string `json:"state"`
+			Section string `json:"section"`
+			Column  string `json:"column"`
+		}
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			continue
+		}
+		switch ev.Type {
+		case "state":
+			fmt.Printf("[%03d] state: %s\n", ev.Seq, ev.State)
+		case "progress":
+			fmt.Printf("[%03d] %s / %s\n", ev.Seq, ev.Section, ev.Column)
+		}
+	}
+	return sc.Err()
+}
+
+func metric(name string) (uint64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 2 && fields[0] == name {
+			return strconv.ParseUint(fields[1], 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("metric %s not found", name)
+}
+
+// cmdLoad submits n copies of the same spec concurrently and verifies
+// the single-flight guarantee: every submission lands on one job, every
+// result is byte-identical, and service.jobs_executed rises by exactly
+// one (unless the spec was already cached, in which case by zero).
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	n := fs.Int("n", 8, "concurrent identical submissions")
+	spec := fs.String("spec", `{"kind":"table1","n":240,"nonzer":4,"niter":1,"cgits":2}`, "inline JSON spec")
+	file := fs.String("f", "", "spec file")
+	fs.Parse(args)
+	body, err := specBytes(*spec, *file)
+	if err != nil {
+		return err
+	}
+	before, err := metric("service.jobs_executed")
+	if err != nil {
+		return err
+	}
+
+	ids := make([]string, *n)
+	errs := make([]error, *n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := postJob(body)
+			ids[i], errs[i] = st.ID, err
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			return fmt.Errorf("single-flight violated: got distinct jobs %s and %s", ids[0], id)
+		}
+	}
+
+	results := make([][]byte, *n)
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = fetchResult(ids[i], "/result", true)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for i, r := range results[1:] {
+		if !bytes.Equal(r, results[0]) {
+			return fmt.Errorf("result divergence: submission %d differs from submission 0", i+1)
+		}
+	}
+
+	after, err := metric("service.jobs_executed")
+	if err != nil {
+		return err
+	}
+	delta := after - before
+	if delta > 1 {
+		return fmt.Errorf("single-flight violated: %d submissions caused %d executions", *n, delta)
+	}
+	fmt.Printf("load ok: %d submissions -> job %s, %d execution(s), %d identical bytes each, %.2fs\n",
+		*n, ids[0], delta, len(results[0]), time.Since(start).Seconds())
+	return nil
+}

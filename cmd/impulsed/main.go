@@ -1,0 +1,93 @@
+// Command impulsed is the Impulse experiment service: a long-lived
+// daemon that accepts experiment specs over HTTP/JSON, runs them on a
+// bounded job queue over the shared simulation harness, deduplicates
+// identical in-flight submissions single-flight style, caches results
+// by canonical spec hash, and streams live progress over SSE. See
+// docs/SERVICE.md for the API and cmd/impulsectl for a client.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"impulse"
+	"impulse/internal/obs"
+	"impulse/internal/service"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("impulsed: ")
+	addr := flag.String("addr", "127.0.0.1:7777", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the actual listen address to this file once bound")
+	queueDepth := flag.Int("queue", 64, "max queued jobs before submissions get 429")
+	executors := flag.Int("exec", 2, "jobs running concurrently")
+	cacheSize := flag.Int("cache", 128, "finished jobs kept for result reuse")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "harness worker goroutines per running job")
+	traceCache := flag.Bool("trace-cache", true, "share recorded reference streams across cells and jobs")
+	traceRecord := flag.String("trace-record", "", "persist recorded traces to this directory")
+	traceReplay := flag.String("trace-replay", "", "load previously persisted traces from this directory")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long graceful shutdown waits for in-flight jobs")
+	flag.Parse()
+
+	impulse.SetWorkers(*jobs)
+	impulse.SetTraceCache(*traceCache)
+	impulse.SetTraceRecordDir(*traceRecord)
+	impulse.SetTraceReplayDir(*traceReplay)
+	// Route one-shot advisory notes (e.g. trace-cache ineligibility)
+	// through the daemon log instead of bare stderr.
+	obs.SetWarnOutput(log.Writer())
+
+	svc := service.New(service.Config{
+		QueueDepth: *queueDepth,
+		Executors:  *executors,
+		CacheSize:  *cacheSize,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	actual := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(actual+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("listening on http://%s (queue=%d exec=%d cache=%d workers=%d trace-cache=%t)",
+		actual, *queueDepth, *executors, *cacheSize, *jobs, *traceCache)
+
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-sigCtx.Done():
+	}
+
+	log.Printf("shutting down: draining in-flight jobs (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "impulsed: bye")
+}

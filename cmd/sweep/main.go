@@ -2,74 +2,35 @@
 // DESIGN.md: the DRAM scheduler ablation (§2.2's sketched future work vs
 // the evaluated in-order scheduler), the superpage TLB experiment ([21]),
 // the IPC message-gather scenario (§6), the controller prefetch-SRAM
-// sweep, and the gather-stride sweep.
+// sweep, the gather-stride sweep, and the rest of the families in
+// harness.Families. The same family table backs the impulsed service's
+// {"kind":"sweep"} jobs, so -exp names and service family names always
+// agree.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"impulse/internal/core"
 	"impulse/internal/harness"
 	"impulse/internal/obs"
-	"impulse/internal/workloads"
 )
-
-// experiment is one named entry of the sweep. The table below is the
-// single source of truth: the -exp usage string, input validation, and
-// the run order are all derived from it.
-type experiment struct {
-	name string
-	run  func(w io.Writer) error
-}
-
-func experiments() []experiment {
-	cgPar := workloads.CGParams{N: 4096, Nonzer: 6, Niter: 1, CGIts: 4, Shift: 10, RCond: 0.1}
-	return []experiment{
-		{"scheduler", func(w io.Writer) error { return harness.SchedulerAblation(cgPar, w) }},
-		{"superpage", func(w io.Writer) error { return harness.SuperpageExperiment(2048, 4, w) }},
-		{"ipc", func(w io.Writer) error { return harness.IPCExperiment(32, 1024, 4, w) }},
-		{"sram", func(w io.Writer) error {
-			return harness.PrefetchBufferSweep([]uint64{128, 256, 512, 1024, 2048, 4096, 8192}, w)
-		}},
-		{"stride", func(w io.Writer) error {
-			return harness.GatherStrideSweep([]int{1, 2, 4, 8, 16, 32}, 16384, w)
-		}},
-		{"policy", func(w io.Writer) error { return harness.PagePolicyAblation(cgPar, w) }},
-		{"geometry", func(w io.Writer) error {
-			return harness.CacheGeometrySweep(cgPar, []uint64{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}, w)
-		}},
-		{"cholesky", func(w io.Writer) error { return harness.CholeskyExperiment(256, 32, w) }},
-		{"spark", func(w io.Writer) error { return harness.SparkExperiment(300, 300, 1, w) }},
-		{"db", func(w io.Writer) error { return harness.DBExperiment(workloads.DBDefault(), 16, w) }},
-		{"superscalar", func(w io.Writer) error {
-			// Larger geometry: the prediction is about memory-bound runs.
-			par := workloads.CGParams{N: 14000, Nonzer: 7, Niter: 1, CGIts: 3, Shift: 20, RCond: 0.1}
-			return harness.SuperscalarExperiment(par, []uint64{1, 2, 4, 8}, w)
-		}},
-	}
-}
-
-// names returns the valid -exp values, in run order, "all" last.
-func names(exps []experiment) []string {
-	ns := make([]string, 0, len(exps)+1)
-	for _, e := range exps {
-		ns = append(ns, e.name)
-	}
-	return append(ns, "all")
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
-	exps := experiments()
-	valid := names(exps)
+	valid := append(harness.FamilyNames(), "all")
 	exp := flag.String("exp", "all", "experiment: "+strings.Join(valid, "|"))
+	fast := flag.Bool("fast", false, "reduced geometries (seconds instead of minutes)")
 	counters := flag.String("counters", "", "dump every measured row's counters to this file after the run (\"-\" for stdout)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for experiment rows (output is identical for any value)")
 	traceCache := flag.Bool("trace-cache", true, "record each reference stream once and replay it across timing-only cells")
@@ -97,12 +58,16 @@ func main() {
 		core.SetRowObserver(core.CollectRows(&reg))
 	}
 
-	for _, e := range exps {
-		if *exp != "all" && *exp != e.name {
+	// ^C stops between experiment cells instead of mid-table garbage.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	for _, f := range harness.Families() {
+		if *exp != "all" && *exp != f.Name {
 			continue
 		}
-		if err := e.run(os.Stdout); err != nil {
-			log.Fatalf("%s: %v", e.name, err)
+		if err := f.Run(ctx, *fast, os.Stdout); err != nil {
+			log.Fatalf("%s: %v", f.Name, err)
 		}
 		fmt.Println()
 	}

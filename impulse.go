@@ -33,6 +33,7 @@
 package impulse
 
 import (
+	"context"
 	"io"
 
 	"impulse/internal/addr"
@@ -160,17 +161,28 @@ func SetTraceReplayDir(dir string) { harness.SetTraceReplayDir(dir) }
 
 // Table1 regenerates the paper's Table 1 at the given geometry.
 func Table1(par CGParams, progress harness.Progress) (*Grid, error) {
-	return harness.Table1(par, progress)
+	return harness.Table1(context.Background(), par, progress)
+}
+
+// Table1Ctx is Table1 with a context: a cancelled context stops the run
+// between grid cells and returns ctx.Err().
+func Table1Ctx(ctx context.Context, par CGParams, progress harness.Progress) (*Grid, error) {
+	return harness.Table1(ctx, par, progress)
 }
 
 // Table2 regenerates the paper's Table 2 at the given geometry.
 func Table2(par MMPParams, progress harness.Progress) (*Grid, error) {
-	return harness.Table2(par, progress)
+	return harness.Table2(context.Background(), par, progress)
+}
+
+// Table2Ctx is Table2 with a context (see Table1Ctx).
+func Table2Ctx(ctx context.Context, par MMPParams, progress harness.Progress) (*Grid, error) {
+	return harness.Table2(ctx, par, progress)
 }
 
 // Figure1 quantifies the paper's diagonal-remapping example.
 func Figure1(dim, sweeps int, w io.Writer) error {
-	return harness.Figure1(dim, sweeps, w)
+	return harness.Figure1(context.Background(), dim, sweeps, w)
 }
 
 // RunDiagonal runs the Figure 1 microkernel on a system.

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"impulse/internal/workloads"
+)
+
+// Family is one named extension/ablation experiment with canned
+// geometries: the default geometry cmd/sweep has always run, plus a
+// reduced "fast" geometry (mirroring cmd/report -fast) for smoke tests
+// and service jobs that want an answer in seconds. This table is the
+// single source of truth for every entry point that runs sweeps by
+// name — cmd/sweep's -exp flag and the impulsed service's
+// {"kind":"sweep"} jobs — so a family added here appears everywhere at
+// once.
+type Family struct {
+	Name string
+	Desc string
+	Run  func(ctx context.Context, fast bool, w io.Writer) error
+}
+
+// sweepCG is the CG geometry the ablation sweeps run at.
+func sweepCG(fast bool) workloads.CGParams {
+	par := workloads.CGParams{N: 4096, Nonzer: 6, Niter: 1, CGIts: 4, Shift: 10, RCond: 0.1}
+	if fast {
+		par.N, par.CGIts = 2048, 2
+	}
+	return par
+}
+
+// Families returns the sweep families in canonical run order.
+func Families() []Family {
+	return []Family{
+		{"scheduler", "DRAM scheduler ablation (in-order vs row-major)",
+			func(ctx context.Context, fast bool, w io.Writer) error {
+				return SchedulerAblation(ctx, sweepCG(fast), w)
+			}},
+		{"superpage", "superpage TLB experiment ([21])",
+			func(ctx context.Context, fast bool, w io.Writer) error {
+				if fast {
+					return SuperpageExperiment(ctx, 512, 2, w)
+				}
+				return SuperpageExperiment(ctx, 2048, 4, w)
+			}},
+		{"ipc", "IPC message gather (§6)",
+			func(ctx context.Context, fast bool, w io.Writer) error {
+				if fast {
+					return IPCExperiment(ctx, 8, 128, 2, w)
+				}
+				return IPCExperiment(ctx, 32, 1024, 4, w)
+			}},
+		{"sram", "controller prefetch SRAM sweep",
+			func(ctx context.Context, fast bool, w io.Writer) error {
+				if fast {
+					return PrefetchBufferSweep(ctx, []uint64{256, 1024, 4096}, w)
+				}
+				return PrefetchBufferSweep(ctx, []uint64{128, 256, 512, 1024, 2048, 4096, 8192}, w)
+			}},
+		{"stride", "gather cost vs indirection stride",
+			func(ctx context.Context, fast bool, w io.Writer) error {
+				if fast {
+					return GatherStrideSweep(ctx, []int{1, 4, 16}, 4096, w)
+				}
+				return GatherStrideSweep(ctx, []int{1, 2, 4, 8, 16, 32}, 16384, w)
+			}},
+		{"policy", "DRAM page-policy ablation (open vs closed)",
+			func(ctx context.Context, fast bool, w io.Writer) error {
+				return PagePolicyAblation(ctx, sweepCG(fast), w)
+			}},
+		{"geometry", "L2-capacity sensitivity (trace-driven)",
+			func(ctx context.Context, fast bool, w io.Writer) error {
+				sizes := []uint64{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
+				if fast {
+					sizes = []uint64{128 << 10, 256 << 10, 512 << 10}
+				}
+				return CacheGeometrySweep(ctx, sweepCG(fast), sizes, w)
+			}},
+		{"cholesky", "tiled Cholesky factorization (§3.2 extension)",
+			func(ctx context.Context, fast bool, w io.Writer) error {
+				if fast {
+					return CholeskyExperiment(ctx, 128, 32, w)
+				}
+				return CholeskyExperiment(ctx, 256, 32, w)
+			}},
+		{"spark", "Spark98-style symmetric SMVP (§3.1 [17])",
+			func(ctx context.Context, fast bool, w io.Writer) error {
+				if fast {
+					return SparkExperiment(ctx, 120, 120, 1, w)
+				}
+				return SparkExperiment(ctx, 300, 300, 1, w)
+			}},
+		{"db", "database projection and index scans",
+			func(ctx context.Context, fast bool, w io.Writer) error {
+				p := workloads.DBDefault()
+				if fast {
+					p.Records = 16 << 10
+				}
+				return DBExperiment(ctx, p, 16, w)
+			}},
+		{"superscalar", "speedup vs issue width (§6 prediction)",
+			func(ctx context.Context, fast bool, w io.Writer) error {
+				if fast {
+					return SuperscalarExperiment(ctx, sweepCG(true), []uint64{1, 2, 4}, w)
+				}
+				par := workloads.CGParams{N: 14000, Nonzer: 7, Niter: 1, CGIts: 3, Shift: 20, RCond: 0.1}
+				return SuperscalarExperiment(ctx, par, []uint64{1, 2, 4, 8}, w)
+			}},
+	}
+}
+
+// FamilyNames returns the valid family names in run order.
+func FamilyNames() []string {
+	fams := Families()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// RunFamily runs one family by name.
+func RunFamily(ctx context.Context, name string, fast bool, w io.Writer) error {
+	for _, f := range Families() {
+		if f.Name == name {
+			return f.Run(ctx, fast, w)
+		}
+	}
+	return fmt.Errorf("harness: unknown sweep family %q; valid: %s",
+		name, strings.Join(FamilyNames(), ", "))
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,7 +20,7 @@ import (
 // and, unlike the v1 flat load/store replay this sweep used to run,
 // v2 replay reproduces the exact cycle counts execution would have
 // produced at each size.
-func CacheGeometrySweep(par workloads.CGParams, l2Sizes []uint64, w io.Writer) error {
+func CacheGeometrySweep(ctx context.Context, par workloads.CGParams, l2Sizes []uint64, w io.Writer) error {
 	m := workloads.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
 	wantZeta, wantRNorm := workloads.RefCG(m, par)
 
@@ -27,7 +28,7 @@ func CacheGeometrySweep(par workloads.CGParams, l2Sizes []uint64, w io.Writer) e
 	for i, size := range l2Sizes {
 		cols[i] = fmt.Sprintf("L2=%dK", size>>10)
 	}
-	rows, err := Run(len(l2Sizes), func(i int, tc *TaskCtx) (core.Row, error) {
+	rows, err := RunCtx(ctx, len(l2Sizes), func(i int, tc *TaskCtx) (core.Row, error) {
 		cfg := sim.DefaultConfig()
 		cfg.L2.Bytes = l2Sizes[i]
 		return runCell(tc, cellSpec{

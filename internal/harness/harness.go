@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -112,7 +113,7 @@ type Progress func(section, column string)
 // Class A conjugate gradient benchmark, with various memory system
 // configurations") at the given geometry. The workload's zeta and
 // residual are verified against the host reference for every cell.
-func Table1(par workloads.CGParams, progress Progress) (*Grid, error) {
+func Table1(ctx context.Context, par workloads.CGParams, progress Progress) (*Grid, error) {
 	m := workloads.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
 	wantZeta, wantRNorm := workloads.RefCG(m, par)
 
@@ -127,7 +128,7 @@ func Table1(par workloads.CGParams, progress Progress) (*Grid, error) {
 	g := &Grid{Title: fmt.Sprintf("Table 1: NAS conjugate gradient (n=%d, nnz=%d, %d CG iterations)",
 		par.N, m.NNZ(), par.Niter*par.CGIts)}
 	nc := len(prefetchColumns)
-	cells, err := Run(len(sections)*nc, func(idx int, tc *TaskCtx) (Cell, error) {
+	cells, err := RunCtx(ctx, len(sections)*nc, func(idx int, tc *TaskCtx) (Cell, error) {
 		sec, ci := sections[idx/nc], idx%nc
 		pf := prefetchColumns[ci]
 		if progress != nil {
@@ -175,7 +176,7 @@ func Table1(par workloads.CGParams, progress Progress) (*Grid, error) {
 // Table2 regenerates the paper's Table 2 ("Simulated results for tiled
 // matrix-matrix product"). Checksums are verified against the host
 // reference for every cell.
-func Table2(par workloads.MMPParams, progress Progress) (*Grid, error) {
+func Table2(ctx context.Context, par workloads.MMPParams, progress Progress) (*Grid, error) {
 	want := workloads.RefMMP(par)
 	sections := []struct {
 		name string
@@ -188,7 +189,7 @@ func Table2(par workloads.MMPParams, progress Progress) (*Grid, error) {
 	g := &Grid{Title: fmt.Sprintf("Table 2: tiled matrix-matrix product (%dx%d, %dx%d tiles)",
 		par.N, par.N, par.Tile, par.Tile)}
 	nc := len(prefetchColumns)
-	cells, err := Run(len(sections)*nc, func(idx int, tc *TaskCtx) (Cell, error) {
+	cells, err := RunCtx(ctx, len(sections)*nc, func(idx int, tc *TaskCtx) (Cell, error) {
 		sec, ci := sections[idx/nc], idx%nc
 		pf := prefetchColumns[ci]
 		if progress != nil {
@@ -232,11 +233,11 @@ func Table2(par workloads.MMPParams, progress Progress) (*Grid, error) {
 // Figure1 quantifies the paper's introductory diagonal example: cycles,
 // bus traffic, and hit ratios for a diagonal traversal, conventional vs
 // Impulse strided remapping.
-func Figure1(dim, sweeps int, w io.Writer) error {
+func Figure1(ctx context.Context, dim, sweeps int, w io.Writer) error {
 	noteIneligible("figure1", "each cell runs a different workload variant")
 	want := workloads.RefDiagonal(dim)
 	kinds := []core.ControllerKind{core.Conventional, core.Impulse}
-	rows, err := Run(len(kinds), func(i int, tc *TaskCtx) (workloads.DiagResult, error) {
+	rows, err := RunCtx(ctx, len(kinds), func(i int, tc *TaskCtx) (workloads.DiagResult, error) {
 		s, err := tc.NewSystem(core.Options{Controller: kinds[i]})
 		if err != nil {
 			return workloads.DiagResult{}, err

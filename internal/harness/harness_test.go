@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ func smallCG() workloads.CGParams {
 
 func TestTable1SmallGrid(t *testing.T) {
 	var calls int
-	g, err := Table1(smallCG(), func(section, column string) { calls++ })
+	g, err := Table1(context.Background(), smallCG(), func(section, column string) { calls++ })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestTable1SmallGrid(t *testing.T) {
 }
 
 func TestTable2SmallGrid(t *testing.T) {
-	g, err := Table2(workloads.MMPTiny(), nil)
+	g, err := Table2(context.Background(), workloads.MMPTiny(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestTable2SmallGrid(t *testing.T) {
 
 func TestFigure1(t *testing.T) {
 	var b strings.Builder
-	if err := Figure1(128, 2, &b); err != nil {
+	if err := Figure1(context.Background(), 128, 2, &b); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Figure 1", "bus bytes", "speedup"} {
@@ -77,7 +78,7 @@ func TestFigure1(t *testing.T) {
 
 func TestSchedulerAblation(t *testing.T) {
 	var b strings.Builder
-	if err := SchedulerAblation(smallCG(), &b); err != nil {
+	if err := SchedulerAblation(context.Background(), smallCG(), &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "row-major") {
@@ -87,7 +88,7 @@ func TestSchedulerAblation(t *testing.T) {
 
 func TestSuperpageExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := SuperpageExperiment(256, 2, &b); err != nil {
+	if err := SuperpageExperiment(context.Background(), 256, 2, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "TLB misses") {
@@ -97,7 +98,7 @@ func TestSuperpageExperiment(t *testing.T) {
 
 func TestIPCExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := IPCExperiment(4, 32, 2, &b); err != nil {
+	if err := IPCExperiment(context.Background(), 4, 32, 2, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Impulse gather") {
@@ -107,7 +108,7 @@ func TestIPCExperiment(t *testing.T) {
 
 func TestPrefetchBufferSweep(t *testing.T) {
 	var b strings.Builder
-	if err := PrefetchBufferSweep([]uint64{256, 2048}, &b); err != nil {
+	if err := PrefetchBufferSweep(context.Background(), []uint64{256, 2048}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "SRAM hits") {
@@ -117,7 +118,7 @@ func TestPrefetchBufferSweep(t *testing.T) {
 
 func TestGatherStrideSweep(t *testing.T) {
 	var b strings.Builder
-	if err := GatherStrideSweep([]int{1, 8}, 2048, &b); err != nil {
+	if err := GatherStrideSweep(context.Background(), []int{1, 8}, 2048, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "controller prefetch") {
@@ -127,7 +128,7 @@ func TestGatherStrideSweep(t *testing.T) {
 
 func TestCholeskyExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := CholeskyExperiment(64, 16, &b); err != nil {
+	if err := CholeskyExperiment(context.Background(), 64, 16, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Cholesky") || !strings.Contains(b.String(), "Impulse remap") {
@@ -137,7 +138,7 @@ func TestCholeskyExperiment(t *testing.T) {
 
 func TestSparkExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := SparkExperiment(30, 30, 2, &b); err != nil {
+	if err := SparkExperiment(context.Background(), 30, 30, 2, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Spark98") {
@@ -147,7 +148,7 @@ func TestSparkExperiment(t *testing.T) {
 
 func TestSuperscalarExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := SuperscalarExperiment(smallCG(), []uint64{1, 4}, &b); err != nil {
+	if err := SuperscalarExperiment(context.Background(), smallCG(), []uint64{1, 4}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "width 4") || !strings.Contains(b.String(), "speedup") {
@@ -158,7 +159,7 @@ func TestSuperscalarExperiment(t *testing.T) {
 func TestDBExperiment(t *testing.T) {
 	var b strings.Builder
 	p := workloads.DBParams{Records: 2048, RecordBytes: 64, FieldOffset: 16}
-	if err := DBExperiment(p, 8, &b); err != nil {
+	if err := DBExperiment(context.Background(), p, 8, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "Database scans") {
@@ -187,7 +188,7 @@ func TestControllerFor(t *testing.T) {
 
 func TestPagePolicyAblation(t *testing.T) {
 	var b strings.Builder
-	if err := PagePolicyAblation(smallCG(), &b); err != nil {
+	if err := PagePolicyAblation(context.Background(), smallCG(), &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "closed-page") {
@@ -197,7 +198,7 @@ func TestPagePolicyAblation(t *testing.T) {
 
 func TestCacheGeometrySweep(t *testing.T) {
 	var b strings.Builder
-	if err := CacheGeometrySweep(smallCG(), []uint64{128 << 10, 256 << 10}, &b); err != nil {
+	if err := CacheGeometrySweep(context.Background(), smallCG(), []uint64{128 << 10, 256 << 10}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "L2=256K") {

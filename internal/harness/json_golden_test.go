@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"impulse/internal/core"
+	"impulse/internal/stats"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenGrid is a handcrafted grid with fully pinned values, so the
+// golden file exercises the encoder alone (no simulation).
+func goldenGrid() *Grid {
+	row := func(label string, cycles uint64, l1 float64) core.Row {
+		var st stats.MemStats
+		st.Instructions = cycles / 2
+		st.Loads = 100
+		st.Stores = 40
+		st.BusBytes = 4096
+		st.L1LoadHits = uint64(l1 * 100)
+		st.MemLoads = 100 - st.L1LoadHits
+		for i := 0; i < 90; i++ {
+			st.LoadLatency.Observe(1)
+		}
+		for i := 0; i < 10; i++ {
+			st.LoadLatency.Observe(100)
+		}
+		return core.Row{
+			Label: label, Cycles: cycles,
+			L1Ratio: l1, L2Ratio: 0.0625, MemRatio: 1 - l1 - 0.0625,
+			AvgLoad: 10.5, Stats: st,
+		}
+	}
+	return &Grid{
+		Title:    "golden grid",
+		Sections: []string{"alpha", "beta"},
+		Cells: [][]Cell{
+			{
+				{Row: row("alpha/none", 1000, 0.75), Speedup: 1},
+				{Row: row("alpha/mc", 800, 0.80), Speedup: 1.25},
+			},
+			{
+				{Row: row("beta/none", 500, 0.90), Speedup: 2},
+				{Row: row("beta/mc", 400, 0.9375), Speedup: 2.5},
+			},
+		},
+	}
+}
+
+// TestGridJSONGolden pins the Grid wire format byte-for-byte: field
+// names, field order, indentation, and derived values (percentiles) must
+// not drift, because the service's result cache and external plotting
+// pipelines both treat this encoding as stable. Regenerate deliberately
+// with: go test ./internal/harness -run TestGridJSONGolden -update
+func TestGridJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenGrid().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "grid_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Grid JSON drifted from golden file %s\n--- got ---\n%s--- want ---\n%s",
+			path, buf.Bytes(), want)
+	}
+}
+
+// TestGridJSONDeterministic: two encodings of the same grid are
+// byte-identical (the single-flight result cache depends on it).
+func TestGridJSONDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	g := goldenGrid()
+	if err := g.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same grid encoded differently on consecutive calls")
+	}
+}

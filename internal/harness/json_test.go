@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ import (
 )
 
 func TestWriteJSON(t *testing.T) {
-	g, err := Table2(workloads.MMPTiny(), nil)
+	g, err := Table2(context.Background(), workloads.MMPTiny(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestWriteJSON(t *testing.T) {
 }
 
 func TestSpeedupChart(t *testing.T) {
-	g, err := Table2(workloads.MMPTiny(), nil)
+	g, err := Table2(context.Background(), workloads.MMPTiny(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

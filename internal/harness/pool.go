@@ -17,6 +17,7 @@
 package harness
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -41,11 +42,37 @@ func SetWorkers(n int) {
 // Workers returns the configured pool width.
 func Workers() int { return workers }
 
+// rowSinkKey carries a per-invocation row sink in a context. See
+// WithRowSink.
+type rowSinkKey struct{}
+
+// WithRowSink returns a context that routes the rows RunCtx replays
+// after a parallel phase to sink instead of the process-global observer
+// (core.EmitRow). This is what lets several experiment runs execute
+// concurrently in one process — the impulsed service gives every job
+// its own sink collecting into a per-job registry — where a shared
+// core.SetRowObserver would race. Rows still arrive in submission
+// order, on the goroutine that called RunCtx.
+func WithRowSink(ctx context.Context, sink func(core.Row)) context.Context {
+	return context.WithValue(ctx, rowSinkKey{}, sink)
+}
+
+// rowSink extracts the sink installed by WithRowSink, or nil.
+func rowSink(ctx context.Context) func(core.Row) {
+	sink, _ := ctx.Value(rowSinkKey{}).(func(core.Row))
+	return sink
+}
+
 // TaskCtx is the per-task context handed to every pool task. Systems
 // built through it buffer their observed rows locally; the pool replays
 // them in submission order after the parallel phase, keeping the global
 // row observer (and therefore -counters output) deterministic.
+//
+// Ctx is the run's context: tasks that block (or loop for a long time)
+// should watch Ctx.Done() so a cancelled run stops promptly instead of
+// running to completion.
 type TaskCtx struct {
+	Ctx  context.Context
 	rows []core.Row
 }
 
@@ -62,17 +89,31 @@ func (tc *TaskCtx) NewSystem(opts core.Options) (*core.System, error) {
 func (tc *TaskCtx) Observe(r core.Row) { tc.rows = append(tc.rows, r) }
 
 // Run executes n independent tasks across the configured worker count
-// and returns their results in submission order. task is called with the
-// task index and a fresh TaskCtx; it must not share mutable state with
-// other tasks.
+// and returns their results in submission order. It is RunCtx with a
+// background context; see RunCtx for semantics.
+func Run[T any](n int, task func(i int, tc *TaskCtx) (T, error)) ([]T, error) {
+	return RunCtx(context.Background(), n, task)
+}
+
+// RunCtx executes n independent tasks across the configured worker
+// count and returns their results in submission order. task is called
+// with the task index and a fresh TaskCtx; it must not share mutable
+// state with other tasks.
 //
-// Error semantics: if any task fails, Run returns the error of the
+// Error semantics: if any task fails, RunCtx returns the error of the
 // lowest-index failing task and cancels tasks with higher indices that
 // have not started yet. This is deterministic regardless of scheduling:
 // a task is skipped only when a lower-index task has already failed, so
 // the lowest-index task that would fail always runs, and its error
 // always wins.
-func Run[T any](n int, task func(i int, tc *TaskCtx) (T, error)) ([]T, error) {
+//
+// Cancellation: when ctx is cancelled, no new tasks start, and RunCtx
+// returns ctx.Err() after in-flight tasks finish. Tasks see the context
+// as TaskCtx.Ctx, so a task that blocks can unblock itself on
+// Ctx.Done(). Cancellation wins over task errors — the caller asked the
+// whole run to stop, so which tasks happened to complete (or fail)
+// first is scheduling noise the result must not depend on.
+func RunCtx[T any](ctx context.Context, n int, task func(i int, tc *TaskCtx) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	ctxs := make([]*TaskCtx, n)
 	errs := make([]error, n)
@@ -99,13 +140,16 @@ func Run[T any](n int, task func(i int, tc *TaskCtx) (T, error)) ([]T, error) {
 			if i >= n {
 				return
 			}
+			if ctx.Err() != nil {
+				return
+			}
 			mu.Lock()
 			cancelled := firstErr < i
 			mu.Unlock()
 			if cancelled {
 				continue
 			}
-			tc := &TaskCtx{}
+			tc := &TaskCtx{Ctx: ctx}
 			res, err := task(i, tc)
 			if err != nil {
 				errs[i] = err // only worker i writes slot i
@@ -126,13 +170,22 @@ func Run[T any](n int, task func(i int, tc *TaskCtx) (T, error)) ([]T, error) {
 	}
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr < n {
 		return nil, errs[firstErr]
 	}
-	// Replay buffered rows in submission order on the caller's goroutine.
+	// Replay buffered rows in submission order on the caller's
+	// goroutine: to the context's sink if one is installed (concurrent
+	// service jobs), else to the process-global observer (the CLIs).
+	emit := rowSink(ctx)
+	if emit == nil {
+		emit = core.EmitRow
+	}
 	for _, tc := range ctxs {
 		for _, r := range tc.rows {
-			core.EmitRow(r)
+			emit(r)
 		}
 	}
 	return results, nil

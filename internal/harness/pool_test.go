@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -163,31 +164,31 @@ func runAll(t *testing.T) (output, counters []byte) {
 
 	var b bytes.Buffer
 	par := smallCG()
-	if g, err := Table1(par, nil); err != nil {
+	if g, err := Table1(context.Background(), par, nil); err != nil {
 		t.Fatal(err)
 	} else if err := g.Render(&b); err != nil {
 		t.Fatal(err)
 	}
-	if g, err := Table2(workloads.MMPTiny(), nil); err != nil {
+	if g, err := Table2(context.Background(), workloads.MMPTiny(), nil); err != nil {
 		t.Fatal(err)
 	} else if err := g.Render(&b); err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range []func() error{
-		func() error { return Figure1(64, 1, &b) },
-		func() error { return SchedulerAblation(par, &b) },
-		func() error { return SuperpageExperiment(128, 2, &b) },
-		func() error { return IPCExperiment(4, 32, 2, &b) },
-		func() error { return PrefetchBufferSweep([]uint64{256, 2048}, &b) },
-		func() error { return GatherStrideSweep([]int{1, 8}, 1024, &b) },
-		func() error { return PagePolicyAblation(par, &b) },
-		func() error { return CacheGeometrySweep(par, []uint64{64 << 10, 256 << 10}, &b) },
-		func() error { return CholeskyExperiment(64, 16, &b) },
-		func() error { return SparkExperiment(60, 60, 1, &b) },
+		func() error { return Figure1(context.Background(), 64, 1, &b) },
+		func() error { return SchedulerAblation(context.Background(), par, &b) },
+		func() error { return SuperpageExperiment(context.Background(), 128, 2, &b) },
+		func() error { return IPCExperiment(context.Background(), 4, 32, 2, &b) },
+		func() error { return PrefetchBufferSweep(context.Background(), []uint64{256, 2048}, &b) },
+		func() error { return GatherStrideSweep(context.Background(), []int{1, 8}, 1024, &b) },
+		func() error { return PagePolicyAblation(context.Background(), par, &b) },
+		func() error { return CacheGeometrySweep(context.Background(), par, []uint64{64 << 10, 256 << 10}, &b) },
+		func() error { return CholeskyExperiment(context.Background(), 64, 16, &b) },
+		func() error { return SparkExperiment(context.Background(), 60, 60, 1, &b) },
 		func() error {
-			return DBExperiment(workloads.DBParams{Records: 2048, RecordBytes: 128, FieldOffset: 16}, 8, &b)
+			return DBExperiment(context.Background(), workloads.DBParams{Records: 2048, RecordBytes: 128, FieldOffset: 16}, 8, &b)
 		},
-		func() error { return SuperscalarExperiment(par, []uint64{1, 4}, &b) },
+		func() error { return SuperscalarExperiment(context.Background(), par, []uint64{1, 4}, &b) },
 	} {
 		if err := f(); err != nil {
 			t.Fatal(err)

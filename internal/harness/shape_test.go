@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 
 	"impulse/internal/workloads"
@@ -15,7 +16,7 @@ func TestTable1Shape(t *testing.T) {
 		t.Skip("multi-minute grid")
 	}
 	par := workloads.CGParams{N: 8192, Nonzer: 6, Niter: 1, CGIts: 3, Shift: 10, RCond: 0.1}
-	g, err := Table1(par, nil)
+	g, err := Table1(context.Background(), par, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestTable2Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-minute grid")
 	}
-	g, err := Table2(workloads.MMPParams{N: 128, Tile: 32}, nil)
+	g, err := Table2(context.Background(), workloads.MMPParams{N: 128, Tile: 32}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -21,12 +22,12 @@ import (
 // sees the most irregular address streams ("the set of physical addresses
 // that is generated for scatter/gather is much more irregular than
 // strided vector accesses", §5).
-func SchedulerAblation(par workloads.CGParams, w io.Writer) error {
+func SchedulerAblation(ctx context.Context, par workloads.CGParams, w io.Writer) error {
 	m := workloads.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
 	orders := []dram.Order{dram.InOrder, dram.RowMajor}
 	// The scheduler is pure timing: both orders share one reference
 	// stream (and share it with any other sweep at these CG parameters).
-	rows, err := Run(len(orders), func(i int, tc *TaskCtx) (core.Row, error) {
+	rows, err := RunCtx(ctx, len(orders), func(i int, tc *TaskCtx) (core.Row, error) {
 		cfg := sim.DefaultConfig()
 		cfg.MC.Order = orders[i]
 		return runCell(tc, cellSpec{
@@ -63,17 +64,17 @@ func SchedulerAblation(par workloads.CGParams, w io.Writer) error {
 	if _, err = io.WriteString(w, "\n"); err != nil {
 		return err
 	}
-	return schedulerAdversarial(w)
+	return schedulerAdversarial(ctx, w)
 }
 
 // schedulerAdversarial drives the scheduler comparison with the access
 // pattern reordering is built for: a gather whose consecutive elements
 // alternate between two distant rows of the same banks, so in-order issue
 // thrashes every row buffer while row-major grouping keeps rows open.
-func schedulerAdversarial(w io.Writer) error {
+func schedulerAdversarial(ctx context.Context, w io.Writer) error {
 	const elems = 8192
 	orders := []dram.Order{dram.InOrder, dram.RowMajor}
-	rows, err := Run(len(orders), func(i int, tc *TaskCtx) (core.Row, error) {
+	rows, err := RunCtx(ctx, len(orders), func(i int, tc *TaskCtx) (core.Row, error) {
 		order := orders[i]
 		cfg := sim.DefaultConfig()
 		cfg.MC.Order = order
@@ -143,7 +144,7 @@ func schedulerAdversarial(w io.Writer) error {
 // companion-paper extension ([21], §6) that reported 5-20% improvements
 // on SPECint95. The workload is a page-strided walk over a region far
 // beyond TLB reach.
-func SuperpageExperiment(pages, sweeps int, w io.Writer) error {
+func SuperpageExperiment(ctx context.Context, pages, sweeps int, w io.Writer) error {
 	noteIneligible("superpage", "cells issue different remap syscalls")
 	run := func(super bool, tc *TaskCtx) (core.Row, error) {
 		s, err := tc.NewSystem(core.Options{Controller: core.Impulse})
@@ -174,7 +175,7 @@ func SuperpageExperiment(pages, sweeps int, w io.Writer) error {
 		}
 		return sec.End(label)
 	}
-	rows, err := Run(2, func(i int, tc *TaskCtx) (core.Row, error) {
+	rows, err := RunCtx(ctx, 2, func(i int, tc *TaskCtx) (core.Row, error) {
 		return run(i == 1, tc)
 	})
 	if err != nil {
@@ -193,11 +194,11 @@ func SuperpageExperiment(pages, sweeps int, w io.Writer) error {
 }
 
 // IPCExperiment quantifies §6's no-copy message gather.
-func IPCExperiment(bufCount, wordsPerBuf, messages int, w io.Writer) error {
+func IPCExperiment(ctx context.Context, bufCount, wordsPerBuf, messages int, w io.Writer) error {
 	noteIneligible("ipc", "each cell runs a different workload variant")
 	want := workloads.RefIPC(bufCount, wordsPerBuf, messages)
 	kinds := []core.ControllerKind{core.Conventional, core.Impulse}
-	rows, err := Run(len(kinds), func(i int, tc *TaskCtx) (workloads.IPCResult, error) {
+	rows, err := RunCtx(ctx, len(kinds), func(i int, tc *TaskCtx) (workloads.IPCResult, error) {
 		s, err := tc.NewSystem(core.Options{Controller: kinds[i]})
 		if err != nil {
 			return workloads.IPCResult{}, err
@@ -230,7 +231,7 @@ func IPCExperiment(bufCount, wordsPerBuf, messages int, w io.Writer) error {
 // several streams interleave (SMVP reads DATA, COLUMN, ROWS, and writes
 // the product vector concurrently), because each live stream needs its
 // own buffered line to survive until its next use.
-func PrefetchBufferSweep(sizes []uint64, w io.Writer) error {
+func PrefetchBufferSweep(ctx context.Context, sizes []uint64, w io.Writer) error {
 	const streams = 12
 	const perStream = 128 << 10
 	cols := make([]string, len(sizes))
@@ -238,7 +239,7 @@ func PrefetchBufferSweep(sizes []uint64, w io.Writer) error {
 		cols[i] = fmt.Sprintf("%dB", size)
 	}
 	// SRAM capacity is pure timing: every size shares one stream.
-	rows, err := Run(len(sizes), func(i int, tc *TaskCtx) (core.Row, error) {
+	rows, err := RunCtx(ctx, len(sizes), func(i int, tc *TaskCtx) (core.Row, error) {
 		cfg := sim.DefaultConfig()
 		cfg.MC.SRAMBytes = sizes[i]
 		key := fmt.Sprintf("sramsweep-streams%d-per%d-%s", streams, perStream, streamSig(&cfg))
@@ -290,7 +291,7 @@ func PrefetchBufferSweep(sizes []uint64, w io.Writer) error {
 // irregularity: a gather alias over indices at increasing strides shows
 // how DRAM page locality decays and controller prefetching compensates —
 // the behaviour behind §2.2's per-descriptor prefetch buffers.
-func GatherStrideSweep(strides []int, elems int, w io.Writer) error {
+func GatherStrideSweep(ctx context.Context, strides []int, elems int, w io.Writer) error {
 	cols := make([]string, len(strides))
 	for i, stride := range strides {
 		cols[i] = fmt.Sprintf("stride %d", stride)
@@ -298,7 +299,7 @@ func GatherStrideSweep(strides []int, elems int, w io.Writer) error {
 	// Task order matches the serial loop: stride-major, no-prefetch first.
 	// The stride shapes the indirection vector (the reference stream);
 	// the prefetch pair at each stride shares one trace.
-	rows, err := Run(2*len(strides), func(idx int, tc *TaskCtx) (core.Row, error) {
+	rows, err := RunCtx(ctx, 2*len(strides), func(idx int, tc *TaskCtx) (core.Row, error) {
 		i, pf := idx/2, idx%2 == 1
 		stride := strides[i]
 		opt := core.Options{Controller: core.Impulse}
@@ -354,7 +355,7 @@ func GatherStrideSweep(strides []int, elems int, w io.Writer) error {
 // CholeskyExperiment extends Table 2's comparison to tiled Cholesky
 // factorization, the other dense kernel §3.2 names. Checksums are
 // verified against the host reference.
-func CholeskyExperiment(n, tile int, w io.Writer) error {
+func CholeskyExperiment(ctx context.Context, n, tile int, w io.Writer) error {
 	noteIneligible("cholesky", "each cell runs a different workload variant")
 	want := workloads.RefCholesky(n, tile)
 	configs := []struct {
@@ -365,7 +366,7 @@ func CholeskyExperiment(n, tile int, w io.Writer) error {
 		{core.Conventional, workloads.CholCopy},
 		{core.Impulse, workloads.CholRemap},
 	}
-	rows, err := Run(len(configs), func(i int, tc *TaskCtx) (core.Row, error) {
+	rows, err := RunCtx(ctx, len(configs), func(i int, tc *TaskCtx) (core.Row, error) {
 		s, err := tc.NewSystem(core.Options{Controller: configs[i].kind})
 		if err != nil {
 			return core.Row{}, err
@@ -401,7 +402,7 @@ func CholeskyExperiment(n, tile int, w io.Writer) error {
 // controller while the scatter-accumulate into y stays on the CPU, so
 // the load count is unchanged and only locality improves — a harder
 // target than CG, reported as such.
-func SparkExperiment(nodesX, nodesY, iters int, w io.Writer) error {
+func SparkExperiment(ctx context.Context, nodesX, nodesY, iters int, w io.Writer) error {
 	mesh := workloads.MakeSparkMesh(nodesX, nodesY)
 	want := workloads.RefSpark(mesh, iters)
 	configs := []struct {
@@ -415,7 +416,7 @@ func SparkExperiment(nodesX, nodesY, iters int, w io.Writer) error {
 	}
 	// The conventional cell and the two gather cells issue different
 	// streams; the gather pair (with and without prefetch) shares one.
-	rows, err := Run(len(configs), func(i int, tc *TaskCtx) (core.Row, error) {
+	rows, err := RunCtx(ctx, len(configs), func(i int, tc *TaskCtx) (core.Row, error) {
 		gather := configs[i].gather
 		key := fmt.Sprintf("spark-x%d-y%d-it%d-g%v-%s", nodesX, nodesY, iters, gather, streamSig(nil))
 		return runCell(tc, cellSpec{
@@ -458,7 +459,7 @@ func SparkExperiment(nodesX, nodesY, iters int, w io.Writer) error {
 // performance even more." The issue width scales non-memory instruction
 // throughput; the scatter/gather speedup over conventional is reported
 // per width.
-func SuperscalarExperiment(par workloads.CGParams, widths []uint64, w io.Writer) error {
+func SuperscalarExperiment(ctx context.Context, par workloads.CGParams, widths []uint64, w io.Writer) error {
 	m := workloads.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
 	cols := make([]string, len(widths))
 	for i, width := range widths {
@@ -467,7 +468,7 @@ func SuperscalarExperiment(par workloads.CGParams, widths []uint64, w io.Writer)
 	// Task order matches the serial loop: width-major, conventional first.
 	// Issue width only rescales Tick batches (replay divides by its own
 	// width), so every width of a mode shares that mode's stream.
-	rows, err := Run(2*len(widths), func(idx int, tc *TaskCtx) (core.Row, error) {
+	rows, err := RunCtx(ctx, 2*len(widths), func(idx int, tc *TaskCtx) (core.Row, error) {
 		width, impulse := widths[idx/2], idx%2 == 1
 		cfg := sim.DefaultConfig()
 		cfg.IssueWidth = width
@@ -515,11 +516,11 @@ func SuperscalarExperiment(par workloads.CGParams, widths []uint64, w io.Writer)
 // default, matching paper-era controllers) against closed-page row
 // management, on a stream (favors open rows) and on scatter/gather CG
 // (mixed locality).
-func PagePolicyAblation(par workloads.CGParams, w io.Writer) error {
+func PagePolicyAblation(ctx context.Context, par workloads.CGParams, w io.Writer) error {
 	m := workloads.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
 	policies := []dram.PagePolicy{dram.OpenPage, dram.ClosedPage}
 	// Row management is pure timing: both policies share one stream.
-	rows, err := Run(len(policies), func(i int, tc *TaskCtx) (core.Row, error) {
+	rows, err := RunCtx(ctx, len(policies), func(i int, tc *TaskCtx) (core.Row, error) {
 		cfg := sim.DefaultConfig()
 		cfg.DRAM.Policy = policies[i]
 		return runCell(tc, cellSpec{
@@ -552,12 +553,12 @@ func PagePolicyAblation(par workloads.CGParams, w io.Writer) error {
 // DBExperiment runs the database scans (abstract: "regularly strided,
 // memory-bound applications of commercial importance, such as database
 // and multimedia programs").
-func DBExperiment(p workloads.DBParams, selectivity int, w io.Writer) error {
+func DBExperiment(ctx context.Context, p workloads.DBParams, selectivity int, w io.Writer) error {
 	noteIneligible("db", "each cell runs a different workload variant")
 	wantProj := workloads.RefDBProjection(p)
 	wantIdx := workloads.RefDBIndexScan(p, selectivity)
 	// Task order matches the serial loop: projection conv/imp, index conv/imp.
-	rows, err := Run(4, func(i int, tc *TaskCtx) (core.Row, error) {
+	rows, err := RunCtx(ctx, 4, func(i int, tc *TaskCtx) (core.Row, error) {
 		idx, impulse := i/2 == 1, i%2 == 1
 		opt := core.Options{Controller: core.Conventional}
 		if impulse {

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"impulse/internal/core"
+	"impulse/internal/obs"
 	"impulse/internal/sim"
 	"impulse/internal/tracefile"
 	"impulse/internal/workloads"
@@ -39,9 +40,6 @@ var (
 	// traceCache maps cellSpec.key -> *traceEntry. Entries are recorded
 	// once (sync.Once) and replayed by every other cell with the key.
 	traceCache sync.Map
-
-	// ineligibleNoted dedups the per-family ineligibility notes.
-	ineligibleNoted sync.Map
 )
 
 // SetTraceCache enables or disables the in-process trace cache (the
@@ -130,6 +128,12 @@ func runCell(tc *TaskCtx, spec cellSpec) (core.Row, error) {
 		persistTrace(spec.key, data)
 	})
 	if ent.err != nil {
+		// Drop the failed entry so a later run (a daemon serves many
+		// jobs per process) re-attempts the recording instead of
+		// replaying a permanently poisoned error — a cancelled job must
+		// not break the key for every future job. CompareAndDelete only
+		// removes this exact entry, never a fresh retry's.
+		traceCache.CompareAndDelete(spec.key, v)
 		// Return the recording cell's error verbatim so the surfaced
 		// error text does not depend on which cell happened to record.
 		return core.Row{}, ent.err
@@ -151,17 +155,16 @@ func runCell(tc *TaskCtx, spec cellSpec) (core.Row, error) {
 	return rows[len(rows)-1], nil
 }
 
-// noteIneligible reports (once per family) that a sweep family executes
-// every cell because its cells vary the reference stream, not just
-// timing.
+// noteIneligible reports (once per process per family, via the shared
+// obs.WarnOnce helper) that a sweep family executes every cell because
+// its cells vary the reference stream, not just timing. A daemon
+// serving many jobs logs each note once, not once per job.
 func noteIneligible(family, reason string) {
 	if !traceCacheOn {
 		return
 	}
-	once, _ := ineligibleNoted.LoadOrStore(family, new(sync.Once))
-	once.(*sync.Once).Do(func() {
-		fmt.Fprintf(os.Stderr, "trace-cache: %s: ineligible (%s); executing every cell\n", family, reason)
-	})
+	obs.WarnOnce("trace-cache-ineligible:"+family,
+		"trace-cache: %s: ineligible (%s); executing every cell", family, reason)
 }
 
 // streamSig captures the configuration knobs that change the *reference
@@ -210,11 +213,11 @@ func persistTrace(key string, data []byte) {
 		return
 	}
 	if err := os.MkdirAll(traceRecordDir, 0o755); err != nil {
-		fmt.Fprintf(os.Stderr, "trace-cache: record dir: %v\n", err)
+		obs.WarnOnce("trace-record-dir:"+traceRecordDir, "trace-cache: record dir: %v", err)
 		return
 	}
 	if err := os.WriteFile(tracePath(traceRecordDir, key), data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "trace-cache: persist %s: %v\n", key, err)
+		obs.WarnOnce("trace-persist:"+traceRecordDir, "trace-cache: persist %s: %v", key, err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func withTraceCache(t *testing.T, on bool, f func()) {
 
 func renderTable1(t *testing.T) string {
 	t.Helper()
-	g, err := Table1(smallCG(), nil)
+	g, err := Table1(context.Background(), smallCG(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestTraceCacheTable1Identity(t *testing.T) {
 func TestTraceCacheSweepIdentity(t *testing.T) {
 	run := func() string {
 		var b strings.Builder
-		if err := PrefetchBufferSweep([]uint64{256, 1024, 4096}, &b); err != nil {
+		if err := PrefetchBufferSweep(context.Background(), []uint64{256, 1024, 4096}, &b); err != nil {
 			t.Fatal(err)
 		}
 		return b.String()

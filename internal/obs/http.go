@@ -1,0 +1,17 @@
+package obs
+
+import "net/http"
+
+// MetricsHandler exposes a Registry over HTTP in the same expvar-style
+// "name value" text format WriteText produces — the impulsed service
+// mounts this at /metrics so a daemon's live counters are scrapable
+// with curl (or anything that speaks Prometheus' text exposition
+// enough to read unlabelled gauges).
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := r.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Process-wide deduplicated warning sink. Components that would
+// otherwise repeat the same advisory note on every experiment run — a
+// long-lived daemon serves many jobs per process — route it through
+// WarnOnce so it appears exactly once per process per key. The default
+// destination is stderr; a daemon can redirect every warning into its
+// own log with SetWarnOutput.
+var (
+	warnMu   sync.Mutex
+	warnSeen           = make(map[string]bool)
+	warnOut  io.Writer = os.Stderr
+)
+
+// SetWarnOutput redirects WarnOnce output (nil restores stderr). Call
+// during setup; it applies to warnings emitted after the call.
+func SetWarnOutput(w io.Writer) {
+	warnMu.Lock()
+	defer warnMu.Unlock()
+	if w == nil {
+		w = os.Stderr
+	}
+	warnOut = w
+}
+
+// WarnOnce writes the formatted message to the warning output the first
+// time key is seen in this process; later calls with the same key are
+// dropped. A trailing newline is added.
+func WarnOnce(key, format string, args ...any) {
+	warnMu.Lock()
+	defer warnMu.Unlock()
+	if warnSeen[key] {
+		return
+	}
+	warnSeen[key] = true
+	fmt.Fprintf(warnOut, format+"\n", args...)
+}
+
+// ResetWarnings forgets every seen warning key (tests).
+func ResetWarnings() {
+	warnMu.Lock()
+	defer warnMu.Unlock()
+	warnSeen = make(map[string]bool)
+}

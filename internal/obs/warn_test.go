@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWarnOnce(t *testing.T) {
+	var buf bytes.Buffer
+	SetWarnOutput(&buf)
+	defer SetWarnOutput(nil)
+	ResetWarnings()
+	defer ResetWarnings()
+
+	WarnOnce("k1", "note %d", 1)
+	WarnOnce("k1", "note %d", 2) // dropped: same key
+	WarnOnce("k2", "other note")
+
+	got := buf.String()
+	if want := "note 1\nother note\n"; got != want {
+		t.Errorf("warnings = %q, want %q", got, want)
+	}
+
+	// Reset forgets keys: the same key warns again.
+	ResetWarnings()
+	WarnOnce("k1", "again")
+	if !strings.HasSuffix(buf.String(), "again\n") {
+		t.Errorf("after reset, warning not re-emitted: %q", buf.String())
+	}
+}
+
+func TestWarnOnceConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	SetWarnOutput(&buf)
+	defer SetWarnOutput(nil)
+	ResetWarnings()
+	defer ResetWarnings()
+
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				WarnOnce("shared", "only once")
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if got := strings.Count(buf.String(), "only once"); got != 1 {
+		t.Errorf("warning emitted %d times, want 1", got)
+	}
+}

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"impulse/internal/core"
+	"impulse/internal/harness"
+	"impulse/internal/obs"
+	"impulse/internal/workloads"
+)
+
+// Result is a finished job's payload: the experiment's rendered output
+// (byte-identical to the equivalent CLI invocation) plus the counter
+// registry dump for every row the run measured (byte-identical to the
+// CLIs' -counters output).
+type Result struct {
+	Output   []byte
+	Counters []byte
+	MIME     string
+}
+
+// Execute runs one normalized spec under ctx and returns its result.
+// Each call collects rows into its own registry through a per-call row
+// sink, so any number of Executes can run concurrently in one process —
+// they share only the harness trace cache and worker-pool width, both
+// of which are concurrency-safe by design.
+func Execute(ctx context.Context, spec Spec, progress harness.Progress) (*Result, error) {
+	var reg obs.Registry
+	collect := core.CollectRows(&reg)
+	ctx = harness.WithRowSink(ctx, collect)
+
+	var out bytes.Buffer
+	mime := "text/plain; charset=utf-8"
+	var err error
+	switch spec.Kind {
+	case "table1":
+		par := workloads.CGParams{N: spec.N, Nonzer: spec.Nonzer, Niter: spec.Niter,
+			CGIts: spec.CGIts, Shift: spec.Shift, RCond: spec.RCond}
+		var g *harness.Grid
+		if g, err = harness.Table1(ctx, par, progress); err == nil {
+			mime, err = writeGrid(&out, g, spec.Format)
+		}
+	case "table2":
+		par := workloads.MMPParams{N: spec.N, Tile: spec.Tile}
+		var g *harness.Grid
+		if g, err = harness.Table2(ctx, par, progress); err == nil {
+			mime, err = writeGrid(&out, g, spec.Format)
+		}
+	case "figure1":
+		err = harness.Figure1(ctx, spec.Dim, spec.Sweeps, &out)
+	case "sweep":
+		err = harness.RunFamily(ctx, spec.Family, spec.Fast, &out)
+	case "sim":
+		err = runSim(ctx, spec, &out, collect)
+	default:
+		err = fmt.Errorf("unknown kind %q", spec.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var counters bytes.Buffer
+	if err := reg.WriteText(&counters); err != nil {
+		return nil, err
+	}
+	return &Result{Output: out.Bytes(), Counters: counters.Bytes(), MIME: mime}, nil
+}
+
+func writeGrid(out *bytes.Buffer, g *harness.Grid, format string) (string, error) {
+	if format == "json" {
+		return "application/json", g.WriteJSON(out)
+	}
+	return "text/plain; charset=utf-8", g.Render(out)
+}
+
+// runSim mirrors cmd/impulse-sim's single-configuration runs (the
+// cg/mmp/diag/ipc workloads), printing the exact output format that
+// command prints so results compare 1:1.
+func runSim(ctx context.Context, spec Spec, out *bytes.Buffer, collect func(core.Row)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var pf core.PrefetchPolicy
+	switch spec.Prefetch {
+	case "none":
+		pf = core.PrefetchNone
+	case "mc":
+		pf = core.PrefetchMC
+	case "l1":
+		pf = core.PrefetchL1
+	case "both":
+		pf = core.PrefetchBoth
+	}
+	newSystem := func(kind core.ControllerKind) (*core.System, error) {
+		return core.NewSystem(core.Options{Controller: kind, Prefetch: pf, RowObserver: collect})
+	}
+	pfWantsImpulse := pf == core.PrefetchMC || pf == core.PrefetchBoth
+
+	switch spec.Workload {
+	case "cg":
+		par := workloads.CGParams{N: spec.N, Nonzer: workloads.CGPaperGeometry().Nonzer,
+			Niter: spec.Niter, CGIts: spec.CGIts,
+			Shift: workloads.CGPaperGeometry().Shift, RCond: workloads.CGPaperGeometry().RCond}
+		var mode workloads.CGMode
+		kind := core.Impulse
+		switch spec.Mode {
+		case "conventional":
+			mode = workloads.CGConventional
+			if !pfWantsImpulse {
+				kind = core.Conventional
+			}
+		case "sg":
+			mode = workloads.CGScatterGather
+		case "recolor":
+			mode = workloads.CGRecolor
+		}
+		s, err := newSystem(kind)
+		if err != nil {
+			return err
+		}
+		m := workloads.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
+		res, err := workloads.RunCG(s, par, mode, m)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%v\nzeta=%.13f rnorm=%.3e nnz=%d\n", res.Row, res.Zeta, res.RNorm, res.NNZ)
+	case "mmp":
+		par := workloads.MMPParams{N: spec.N, Tile: spec.Tile}
+		var mode workloads.MMPMode
+		kind := core.Conventional
+		switch spec.Mode {
+		case "nocopy":
+			mode = workloads.MMPNoCopyTiled
+		case "copy":
+			mode = workloads.MMPCopyTiled
+		case "remap":
+			mode = workloads.MMPTileRemap
+			kind = core.Impulse
+		}
+		if pfWantsImpulse {
+			kind = core.Impulse
+		}
+		s, err := newSystem(kind)
+		if err != nil {
+			return err
+		}
+		res, err := workloads.RunMMP(s, par, mode)
+		if err != nil {
+			return err
+		}
+		status := "ok"
+		if res.Checksum != workloads.RefMMP(par) {
+			status = "MISMATCH"
+		}
+		fmt.Fprintf(out, "%v\nchecksum=%v (%s)\n", res.Row, res.Checksum, status)
+	case "diag":
+		useImpulse := spec.Mode == "impulse"
+		kind := core.Conventional
+		if useImpulse || pfWantsImpulse {
+			kind = core.Impulse
+		}
+		s, err := newSystem(kind)
+		if err != nil {
+			return err
+		}
+		res, err := workloads.RunDiagonal(s, spec.N, 4, useImpulse)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, res)
+	case "ipc":
+		useImpulse := spec.Mode == "impulse"
+		kind := core.Conventional
+		if useImpulse || pfWantsImpulse {
+			kind = core.Impulse
+		}
+		s, err := newSystem(kind)
+		if err != nil {
+			return err
+		}
+		res, err := workloads.RunIPC(s, 16, 128, 8, useImpulse)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%v\nchecksum=%v\n", res.Row, res.Checksum)
+	default:
+		return fmt.Errorf("unknown sim workload %q", spec.Workload)
+	}
+	return nil
+}

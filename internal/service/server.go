@@ -1,0 +1,245 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"impulse/internal/obs"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs                submit a spec (JSON body)
+//	GET  /v1/jobs                list tracked jobs
+//	GET  /v1/jobs/{id}           job status
+//	GET  /v1/jobs/{id}/result    result bytes (202 + Retry-After while pending; ?wait=30s long-polls)
+//	GET  /v1/jobs/{id}/counters  the job's counter-registry dump
+//	POST /v1/jobs/{id}/cancel    cancel a queued or running job
+//	GET  /v1/jobs/{id}/events    live progress (Server-Sent Events)
+//	GET  /healthz                liveness + drain state
+//	GET  /metrics                counter registry, "name value" text
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/counters", s.handleCounters)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", obs.MetricsHandler(&s.reg))
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	spec, err := ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job, deduped, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := job.Status()
+	st.Deduped = deduped
+	code := http.StatusAccepted
+	if deduped {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Service) jobOr404(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q (finished jobs are evicted after %d newer ones)", id, s.cfg.CacheSize)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobOr404(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+// waitFor blocks until the job is terminal, the optional ?wait duration
+// elapses, or the client goes away. Returns true when terminal.
+func waitFor(j *Job, r *http.Request) bool {
+	waitStr := r.URL.Query().Get("wait")
+	if waitStr == "" {
+		select {
+		case <-j.Done():
+			return true
+		default:
+			return false
+		}
+	}
+	d, err := time.ParseDuration(waitStr)
+	if err != nil || d < 0 {
+		d = 0
+	}
+	if d > 5*time.Minute {
+		d = 5 * time.Minute
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-j.Done():
+		return true
+	case <-t.C:
+		return false
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	if !waitFor(j, r) {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusAccepted, j.Status())
+		return
+	}
+	st := j.Status()
+	switch st.State {
+	case StateDone:
+		res := j.Result()
+		w.Header().Set("Content-Type", res.MIME)
+		w.Header().Set("X-Impulse-Job", j.ID)
+		w.Header().Set("X-Impulse-Spec-Hash", j.Hash)
+		_, _ = w.Write(res.Output)
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, "job %s failed: %s", j.ID, st.Error)
+	case StateCancelled:
+		writeError(w, http.StatusGone, "job %s was cancelled", j.ID)
+	}
+}
+
+func (s *Service) handleCounters(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	if !waitFor(j, r) {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusAccepted, j.Status())
+		return
+	}
+	res := j.Result()
+	if res == nil {
+		st := j.Status()
+		writeError(w, http.StatusGone, "job %s is %s: %s", j.ID, st.State, st.Error)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write(res.Counters)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	if err := s.Cancel(j.ID); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	writeEv := func(ev Event) {
+		data, _ := json.Marshal(ev)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	}
+	replay, ch, unsub := j.Subscribe()
+	defer unsub()
+	for _, ev := range replay {
+		writeEv(ev)
+	}
+	if canFlush {
+		fl.Flush()
+	}
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			writeEv(ev)
+			if canFlush {
+				fl.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"uptime_seconds": int(time.Since(s.start).Seconds()),
+		"queue_depth":    len(s.queue),
+		"queue_capacity": s.cfg.QueueDepth,
+		"running":        s.gRunning.Load(),
+		"executors":      s.cfg.Executors,
+	})
+}

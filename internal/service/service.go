@@ -1,0 +1,529 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"impulse/internal/harness"
+	"impulse/internal/obs"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one entry of a job's progress stream (served over SSE).
+type Event struct {
+	Seq     int    `json:"seq"`
+	Type    string `json:"type"` // "state" or "progress"
+	State   State  `json:"state,omitempty"`
+	Section string `json:"section,omitempty"`
+	Column  string `json:"column,omitempty"`
+}
+
+// Job is one tracked experiment execution. All fields behind mu; reads
+// go through Status()/Wait()/Snapshot helpers.
+type Job struct {
+	ID   string
+	Spec Spec // normalized
+	Hash string
+
+	mu        sync.Mutex
+	state     State
+	result    *Result
+	errMsg    string
+	cancelReq bool               // client asked to cancel
+	cancelRun context.CancelFunc // non-nil while running
+	events    []Event
+	subs      map[chan Event]struct{}
+	done      chan struct{} // closed on terminal state
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// JobStatus is the wire form of a job's state.
+type JobStatus struct {
+	ID          string     `json:"id"`
+	State       State      `json:"state"`
+	Hash        string     `json:"hash"`
+	Spec        Spec       `json:"spec"`
+	Error       string     `json:"error,omitempty"`
+	Deduped     bool       `json:"deduped,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	Events      int        `json:"events"`
+}
+
+// Status snapshots the job for clients.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.ID, State: j.state, Hash: j.Hash, Spec: j.Spec,
+		Error: j.errMsg, SubmittedAt: j.submitted, Events: len(j.events),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the finished result, or nil if not (successfully) done.
+func (j *Job) Result() *Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// emit appends an event and fans it out to subscribers. Slow consumers
+// drop events rather than stall the experiment (SSE replays carry seq
+// numbers, so a gap is visible client-side).
+func (j *Job) emit(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Subscribe returns the events so far plus a channel of future events.
+// The channel is closed when the job finishes. Call the returned cancel
+// to unsubscribe.
+func (j *Job) Subscribe() (replay []Event, ch chan Event, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append([]Event(nil), j.events...)
+	ch = make(chan Event, 256)
+	if j.state.Terminal() {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	if j.subs == nil {
+		j.subs = make(map[chan Event]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// finalize moves the job to a terminal state, closes done, and closes
+// every subscriber after a final state event. Caller must NOT hold j.mu.
+func (j *Job) finalize(state State, res *Result, errMsg string, now time.Time) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.result = res
+	j.errMsg = errMsg
+	j.finished = now
+	subs := j.subs
+	j.subs = nil
+	ev := Event{Seq: len(j.events), Type: "state", State: state}
+	j.events = append(j.events, ev)
+	close(j.done)
+	j.mu.Unlock()
+	for ch := range subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+		close(ch)
+	}
+}
+
+// Sentinel submission errors (the HTTP layer maps them to status codes).
+var (
+	// ErrQueueFull is backpressure: the bounded queue is at capacity, so
+	// the submission is rejected (HTTP 429) instead of growing an
+	// unbounded backlog of goroutines and specs.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining rejects new work during graceful shutdown (HTTP 503).
+	ErrDraining = errors.New("service: draining, not accepting new jobs")
+)
+
+// Config sizes a Service.
+type Config struct {
+	// QueueDepth bounds jobs waiting to run (default 64). Submissions
+	// beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// Executors is how many jobs run concurrently (default 2). Each
+	// running job fans its cells across the shared harness pool, so
+	// total simulation parallelism is roughly Executors x harness
+	// workers; keep Executors small.
+	Executors int
+	// CacheSize bounds the LRU of completed jobs kept for result reuse
+	// and status queries (default 128).
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Executors <= 0 {
+		c.Executors = 2
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	return c
+}
+
+// Service owns the job table, the bounded queue, and the executors.
+type Service struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jobs     map[string]*Job // id -> job (active + archived)
+	inflight map[string]*Job // hash -> queued/running job (single-flight)
+	archive  *list.List      // *Job, most recent in front (LRU of finished jobs)
+	archived map[string]*list.Element
+	byHash   map[string]*Job // hash -> last successful job (result cache)
+	queue    chan *Job
+	seq      int
+	draining bool
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	execWG     sync.WaitGroup
+	start      time.Time
+
+	// Counters, exported through Registry(). cExecuted counts actual
+	// harness executions — the single-flight tests pin it.
+	cSubmitted, cDeduped, cCacheHit, cExecuted atomic.Uint64
+	cDone, cFailed, cCancelled, cRejected      atomic.Uint64
+	gRunning                                   atomic.Uint64
+	reg                                        obs.Registry
+
+	// executeFn indirection lets tests substitute a controllable
+	// executor; production always uses Execute.
+	executeFn func(ctx context.Context, spec Spec, progress harness.Progress) (*Result, error)
+}
+
+// New starts a service with cfg.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
+		archive:    list.New(),
+		archived:   make(map[string]*list.Element),
+		byHash:     make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		start:      time.Now(),
+		executeFn:  Execute,
+	}
+	s.registerMetrics()
+	s.execWG.Add(cfg.Executors)
+	for i := 0; i < cfg.Executors; i++ {
+		go s.executor()
+	}
+	return s
+}
+
+func (s *Service) registerMetrics() {
+	u := func(c *atomic.Uint64) func() uint64 { return c.Load }
+	s.reg.Gauge("service.jobs_submitted", u(&s.cSubmitted))
+	s.reg.Gauge("service.jobs_deduped", u(&s.cDeduped))
+	s.reg.Gauge("service.jobs_cache_hits", u(&s.cCacheHit))
+	s.reg.Gauge("service.jobs_executed", u(&s.cExecuted))
+	s.reg.Gauge("service.jobs_done", u(&s.cDone))
+	s.reg.Gauge("service.jobs_failed", u(&s.cFailed))
+	s.reg.Gauge("service.jobs_cancelled", u(&s.cCancelled))
+	s.reg.Gauge("service.jobs_rejected_queue_full", u(&s.cRejected))
+	s.reg.Gauge("service.jobs_running", u(&s.gRunning))
+	s.reg.Gauge("service.queue_depth", func() uint64 { return uint64(len(s.queue)) })
+	s.reg.Gauge("service.queue_capacity", func() uint64 { return uint64(s.cfg.QueueDepth) })
+	s.reg.Gauge("service.executors", func() uint64 { return uint64(s.cfg.Executors) })
+	s.reg.Gauge("service.harness_workers", func() uint64 { return uint64(harness.Workers()) })
+	s.reg.Gauge("service.trace_cache_enabled", func() uint64 {
+		if harness.TraceCacheEnabled() {
+			return 1
+		}
+		return 0
+	})
+	s.reg.Gauge("service.uptime_seconds", func() uint64 { return uint64(time.Since(s.start).Seconds()) })
+}
+
+// Registry exposes the service's live counters (mounted at /metrics).
+func (s *Service) Registry() *obs.Registry { return &s.reg }
+
+// Submit validates, canonicalizes, and enqueues spec. If an identical
+// spec (by canonical hash) is already queued or running, the existing
+// job is returned with deduped=true and nothing new executes — that is
+// the single-flight guarantee. If an identical spec already completed
+// successfully and is still cached, its job is returned likewise.
+func (s *Service) Submit(spec Spec) (job *Job, deduped bool, err error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, false, err
+	}
+	hash := norm.Hash()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false, ErrDraining
+	}
+	s.cSubmitted.Add(1)
+	if j := s.inflight[hash]; j != nil {
+		s.cDeduped.Add(1)
+		return j, true, nil
+	}
+	if j := s.byHash[hash]; j != nil {
+		s.cCacheHit.Add(1)
+		s.touchArchived(j)
+		return j, true, nil
+	}
+
+	s.seq++
+	j := &Job{
+		ID:        fmt.Sprintf("j-%06d", s.seq),
+		Spec:      norm,
+		Hash:      hash,
+		state:     StateQueued,
+		done:      make(chan struct{}),
+		submitted: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.cRejected.Add(1)
+		return nil, false, ErrQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.inflight[hash] = j
+	return j, false, nil
+}
+
+// Get looks a job up by ID.
+func (s *Service) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots every tracked job's status, newest submission first.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	all := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		all = append(all, j)
+	}
+	s.mu.Unlock()
+	sts := make([]JobStatus, len(all))
+	for i, j := range all {
+		sts[i] = j.Status()
+	}
+	// Sort by ID descending (IDs are zero-padded sequence numbers).
+	for i := 0; i < len(sts); i++ {
+		for k := i + 1; k < len(sts); k++ {
+			if sts[k].ID > sts[i].ID {
+				sts[i], sts[k] = sts[k], sts[i]
+			}
+		}
+	}
+	return sts
+}
+
+// Cancel stops a job: a queued job finalizes immediately (the executor
+// skips it when popped); a running job has its context cancelled and
+// finalizes when the harness unwinds. Cancelling a finished job is an
+// error. Note a cancelled job cancels for every deduped submitter that
+// shares it.
+func (s *Service) Cancel(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("service: no such job %q", id)
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		j.mu.Unlock()
+		return fmt.Errorf("service: job %s already %s", id, j.state)
+	case j.state == StateRunning:
+		j.cancelReq = true
+		cancel := j.cancelRun
+		j.mu.Unlock()
+		cancel()
+		return nil
+	default: // queued
+		j.cancelReq = true
+		j.mu.Unlock()
+		s.finishJob(j, StateCancelled, nil, "cancelled while queued")
+		return nil
+	}
+}
+
+// executor pulls jobs until the queue closes (Drain).
+func (s *Service) executor() {
+	defer s.execWG.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Service) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	j.mu.Lock()
+	if j.state.Terminal() { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancelRun = cancel
+	j.mu.Unlock()
+	j.emit(Event{Type: "state", State: StateRunning})
+
+	s.gRunning.Add(1)
+	s.cExecuted.Add(1)
+	res, err := s.executeFn(ctx, j.Spec, func(section, column string) {
+		j.emit(Event{Type: "progress", Section: section, Column: column})
+	})
+	s.gRunning.Add(^uint64(0))
+
+	j.mu.Lock()
+	wasCancelled := j.cancelReq
+	j.mu.Unlock()
+	switch {
+	case err != nil && (wasCancelled || errors.Is(err, context.Canceled)):
+		s.finishJob(j, StateCancelled, nil, "cancelled")
+	case err != nil:
+		s.finishJob(j, StateFailed, nil, err.Error())
+	default:
+		s.finishJob(j, StateDone, res, "")
+	}
+}
+
+// finishJob finalizes j and moves it from the in-flight table to the
+// archive LRU (successful results stay addressable by hash for reuse).
+func (s *Service) finishJob(j *Job, state State, res *Result, errMsg string) {
+	j.finalize(state, res, errMsg, time.Now())
+	switch state {
+	case StateDone:
+		s.cDone.Add(1)
+	case StateFailed:
+		s.cFailed.Add(1)
+	case StateCancelled:
+		s.cCancelled.Add(1)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[j.Hash] == j {
+		delete(s.inflight, j.Hash)
+	}
+	if state == StateDone {
+		s.byHash[j.Hash] = j
+	}
+	s.archived[j.ID] = s.archive.PushFront(j)
+	for s.archive.Len() > s.cfg.CacheSize {
+		el := s.archive.Back()
+		old := el.Value.(*Job)
+		s.archive.Remove(el)
+		delete(s.archived, old.ID)
+		delete(s.jobs, old.ID)
+		if s.byHash[old.Hash] == old {
+			delete(s.byHash, old.Hash)
+		}
+	}
+}
+
+// touchArchived marks a cache-hit job recently used. Caller holds s.mu.
+func (s *Service) touchArchived(j *Job) {
+	if el, ok := s.archived[j.ID]; ok {
+		s.archive.MoveToFront(el)
+	}
+}
+
+// Draining reports whether the service has stopped accepting jobs.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the service down: new submissions fail with
+// ErrDraining immediately, queued and running jobs are given until
+// ctx's deadline to finish (their results stay retrievable), and if the
+// deadline passes the remaining jobs are cancelled and awaited. Drain
+// is idempotent; the first call's context governs.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.execWG.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // cut in-flight jobs loose, then wait for unwind
+		<-finished
+		return fmt.Errorf("service: drain deadline passed; in-flight jobs cancelled: %w", ctx.Err())
+	}
+}
+
+// Close force-stops the service (tests): cancel everything, then drain.
+func (s *Service) Close() {
+	s.baseCancel()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = s.Drain(ctx)
+}
