@@ -24,7 +24,7 @@ bench:
 # bench-json runs the benchmark suite and writes the machine-readable
 # results committed with each PR (name, ns/op, B/op, allocs/op, and the
 # sim-cycles metric). Progress streams to stderr while it runs.
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR5.json
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
@@ -66,8 +66,11 @@ serve-smoke:
 	echo "serve-smoke OK"
 
 # ci is the pre-PR gate: formatting, vet, build, full tests, the race
-# detector over the short suite, a short decoder fuzz, and the service
-# smoke test. Run it before every PR.
+# detector over the short suite, a short decoder fuzz, the service
+# smoke test, and a warn-only benchmark diff against the committed
+# baseline (benchmarks on shared CI hosts are too noisy to be a hard
+# gate; a regression prints loudly but does not fail the build — see
+# docs/PERF.md). Run it before every PR.
 ci:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
@@ -77,6 +80,8 @@ ci:
 	$(GO) test -race -short ./...
 	$(MAKE) fuzz-short
 	$(MAKE) serve-smoke
+	@$(MAKE) bench-diff BENCH_THRESHOLD=5 || \
+		echo "ci: WARNING: benchmarks regressed vs $(BENCH_JSON) (soft gate; see docs/PERF.md)"
 
 tables:
 	$(GO) run ./cmd/table1

@@ -25,6 +25,7 @@ import (
 	"impulse/internal/core"
 	"impulse/internal/harness"
 	"impulse/internal/obs"
+	"impulse/internal/profiling"
 	"impulse/internal/sim"
 	"impulse/internal/tracefile"
 	"impulse/internal/workloads"
@@ -53,7 +54,15 @@ func main() {
 	seriesPath := flag.String("series", "", "write windowed utilization time-series to this file (.json for JSON, else CSV)")
 	window := flag.Uint64("window", 10000, "time-series window width in cycles")
 	counters := flag.String("counters", "", "dump the counter registry to this file after the run (\"-\" for stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	if *selftest {
 		verified, err := harness.RandomGatherCheck(1, 10)

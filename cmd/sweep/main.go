@@ -23,6 +23,7 @@ import (
 	"impulse/internal/core"
 	"impulse/internal/harness"
 	"impulse/internal/obs"
+	"impulse/internal/profiling"
 )
 
 func main() {
@@ -36,7 +37,14 @@ func main() {
 	traceCache := flag.Bool("trace-cache", true, "record each reference stream once and replay it across timing-only cells")
 	traceRecord := flag.String("trace-record", "", "persist recorded traces to this directory")
 	traceReplay := flag.String("trace-replay", "", "load previously persisted traces from this directory")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 	harness.SetWorkers(*jobs)
 	harness.SetTraceCache(*traceCache)
 	harness.SetTraceRecordDir(*traceRecord)

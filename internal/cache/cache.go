@@ -118,23 +118,80 @@ func (c *Cache) set(indexAddr uint64) []line {
 type LookupResult struct {
 	Hit           bool
 	WasPrefetched bool // the hit line had been prefetched and never used
+	Slot          int  // global line index (set*ways+way) of the hit, else -1
 }
 
 // Lookup probes for the line containing paddr, indexed by indexAddr, and
 // updates LRU state on a hit.
 func (c *Cache) Lookup(indexAddr, paddr uint64) LookupResult {
 	la := c.LineAddr(paddr)
-	set := c.set(indexAddr)
+	if c.cfg.Ways == 1 {
+		// Direct-mapped: the candidate line is a single array slot.
+		i := c.SetIndex(indexAddr)
+		l := &c.lines[i]
+		if l.valid && l.lineAddr == la {
+			c.clock++
+			l.lastUse = c.clock
+			r := LookupResult{Hit: true, WasPrefetched: l.prefetched, Slot: int(i)}
+			l.prefetched = false
+			return r
+		}
+		return LookupResult{Slot: -1}
+	}
+	base := c.SetIndex(indexAddr) * c.cfg.Ways
+	set := c.lines[base : base+c.cfg.Ways]
 	for i := range set {
 		if set[i].valid && set[i].lineAddr == la {
 			c.clock++
 			set[i].lastUse = c.clock
-			r := LookupResult{Hit: true, WasPrefetched: set[i].prefetched}
+			r := LookupResult{Hit: true, WasPrefetched: set[i].prefetched, Slot: int(base) + i}
 			set[i].prefetched = false
 			return r
 		}
 	}
-	return LookupResult{}
+	return LookupResult{Slot: -1}
+}
+
+// FindSlot returns the global line index (set*ways+way) of the resident
+// line containing paddr, or -1. It touches no LRU or prefetch state; the
+// sim fast path uses it to remember where a line landed.
+func (c *Cache) FindSlot(indexAddr, paddr uint64) int {
+	la := c.LineAddr(paddr)
+	base := c.SetIndex(indexAddr) * c.cfg.Ways
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if c.lines[i].valid && c.lines[i].lineAddr == la {
+			return int(i)
+		}
+	}
+	return -1
+}
+
+// FastTouch re-validates that slot still holds the (never-prefetched)
+// line la and, if so, applies exactly the LRU update a Lookup hit would.
+// It reports false — touching no state at all — when the slot has been
+// refilled, invalidated, or holds a prefetched copy; the caller must then
+// fall back to the reference path, whose prefetch branch has additional
+// observable effects this shortcut must not replicate.
+func (c *Cache) FastTouch(slot int, la uint64) bool {
+	l := &c.lines[slot]
+	if !l.valid || l.lineAddr != la || l.prefetched {
+		return false
+	}
+	c.clock++
+	l.lastUse = c.clock
+	return true
+}
+
+// FastDirty is FastTouch plus the dirty marking a MarkDirty hit performs.
+func (c *Cache) FastDirty(slot int, la uint64) bool {
+	l := &c.lines[slot]
+	if !l.valid || l.lineAddr != la || l.prefetched {
+		return false
+	}
+	l.dirty = true
+	c.clock++
+	l.lastUse = c.clock
+	return true
 }
 
 // Contains reports whether the line containing paddr is present, without

@@ -133,6 +133,7 @@ type DRAM struct {
 	issue     timeline.Resource // command-issue serialization at the scheduler
 	lineShift uint
 	bankMask  uint64
+	bankShift uint // log2(Banks), applied to the line index
 	rowShift  uint // applied to in-bank line index
 	st        *stats.MemStats
 	h         *obs.Hub
@@ -152,6 +153,7 @@ func New(cfg Config, st *stats.MemStats) (*DRAM, error) {
 		banks:     make([]bank, cfg.Banks),
 		lineShift: bitutil.Log2(cfg.LineBytes),
 		bankMask:  cfg.Banks - 1,
+		bankShift: bitutil.Log2(cfg.Banks),
 		rowShift:  bitutil.Log2(cfg.RowBytes / cfg.LineBytes),
 		st:        st,
 	}, nil
@@ -180,7 +182,7 @@ func (d *DRAM) AttachObs(h *obs.Hub) {
 // Decode splits a bus address into (bank, row) coordinates.
 func (d *DRAM) Decode(p addr.PAddr) (bankIdx, row uint64) {
 	line := uint64(p) >> d.lineShift
-	return line & d.bankMask, (line >> bitutil.Log2(d.cfg.Banks)) >> d.rowShift
+	return line & d.bankMask, (line >> d.bankShift) >> d.rowShift
 }
 
 // Read schedules a read of the line containing p, with the command issued

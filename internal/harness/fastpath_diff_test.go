@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"impulse/internal/core"
+	"impulse/internal/obs"
+	"impulse/internal/sim"
+	"impulse/internal/tracefile"
+	"impulse/internal/workloads"
+)
+
+// The fast-path access engine (internal/sim/fastpath.go) must be
+// invisible in everything an experiment can observe: rendered grids,
+// JSON output, every counter, and the recorded trace v2 byte stream.
+// These tests run the same experiments with the engine on and off and
+// require byte identity. They are the acceptance gate for the engine's
+// cycle-exactness contract.
+
+// withFastPath runs f with the fast path forced on or off, restoring the
+// default (on) afterwards.
+func withFastPath(t *testing.T, on bool, f func()) {
+	t.Helper()
+	t.Cleanup(func() { SetFastPath(true) })
+	SetFastPath(on)
+	f()
+}
+
+// captureGrid renders g's table, its JSON form, and a registry dump of
+// every observed row into one comparable string.
+func captureGrid(t *testing.T, run func() (*Grid, error)) string {
+	t.Helper()
+	var reg obs.Registry
+	core.SetRowObserver(core.CollectRows(&reg))
+	defer core.SetRowObserver(nil)
+	g, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := g.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString("\n--- json ---\n")
+	if err := g.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString("\n--- counters ---\n")
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// diffFastPath runs capture with the fast path on and off (under the
+// given trace-cache setting) and requires identical output.
+func diffFastPath(t *testing.T, traceCache bool, capture func() string) {
+	t.Helper()
+	var on, off string
+	withTraceCache(t, traceCache, func() {
+		withFastPath(t, true, func() { on = capture() })
+		ResetTraceCache()
+		withFastPath(t, false, func() { off = capture() })
+	})
+	if on != off {
+		t.Errorf("output differs with fast path on (trace cache %v)\n--- fast on ---\n%s--- fast off ---\n%s",
+			traceCache, on, off)
+	}
+}
+
+// TestFastPathTable1Identity: the full Table 1 grid — render, JSON, and
+// all row counters — is byte-identical with the fast path on and off,
+// with the trace cache both off (every cell executes) and on (one cell
+// per stream records, the rest replay).
+func TestFastPathTable1Identity(t *testing.T) {
+	capture := func() string {
+		return captureGrid(t, func() (*Grid, error) {
+			return Table1(context.Background(), smallCG(), nil)
+		})
+	}
+	diffFastPath(t, false, capture)
+	diffFastPath(t, true, capture)
+}
+
+// TestFastPathTable2Identity: same contract for the tiled matrix-product
+// grid, which exercises the store fast path heavily (tile copying).
+func TestFastPathTable2Identity(t *testing.T) {
+	par := workloads.MMPParams{N: 64, Tile: 16}
+	capture := func() string {
+		return captureGrid(t, func() (*Grid, error) {
+			return Table2(context.Background(), par, nil)
+		})
+	}
+	diffFastPath(t, false, capture)
+	diffFastPath(t, true, capture)
+}
+
+// TestFastPathTraceBytesIdentity records the trace v2 stream of one run
+// per workload mode with the fast path on and off and requires the raw
+// bytes to match. This is the strongest form of the contract: every
+// recorded machine command, tick count, and PV image must agree, not
+// just the end-of-run counters.
+func TestFastPathTraceBytesIdentity(t *testing.T) {
+	par := smallCG()
+	m := workloads.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
+	record := func(disable bool, kind core.ControllerKind, pf core.PrefetchPolicy,
+		exec func(s *core.System) error) []byte {
+		t.Helper()
+		cfg := sim.DefaultConfig()
+		cfg.DisableFastPath = disable
+		s, err := core.NewSystem(core.Options{Controller: kind, Prefetch: pf, Config: &cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := tracefile.RecordRun(s)
+		if err := exec(s); err != nil {
+			t.Fatal(err)
+		}
+		data, err := rec.Bytes()
+		s.ReleaseBuffers()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := []struct {
+		name string
+		kind core.ControllerKind
+		pf   core.PrefetchPolicy
+		exec func(s *core.System) error
+	}{
+		{"cg-conventional", core.Conventional, core.PrefetchNone, func(s *core.System) error {
+			_, err := workloads.RunCG(s, par, workloads.CGConventional, m)
+			return err
+		}},
+		{"cg-scatter-gather", core.Impulse, core.PrefetchMC, func(s *core.System) error {
+			_, err := workloads.RunCG(s, par, workloads.CGScatterGather, m)
+			return err
+		}},
+		{"cg-recolor", core.Impulse, core.PrefetchL1, func(s *core.System) error {
+			_, err := workloads.RunCG(s, par, workloads.CGRecolor, m)
+			return err
+		}},
+		{"mmp-tile-remap", core.Impulse, core.PrefetchBoth, func(s *core.System) error {
+			_, err := workloads.RunMMP(s, workloads.MMPParams{N: 48, Tile: 16}, workloads.MMPTileRemap)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			on := record(false, tc.kind, tc.pf, tc.exec)
+			off := record(true, tc.kind, tc.pf, tc.exec)
+			if !bytes.Equal(on, off) {
+				t.Errorf("recorded trace bytes differ with fast path on (%d vs %d bytes)", len(on), len(off))
+			}
+		})
+	}
+}
+
+// TestFastPathFamiliesIdentity runs every sweep family's fast geometry
+// with the fast path on and off and requires identical rendered output.
+// This covers the workloads the table grids do not reach (superpage,
+// IPC gather, DB scans, strided gathers, multi-process scheduling).
+func TestFastPathFamiliesIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("family sweep differentials are slow; run without -short")
+	}
+	for _, f := range Families() {
+		t.Run(f.Name, func(t *testing.T) {
+			capture := func() string {
+				var b strings.Builder
+				if err := f.Run(context.Background(), true, &b); err != nil {
+					t.Fatal(err)
+				}
+				return b.String()
+			}
+			diffFastPath(t, true, capture)
+		})
+	}
+}

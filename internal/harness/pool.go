@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"impulse/internal/core"
+	"impulse/internal/sim"
 )
 
 // workers is the pool width used by Run. Set once at startup (flag
@@ -81,8 +82,27 @@ type TaskCtx struct {
 // directly), or their rows would race on the global observer.
 func (tc *TaskCtx) NewSystem(opts core.Options) (*core.System, error) {
 	opts.RowObserver = func(r core.Row) { tc.rows = append(tc.rows, r) }
+	if fastPathOff {
+		cfg := sim.DefaultConfig()
+		if opts.Config != nil {
+			cfg = *opts.Config
+		}
+		cfg.DisableFastPath = true
+		opts.Config = &cfg
+	}
 	return core.NewSystem(opts)
 }
+
+// fastPathOff forces DisableFastPath on every system built through a
+// TaskCtx. The differential tests flip it to prove the fast-path access
+// engine is cycle- and counter-invisible at the experiment level.
+var fastPathOff bool
+
+// SetFastPath enables or disables the simulator's fast-path access
+// engine for every system subsequently built through a TaskCtx. On by
+// default. Call during setup, not while an experiment runs; results are
+// identical either way (only host time differs).
+func SetFastPath(on bool) { fastPathOff = !on }
 
 // Observe adds a row to the task's buffered row log directly (for tasks
 // that synthesize rows without a System, e.g. trace replays).

@@ -96,7 +96,9 @@ func runCell(tc *TaskCtx, spec cellSpec) (core.Row, error) {
 		if err != nil {
 			return core.Row{}, err
 		}
-		return spec.exec(s)
+		r, err := spec.exec(s)
+		s.ReleaseBuffers()
+		return r, err
 	}
 	v, _ := traceCache.LoadOrStore(spec.key, &traceEntry{})
 	ent := v.(*traceEntry)
@@ -115,10 +117,12 @@ func runCell(tc *TaskCtx, spec cellSpec) (core.Row, error) {
 		rec := tracefile.RecordRun(s)
 		r, err := spec.exec(s)
 		if err != nil {
+			s.ReleaseBuffers()
 			ent.err = err
 			return
 		}
 		data, err := rec.Bytes()
+		s.ReleaseBuffers()
 		if err != nil {
 			ent.err = err
 			return
@@ -146,6 +150,7 @@ func runCell(tc *TaskCtx, spec cellSpec) (core.Row, error) {
 		return core.Row{}, err
 	}
 	rows, err := tracefile.ReplayV2(s, ent.data, tracefile.ReplayOpts{MapLabel: spec.relabel})
+	s.ReleaseBuffers()
 	if err != nil {
 		return core.Row{}, fmt.Errorf("harness: trace replay (%s): %w", spec.key, err)
 	}

@@ -13,6 +13,7 @@ package kernel
 
 import (
 	"fmt"
+	"sync"
 
 	"impulse/internal/addr"
 	"impulse/internal/bitutil"
@@ -29,8 +30,11 @@ import (
 type Kernel struct {
 	layout addr.Layout
 
-	// Physical frame allocator.
+	// Physical frame allocator. The per-color free stacks are carved out
+	// of one backing array (frameStore) so a kernel costs two allocations
+	// instead of one per color; both recycle through freePool (Release).
 	freeByColor [][]uint64 // color -> stack of free frame numbers
+	frameStore  []uint64
 	numColors   uint64
 	colorSeed   uint64         // xorshift state for uncolored allocation
 	allocated   map[uint64]int // frame number -> owning process
@@ -96,6 +100,14 @@ func DefaultConfig() Config {
 	}
 }
 
+// freeResources is the recyclable part of a kernel's frame allocator.
+type freeResources struct {
+	store []uint64
+	lists [][]uint64
+}
+
+var freePool sync.Pool
+
 // New builds a kernel.
 func New(cfg Config) (*Kernel, error) {
 	if err := cfg.Layout.Validate(); err != nil {
@@ -105,26 +117,57 @@ func New(cfg Config) (*Kernel, error) {
 		return nil, fmt.Errorf("kernel: PageColors must be a power of two, got %d", cfg.PageColors)
 	}
 	k := &Kernel{
-		layout:      cfg.Layout,
-		numColors:   cfg.PageColors,
-		freeByColor: make([][]uint64, cfg.PageColors),
-		allocated:   make(map[uint64]int),
-		frames:      cfg.Layout.DRAMFrames(),
-		colorSeed:   0x9E3779B97F4A7C15,
-		procs:       map[int]*procState{0: {pt: make(map[uint64]uint64), vNext: cfg.VBase}},
-		vBase:       cfg.VBase,
-		cur:         0,
-		nextPid:     1,
-		shNext:      cfg.Layout.ShadowBase,
-		shTop:       cfg.Layout.ShadowBase + cfg.Layout.ShadowBytes,
+		layout:    cfg.Layout,
+		numColors: cfg.PageColors,
+		allocated: make(map[uint64]int),
+		frames:    cfg.Layout.DRAMFrames(),
+		colorSeed: 0x9E3779B97F4A7C15,
+		procs:     map[int]*procState{0: {pt: make(map[uint64]uint64), vNext: cfg.VBase}},
+		vBase:     cfg.VBase,
+		cur:       0,
+		nextPid:   1,
+		shNext:    cfg.Layout.ShadowBase,
+		shTop:     cfg.Layout.ShadowBase + cfg.Layout.ShadowBytes,
 	}
-	// Populate free lists high-to-low so allocation order is low-to-high.
-	for f := k.frames; f > 0; f-- {
-		frame := f - 1
-		c := frame & (k.numColors - 1)
-		k.freeByColor[c] = append(k.freeByColor[c], frame)
+	if r, ok := freePool.Get().(*freeResources); ok &&
+		uint64(cap(r.store)) >= k.frames && uint64(cap(r.lists)) >= k.numColors {
+		k.frameStore = r.store[:k.frames]
+		k.freeByColor = r.lists[:k.numColors]
+	} else {
+		k.frameStore = make([]uint64, k.frames)
+		k.freeByColor = make([][]uint64, k.numColors)
+	}
+	// Carve the backing array into one full-capacity segment per color
+	// (the capacity bound keeps a FreeFrame append from growing into the
+	// neighbouring color's segment) and fill each segment high-to-low so
+	// allocation order is low-to-high — the same stack contents the old
+	// per-color append loop built.
+	start := uint64(0)
+	for c := uint64(0); c < k.numColors; c++ {
+		count := k.frames / k.numColors
+		if c < k.frames%k.numColors {
+			count++
+		}
+		seg := k.frameStore[start : start+count : start+count]
+		for i := uint64(0); i < count; i++ {
+			seg[i] = c + (count-1-i)*k.numColors
+		}
+		k.freeByColor[c] = seg
+		start += count
 	}
 	return k, nil
+}
+
+// Release returns the frame allocator's backing storage to the package
+// pool for reuse by the next same-geometry kernel. The caller must not
+// use the kernel afterwards.
+func (k *Kernel) Release() {
+	if k.frameStore == nil {
+		return
+	}
+	freePool.Put(&freeResources{store: k.frameStore, lists: k.freeByColor})
+	k.frameStore = nil
+	k.freeByColor = nil
 }
 
 // p returns the current process's state.

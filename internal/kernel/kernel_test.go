@@ -390,3 +390,96 @@ func TestAllocVirtualDisjoint(t *testing.T) {
 		t.Error("virtual regions overlap")
 	}
 }
+
+// naiveFreeLists builds per-color free stacks the way New's original
+// per-color append loop did: frames visited high-to-low, each appended
+// to its color's stack, so allocation pops lowest-first.
+func naiveFreeLists(frames, colors uint64) [][]uint64 {
+	lists := make([][]uint64, colors)
+	for f := int64(frames) - 1; f >= 0; f-- {
+		c := uint64(f) % colors
+		lists[c] = append(lists[c], uint64(f))
+	}
+	return lists
+}
+
+func checkFreeLists(t *testing.T, k *Kernel) {
+	t.Helper()
+	want := naiveFreeLists(k.frames, k.numColors)
+	if uint64(len(k.freeByColor)) != k.numColors {
+		t.Fatalf("%d color lists, want %d", len(k.freeByColor), k.numColors)
+	}
+	for c := range want {
+		if len(k.freeByColor[c]) != len(want[c]) {
+			t.Fatalf("color %d: %d free frames, want %d", c, len(k.freeByColor[c]), len(want[c]))
+		}
+		for i := range want[c] {
+			if k.freeByColor[c][i] != want[c][i] {
+				t.Fatalf("color %d index %d: frame %d, want %d", c, i, k.freeByColor[c][i], want[c][i])
+			}
+		}
+	}
+}
+
+// TestFreeListConstruction pins New's pooled single-backing free-list
+// carving to the naive per-color append construction it replaced —
+// identical stacks and pop order — for a fresh kernel, a kernel built
+// from recycled storage, and a recycled kernel with a different color
+// count (the recycled backing is larger than needed).
+func TestFreeListConstruction(t *testing.T) {
+	k := mustKernel(t)
+	checkFreeLists(t, k)
+
+	// Dirty the free lists, then recycle the storage into a new kernel.
+	for i := 0; i < 100; i++ {
+		f, err := k.AllocFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := k.FreeFrame(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	k.Release()
+	k2 := mustKernel(t)
+	checkFreeLists(t, k2)
+
+	k2.Release()
+	cfg := DefaultConfig()
+	cfg.PageColors = 8
+	k3, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFreeLists(t, k3)
+}
+
+// TestFreeFrameSegmentIsolation drains one color's segment and refills
+// it past its original length boundary via FreeFrame; the capacity bound
+// on each carved segment must keep those appends from growing into the
+// neighbouring color's storage.
+func TestFreeFrameSegmentIsolation(t *testing.T) {
+	k := mustKernel(t)
+	want1 := append([]uint64(nil), k.freeByColor[1]...)
+	var got []uint64
+	for {
+		f, err := k.AllocFrameColored(0, 0)
+		if err != nil {
+			break
+		}
+		got = append(got, f)
+	}
+	for i := len(got) - 1; i >= 0; i-- {
+		if err := k.FreeFrame(got[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range want1 {
+		if k.freeByColor[1][i] != want1[i] {
+			t.Fatalf("color 1 corrupted at %d: frame %d, want %d", i, k.freeByColor[1][i], want1[i])
+		}
+	}
+	checkFreeLists(t, k)
+}

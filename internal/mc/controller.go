@@ -116,8 +116,13 @@ type Controller struct {
 	st    *stats.MemStats
 	descs [NumDescriptors]descState
 
+	// lineShift/lineMask memoize the power-of-two LineBytes for the
+	// per-access line arithmetic in timing.go.
+	lineShift uint
+	lineMask  uint64
+
 	pgtlb   *tlb.TLB
-	backing map[uint64]uint64 // pvpage -> frame (contents live in DRAM at PgTblBase)
+	backing pvMap // pvpage -> frame (contents live in DRAM at PgTblBase)
 
 	sram     []bufEntry
 	sramNext int
@@ -163,14 +168,16 @@ func New(cfg Config, d *dram.DRAM, mem *membuf.Memory, st *stats.MemStats) (*Con
 		st = &stats.MemStats{}
 	}
 	c := &Controller{
-		cfg:     cfg,
-		dram:    d,
-		mem:     mem,
-		st:      st,
-		pgtlb:   tlb.New(cfg.PgTblEntries),
-		backing: make(map[uint64]uint64),
-		sram:    make([]bufEntry, cfg.SRAMBytes/cfg.LineBytes),
+		cfg:       cfg,
+		dram:      d,
+		mem:       mem,
+		st:        st,
+		lineShift: bitutil.Log2(cfg.LineBytes),
+		lineMask:  cfg.LineBytes - 1,
+		pgtlb:     tlb.New(cfg.PgTblEntries),
+		sram:      make([]bufEntry, cfg.SRAMBytes/cfg.LineBytes),
 	}
+	c.backing.init()
 	for i := range c.descs {
 		c.descs[i].buf = make([]bufEntry, cfg.DescBufBytes/cfg.LineBytes)
 		c.descs[i].vecLines = make([]uint64, 2)
@@ -274,7 +281,7 @@ func overlaps(a, b *Descriptor) bool {
 // (§2.1 step 4: "The OS downloads to the memory controller a set of page
 // mappings for pseudo-virtual space").
 func (c *Controller) MapPV(pvpage, frame uint64) {
-	c.backing[pvpage] = frame
+	c.backing.put(pvpage, frame)
 	c.pgtlb.Invalidate(pvpage)
 	if c.opRec != nil {
 		c.opRec.RecMapPV(pvpage, frame)
@@ -351,7 +358,7 @@ func (c *Controller) ResolveInto(dst []Run, p addr.PAddr, n uint64) ([]Run, erro
 		// A piece may cross pseudo-virtual pages.
 		pv, remain := pc.pv, pc.bytes
 		for remain > 0 {
-			frame, ok := c.backing[pv.PageNum()]
+			frame, ok := c.backing.get(pv.PageNum())
 			if !ok {
 				return nil, fmt.Errorf("mc: pseudo-virtual page %#x unmapped", pv.PageNum())
 			}
@@ -373,7 +380,7 @@ func (c *Controller) ResolveInto(dst []Run, p addr.PAddr, n uint64) ([]Run, erro
 func (c *Controller) makeVecFn(ds *descState) func(i uint64) uint32 {
 	return func(i uint64) uint32 {
 		pv := ds.d.VecPV + addr.PVAddr(4*i)
-		frame, ok := c.backing[pv.PageNum()]
+		frame, ok := c.backing.get(pv.PageNum())
 		if !ok {
 			panic(fmt.Sprintf("mc: indirection vector page %#x unmapped", pv.PageNum()))
 		}
@@ -413,7 +420,7 @@ func (c *Controller) CoversLine(p addr.PAddr) bool {
 // page table and calls fn for each contiguous physical run.
 func (c *Controller) pvWalk(pv addr.PVAddr, n uint64, fn func(p addr.PAddr, bytes uint64)) error {
 	for n > 0 {
-		frame, ok := c.backing[pv.PageNum()]
+		frame, ok := c.backing.get(pv.PageNum())
 		if !ok {
 			return fmt.Errorf("mc: pseudo-virtual page %#x unmapped", pv.PageNum())
 		}

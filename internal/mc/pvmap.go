@@ -1,0 +1,75 @@
+package mc
+
+// pvMap maps pseudo-virtual page number -> backing frame without Go map
+// hashing on the gather hot path: ResolveInto and the indirection-vector
+// reader consult the backing page table once per gathered element, so
+// the lookup cost multiplies across every shadow access. Open addressing
+// with linear probing and Fibonacci hashing; grow-only (the backing
+// table is only ever extended by MapPV), growth at half load.
+type pvMap struct {
+	slots []pvSlot
+	shift uint // 64 - log2(len(slots))
+	n     int
+}
+
+type pvSlot struct {
+	key  uint64
+	val  uint64
+	used bool
+}
+
+const pvMinSlots = 64
+
+func (t *pvMap) init() {
+	t.slots = make([]pvSlot, pvMinSlots)
+	t.shift = 64 - 6
+	t.n = 0
+}
+
+func (t *pvMap) home(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> t.shift
+}
+
+func (t *pvMap) get(key uint64) (uint64, bool) {
+	mask := uint64(len(t.slots) - 1)
+	for i := t.home(key); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if !s.used {
+			return 0, false
+		}
+		if s.key == key {
+			return s.val, true
+		}
+	}
+}
+
+func (t *pvMap) put(key, val uint64) {
+	if 2*(t.n+1) > len(t.slots) {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := t.home(key); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if !s.used {
+			*s = pvSlot{key: key, val: val, used: true}
+			t.n++
+			return
+		}
+		if s.key == key {
+			s.val = val
+			return
+		}
+	}
+}
+
+func (t *pvMap) grow() {
+	old := t.slots
+	t.slots = make([]pvSlot, 2*len(old))
+	t.shift--
+	t.n = 0
+	for i := range old {
+		if old[i].used {
+			t.put(old[i].key, old[i].val)
+		}
+	}
+}

@@ -13,7 +13,7 @@ import (
 // It returns the time the line's data is assembled and ready to be driven
 // onto the bus. The caller (the machine) adds bus transfer time.
 func (c *Controller) ReadLine(at timeline.Time, p addr.PAddr) (timeline.Time, error) {
-	if uint64(p)%c.cfg.LineBytes != 0 {
+	if uint64(p)&c.lineMask != 0 {
 		return 0, fmt.Errorf("mc: unaligned line read at %v", p)
 	}
 	t0 := at + c.cfg.PipelineCycles
@@ -28,7 +28,7 @@ func (c *Controller) ReadLine(at timeline.Time, p addr.PAddr) (timeline.Time, er
 // prefetcher (§2.2: "a 2K buffer for prefetching non-remapped data using a
 // simple one-block lookahead prefetcher").
 func (c *Controller) readNormal(t0 timeline.Time, p addr.PAddr) timeline.Time {
-	la := uint64(p) / c.cfg.LineBytes
+	la := uint64(p) >> c.lineShift
 	ready := timeline.Time(0)
 	if e := c.sramFind(la); e != nil {
 		c.st.MCPrefetchHits++
@@ -44,7 +44,7 @@ func (c *Controller) readNormal(t0 timeline.Time, p addr.PAddr) timeline.Time {
 	}
 	if c.cfg.Prefetch {
 		next := la + 1
-		nextP := addr.PAddr(next * c.cfg.LineBytes)
+		nextP := addr.PAddr(next << c.lineShift)
 		if c.cfg.Layout.IsDRAM(nextP) && c.sramFind(next) == nil {
 			// Prefetch issues behind the demand access (CPU priority).
 			done := c.dram.Read(ready, nextP)
@@ -87,7 +87,7 @@ func (c *Controller) readShadow(t0 timeline.Time, p addr.PAddr) (timeline.Time, 
 		return 0, fmt.Errorf("mc: no descriptor covers shadow address %v", p)
 	}
 	c.st.ShadowReads++
-	la := uint64(p) / c.cfg.LineBytes
+	la := uint64(p) >> c.lineShift
 	var ready timeline.Time
 	if e := descBufFind(ds, la); e != nil {
 		c.st.SDescPrefHits++
@@ -124,7 +124,7 @@ func (c *Controller) readShadow(t0 timeline.Time, p addr.PAddr) (timeline.Time, 
 // policy, and it is what hides the multi-access cost of a gather.
 func (c *Controller) descPrefetchNext(ds *descState, la uint64, issue timeline.Time) error {
 	next := la + 1
-	nextP := addr.PAddr(next * c.cfg.LineBytes)
+	nextP := addr.PAddr(next << c.lineShift)
 	if !ds.d.Contains(nextP) || uint64(nextP)-uint64(ds.d.ShadowBase)+c.cfg.LineBytes > ds.d.Bytes {
 		return nil
 	}
@@ -216,10 +216,10 @@ func (c *Controller) gather(t0 timeline.Time, ds *descState, p addr.PAddr) (time
 				take = remain
 			}
 			phys := frame<<addr.PageShift | pv.PageOff()
-			first := phys / c.cfg.LineBytes
-			last := (phys + take - 1) / c.cfg.LineBytes
+			first := phys >> c.lineShift
+			last := (phys + take - 1) >> c.lineShift
 			for l := first; l <= last; l++ {
-				addLine(addr.PAddr(l*c.cfg.LineBytes), tready)
+				addLine(addr.PAddr(l<<c.lineShift), tready)
 			}
 			pv += addr.PVAddr(take)
 			remain -= take
@@ -259,11 +259,11 @@ func (c *Controller) fetchVector(start timeline.Time, ds *descState, pieces []pi
 			continue
 		}
 		phys := frame<<addr.PageShift | pv.PageOff()
-		line := phys / c.cfg.LineBytes
+		line := phys >> c.lineShift
 		if ds.vecLines[0] == line || ds.vecLines[1] == line {
 			continue
 		}
-		done := c.dram.Read(maxTime(start, tready), addr.PAddr(line*c.cfg.LineBytes))
+		done := c.dram.Read(maxTime(start, tready), addr.PAddr(line<<c.lineShift))
 		c.st.ShadowDRAMReads++
 		ds.vecLines[ds.vecNext] = line
 		ds.vecNext = (ds.vecNext + 1) % len(ds.vecLines)
@@ -281,7 +281,7 @@ func (c *Controller) translatePV(at timeline.Time, pvpage uint64) (timeline.Time
 	if frame, ok := c.pgtlb.Lookup(pvpage); ok {
 		return at, frame, nil
 	}
-	frame, ok := c.backing[pvpage]
+	frame, ok := c.backing.get(pvpage)
 	if !ok {
 		return 0, 0, fmt.Errorf("mc: pseudo-virtual page %#x unmapped", pvpage)
 	}
@@ -300,7 +300,7 @@ func (c *Controller) translatePV(at timeline.Time, pvpage uint64) (timeline.Time
 func (c *Controller) WriteLine(at timeline.Time, p addr.PAddr) (timeline.Time, error) {
 	t0 := at + c.cfg.PipelineCycles
 	if !c.IsShadow(p) {
-		c.sramInvalidate(uint64(p) / c.cfg.LineBytes)
+		c.sramInvalidate(uint64(p) >> c.lineShift)
 		return c.dram.Write(t0, p), nil
 	}
 	ds := c.findDesc(p)
@@ -309,7 +309,7 @@ func (c *Controller) WriteLine(at timeline.Time, p addr.PAddr) (timeline.Time, e
 	}
 	// A store to a prefetched shadow line would make the buffered copy
 	// stale: drop it.
-	la := uint64(p) / c.cfg.LineBytes
+	la := uint64(p) >> c.lineShift
 	if e := descBufFind(ds, la); e != nil {
 		e.valid = false
 	}
@@ -323,11 +323,11 @@ func (c *Controller) WriteLine(at timeline.Time, p addr.PAddr) (timeline.Time, e
 	// reused slice beats a per-call map.
 	seen := c.seenBuf[:0]
 	for _, r := range runs {
-		first := uint64(r.P) / c.cfg.LineBytes
-		last := (uint64(r.P) + r.Bytes - 1) / c.cfg.LineBytes
+		first := uint64(r.P) >> c.lineShift
+		last := (uint64(r.P) + r.Bytes - 1) >> c.lineShift
 	scan:
 		for l := first; l <= last; l++ {
-			lp := addr.PAddr(l * c.cfg.LineBytes)
+			lp := addr.PAddr(l << c.lineShift)
 			for _, s := range seen {
 				if s == lp {
 					continue scan

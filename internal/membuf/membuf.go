@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"impulse/internal/addr"
 )
@@ -25,9 +26,38 @@ type Memory struct {
 	allocated uint64 // number of frames actually backed
 }
 
+// Pools for the frame-pointer table and the page frames themselves. A
+// sweep family builds hundreds of short-lived machines with identical
+// geometry; recycling the big allocations across cells (see Release) is
+// most of the per-cell setup allocation budget. Pages are zeroed on
+// reuse, so a recycled Memory is indistinguishable from a fresh one.
+var (
+	tablePool sync.Pool // *[]*[addr.PageSize]byte
+	pagePool  sync.Pool // *[addr.PageSize]byte
+)
+
 // New creates a memory with the given number of page frames.
 func New(frames uint64) *Memory {
+	if t, ok := tablePool.Get().(*[]*[addr.PageSize]byte); ok && uint64(cap(*t)) >= frames {
+		return &Memory{frames: (*t)[:frames]} // entries nil-cleared by Release
+	}
 	return &Memory{frames: make([]*[addr.PageSize]byte, frames)}
+}
+
+// Release returns the memory's host allocations to the package pools and
+// leaves it empty. The caller must not use the Memory afterwards. Safe to
+// call from concurrent goroutines (each releasing its own Memory).
+func (m *Memory) Release() {
+	for i, f := range m.frames {
+		if f != nil {
+			pagePool.Put(f)
+			m.frames[i] = nil
+		}
+	}
+	t := m.frames
+	tablePool.Put(&t)
+	m.frames = nil
+	m.allocated = 0
 }
 
 // Frames returns the total number of addressable frames.
@@ -44,7 +74,12 @@ func (m *Memory) frame(p addr.PAddr) *[addr.PageSize]byte {
 	}
 	f := m.frames[n]
 	if f == nil {
-		f = new([addr.PageSize]byte)
+		if pg, ok := pagePool.Get().(*[addr.PageSize]byte); ok {
+			*pg = [addr.PageSize]byte{} // zero-on-first-touch semantics
+			f = pg
+		} else {
+			f = new([addr.PageSize]byte)
+		}
 		m.frames[n] = f
 		m.allocated++
 	}

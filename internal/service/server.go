@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"impulse/internal/obs"
@@ -22,6 +23,7 @@ import (
 //	GET  /v1/jobs/{id}/events    live progress (Server-Sent Events)
 //	GET  /healthz                liveness + drain state
 //	GET  /metrics                counter registry, "name value" text
+//	GET  /debug/pprof/           Go runtime profiles (see docs/PERF.md)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -33,6 +35,14 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", obs.MetricsHandler(&s.reg))
+	// Profiling endpoints: the daemon is where long sweeps run, so being
+	// able to grab a CPU or heap profile from a live instance is how the
+	// fast-path work in internal/sim gets found and verified.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

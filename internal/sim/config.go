@@ -62,6 +62,15 @@ type Config struct {
 	// effectively cheaper", which the superscalar ablation tests with
 	// width > 1.
 	IssueWidth uint64
+
+	// DisableFastPath turns off the MRU line-hit fast path in the access
+	// engine (see fastpath.go), forcing every load and store through the
+	// reference translate+probe sequence. The fast path is cycle- and
+	// counter-identical to the reference path by construction; this knob
+	// exists so the differential tests can prove it, and as an escape
+	// hatch. It never changes simulation results, so it is deliberately
+	// excluded from trace-cache stream identity.
+	DisableFastPath bool
 }
 
 // DefaultConfig reproduces the paper's simulated machine (§4): 32K

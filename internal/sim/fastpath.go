@@ -1,0 +1,201 @@
+// The access fast path: a small MRU cache of recently-hit L1 lines that
+// lets a repeat access to the same resident line skip the block-TLB scan,
+// the TLB lookup, and the set-associative L1 probe entirely. Unit-stride
+// loops touch the same 32-byte L1 line 4-8 times in a row, so this is
+// where most simulated accesses go.
+//
+// The fast path is cycle- and counter-identical to the reference path by
+// construction, which rests on three invariants:
+//
+//  1. Translation stability. An MRU entry caches a (virtual line -> bus
+//     line) translation, valid only while the reference translate() would
+//     return the same answer without observable side effects. While an
+//     entry was populated, its page translation sat in the TLB (or a block
+//     entry) with its referenced bit set, so a reference translate would
+//     be a state-free hit. Anything that can change that — a TLB miss
+//     inserting a new entry (NRU eviction, ref-bit sweep), a TLB flush,
+//     block-TLB install/clear, an untimed cache reset — invalidates every
+//     MRU entry (fastInvalidateAll). Entries are only populated when the
+//     translation is offset-preserving across the whole L1 line (never
+//     across a block-entry boundary), so one cached base serves every
+//     element in the line.
+//
+//  2. Residency re-validation. Instead of hooking every L1 insert, evict,
+//     and flush, each fast access re-checks its remembered L1 slot: the
+//     slot must still be valid, hold the same physical line, and not be a
+//     prefetched copy (cache.FastTouch/FastDirty). A line that was
+//     evicted, refilled elsewhere, or re-entered via prefetch fails the
+//     check and falls back to the reference path — which *is* the
+//     reference behaviour for those cases (the prefetch-hit branch has
+//     extra observable effects: L1PrefetchHits, inflight stalls, chained
+//     prefetch).
+//
+//  3. Effect replication. A committed fast access performs exactly the
+//     observable work of the reference L1-hit path, in an order that only
+//     permutes independent effects: recorder callback and Loads/Stores
+//     counters (done by the caller before dispatch), functional data
+//     movement, the L1 LRU touch, hit counters, latency accounting and
+//     clock advance, trace and observability events.
+//
+// Shadow (remapped) lines never enter the MRU: they keep the full
+// reference path, including controller-buffer interactions.
+//
+// Config.DisableFastPath forces every access through the reference path;
+// the differential tests compare the two end to end.
+package sim
+
+import "impulse/internal/addr"
+
+// fastWays is the MRU capacity. The widest inner loops in the workload
+// suite interleave three unit-stride streams plus an irregular one; four
+// entries cover them with FIFO replacement.
+const fastWays = 4
+
+// fastInvalid is the vline sentinel for an empty MRU entry (no real
+// virtual line is all-ones).
+const fastInvalid = ^uint64(0)
+
+// fastEntry caches one line-hit: the virtual line identity, its bus-line
+// base, and where in the L1 the line sat (slot plus physical-line tag for
+// re-validation).
+type fastEntry struct {
+	vline uint64 // line-aligned virtual address (identity; fastInvalid = empty)
+	pbase uint64 // line-aligned bus address vline translates to
+	la    uint64 // L1 physical line number of pbase (slot re-validation tag)
+	slot  int32  // global L1 slot index the line occupied when cached
+}
+
+// fastInvalidateAll empties the MRU and the page-translation memo.
+// Called whenever translation state may have changed (see invariant 1
+// above).
+func (m *Machine) fastInvalidateAll() {
+	for i := range m.fast {
+		m.fast[i].vline = fastInvalid
+	}
+	m.fastPageOK = false
+}
+
+// fastPopulate remembers a line-hit for the fast path. slot is the L1
+// slot the line occupies (-1 = unknown, skip). Population is the only
+// place the entry invariants are established; the per-access checks in
+// fastLoad/fastStore only re-validate residency.
+func (m *Machine) fastPopulate(v addr.VAddr, p addr.PAddr, slot int) {
+	if !m.fastOn || slot < 0 {
+		return
+	}
+	off := uint64(v) & m.l1LineMask
+	if off != uint64(p)&m.l1LineMask {
+		return // translation does not preserve line offsets: one base cannot serve the line
+	}
+	if m.MC.IsShadow(p) {
+		return // shadow lines keep the full reference path
+	}
+	vline := uint64(v) - off
+	vhi := vline + m.cfg.L1.LineBytes
+	for i := range m.blockTLB {
+		b := &m.blockTLB[i]
+		if vline < b.vhi && vhi > b.vlo { // line overlaps this block entry
+			if vline < b.vlo || vhi > b.vhi {
+				return // straddles the entry boundary: translation not linear across the line
+			}
+			break // fully inside the first matching entry: linear, and first-match stable
+		}
+	}
+	idx := -1
+	for i := range m.fast {
+		if m.fast[i].vline == vline {
+			idx = i // refresh in place: at most one live entry per vline
+			break
+		}
+	}
+	if idx < 0 {
+		idx = int(m.fastNext)
+		m.fastNext++
+		if m.fastNext == fastWays {
+			m.fastNext = 0
+		}
+	}
+	m.fast[idx] = fastEntry{vline: vline, pbase: uint64(p) - off, la: m.L1.LineAddr(uint64(p)), slot: int32(slot)}
+}
+
+// fastLoad attempts the load fast path. On a committed hit it performs
+// the complete observable effect of the reference L1-hit path and
+// reports (value, true); otherwise it reports false having touched
+// nothing, and the caller runs the reference path.
+func (m *Machine) fastLoad(v addr.VAddr, size uint64) (uint64, bool) {
+	vline := uint64(v) &^ m.l1LineMask
+	for i := range m.fast {
+		e := &m.fast[i]
+		if e.vline != vline {
+			continue
+		}
+		if !m.L1.FastTouch(int(e.slot), e.la) {
+			e.vline = fastInvalid
+			return 0, false
+		}
+		start := m.clock
+		p := addr.PAddr(e.pbase | (uint64(v) & m.l1LineMask))
+		var value uint64
+		if m.functional {
+			// Populate rejects shadow lines, so this is readValue minus
+			// the shadow dispatch.
+			if size == 8 {
+				value = m.Mem.Load64(p)
+			} else {
+				value = uint64(m.Mem.Load32(p))
+			}
+		}
+		m.St.L1LoadHits++
+		m.finishLoad(start, start+m.cfg.L1.HitCycles)
+		if m.tracer != nil {
+			m.traceLoad(v, p, size, start, LevelL1)
+		}
+		if m.obs != nil {
+			m.obsLoad(start, LevelL1)
+		}
+		return value, true
+	}
+	return 0, false
+}
+
+// fastStore attempts the store fast path (the L1 MarkDirty-hit branch of
+// the reference store). Reports whether it committed.
+func (m *Machine) fastStore(v addr.VAddr, size, val uint64) bool {
+	vline := uint64(v) &^ m.l1LineMask
+	for i := range m.fast {
+		e := &m.fast[i]
+		if e.vline != vline {
+			continue
+		}
+		if !m.L1.FastDirty(int(e.slot), e.la) {
+			e.vline = fastInvalid
+			return false
+		}
+		start := m.clock
+		p := addr.PAddr(e.pbase | (uint64(v) & m.l1LineMask))
+		if m.functional {
+			// Non-shadow by the populate guard: writeValue minus dispatch.
+			if size == 8 {
+				m.Mem.Store64(p, val)
+			} else {
+				m.Mem.Store32(p, uint32(val))
+			}
+		}
+		m.St.L1StoreHits++
+		m.St.Instructions++
+		done := m.clock + 1
+		if lim := m.cfg.StoreBacklogCycles; lim > 0 {
+			if bu := m.Bus.BusyUntil(); bu > done+lim {
+				done = bu - lim
+			}
+		}
+		m.St.StoreCycles += done - start
+		m.clock = done
+		if m.tracer != nil {
+			// Shadow is false by the populate guard.
+			m.trace(TraceEvent{Cycle: start, Kind: TraceStore, VAddr: v, PAddr: p, Size: size})
+		}
+		return true
+	}
+	return false
+}

@@ -45,6 +45,30 @@ type Machine struct {
 	// [21] install user block entries over shadow-contiguous regions).
 	blockTLB []blockEntry
 
+	// blockHot remembers the index of the last block entry that matched.
+	// It is consulted only while blockDisjoint holds — with pairwise
+	// disjoint entries, first-match equals any-match, so checking the hot
+	// entry first cannot change which translation wins.
+	blockHot      int
+	blockDisjoint bool
+
+	// fast is the MRU line-hit cache backing the access fast path (see
+	// fastpath.go); fastOn mirrors !cfg.DisableFastPath.
+	fast     [fastWays]fastEntry
+	fastNext uint8
+	fastOn   bool
+
+	// One-entry page-translation memo in front of the TLB (fastpath.go
+	// invariant 1 applies unchanged: populated only on a TLB hit, when a
+	// repeat reference lookup would be state-free — the hit counter and
+	// ref bit are not observable and the ref set is idempotent — and
+	// invalidated by fastInvalidateAll alongside the line MRU). Shadow
+	// accesses bypass the line MRU but stream through pages sequentially,
+	// so this memo is what keeps their translation cost flat.
+	fastPage   uint64
+	fastFrame  uint64
+	fastPageOK bool
+
 	l1LineMask uint64
 	l2LineMask uint64
 
@@ -104,26 +128,39 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg:        cfg,
-		St:         st,
-		Mem:        mem,
-		K:          k,
-		MC:         controller,
-		L1:         l1,
-		L2:         l2,
-		Bus:        b,
-		DRAM:       d,
-		TLB:        tlb.New(cfg.TLBEntries),
-		l1LineMask: cfg.L1.LineBytes - 1,
-		l2LineMask: cfg.L2.LineBytes - 1,
-		functional: true,
+		cfg:           cfg,
+		St:            st,
+		Mem:           mem,
+		K:             k,
+		MC:            controller,
+		L1:            l1,
+		L2:            l2,
+		Bus:           b,
+		DRAM:          d,
+		TLB:           tlb.New(cfg.TLBEntries),
+		l1LineMask:    cfg.L1.LineBytes - 1,
+		l2LineMask:    cfg.L2.LineBytes - 1,
+		functional:    true,
+		fastOn:        !cfg.DisableFastPath,
+		blockDisjoint: true,
 	}
 	m.inflight.init()
+	m.fastInvalidateAll()
 	return m, nil
 }
 
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// ReleaseBuffers returns the machine's large backing allocations (the
+// simulated-memory page frames and the kernel's frame free lists) to
+// their package pools, for reuse by the next machine. The harness calls
+// it when a finished experiment cell discards its system; the machine
+// must not be used afterwards.
+func (m *Machine) ReleaseBuffers() {
+	m.Mem.Release()
+	m.K.Release()
+}
 
 // Now returns the current cycle.
 func (m *Machine) Now() timeline.Time { return m.clock }
@@ -164,7 +201,16 @@ func (m *Machine) InstallBlockTLB(v addr.VAddr, p addr.PAddr, bytes uint64) {
 	if m.rec != nil {
 		m.rec.RecInstallBlockTLB(v, p, bytes)
 	}
-	m.blockTLB = append(m.blockTLB, blockEntry{vlo: uint64(v), vhi: uint64(v) + bytes, pbase: uint64(p)})
+	ne := blockEntry{vlo: uint64(v), vhi: uint64(v) + bytes, pbase: uint64(p)}
+	for i := range m.blockTLB {
+		if b := &m.blockTLB[i]; ne.vlo < b.vhi && ne.vhi > b.vlo {
+			// Overlapping entries: first-match order matters, so the
+			// hot-entry shortcut in translate must stay off.
+			m.blockDisjoint = false
+		}
+	}
+	m.blockTLB = append(m.blockTLB, ne)
+	m.fastInvalidateAll()
 }
 
 // ClearBlockTLB removes all block translations.
@@ -173,18 +219,38 @@ func (m *Machine) ClearBlockTLB() {
 		m.rec.RecClearBlockTLB()
 	}
 	m.blockTLB = nil
+	m.blockHot = 0
+	m.blockDisjoint = true
+	m.fastInvalidateAll()
 }
 
 // translate converts a virtual address to a bus address, charging TLB
 // behaviour. Panics on an unmapped address: that is a simulation bug, not
 // a modeled fault.
 func (m *Machine) translate(v addr.VAddr) addr.PAddr {
-	for i := range m.blockTLB {
-		if b := &m.blockTLB[i]; uint64(v) >= b.vlo && uint64(v) < b.vhi {
-			return addr.PAddr(b.pbase + (uint64(v) - b.vlo))
+	if len(m.blockTLB) > 0 {
+		// Hot-entry shortcut: with pairwise disjoint entries at most one
+		// can match, so probing the last match first is order-neutral.
+		if m.blockDisjoint {
+			if b := &m.blockTLB[m.blockHot]; uint64(v) >= b.vlo && uint64(v) < b.vhi {
+				return addr.PAddr(b.pbase + (uint64(v) - b.vlo))
+			}
+		}
+		for i := range m.blockTLB {
+			if b := &m.blockTLB[i]; uint64(v) >= b.vlo && uint64(v) < b.vhi {
+				m.blockHot = i
+				return addr.PAddr(b.pbase + (uint64(v) - b.vlo))
+			}
 		}
 	}
-	if frame, ok := m.TLB.Lookup(v.PageNum()); ok {
+	page := v.PageNum()
+	if m.fastPageOK && m.fastPage == page {
+		return addr.PAddr(m.fastFrame<<addr.PageShift | v.PageOff())
+	}
+	if frame, ok := m.TLB.Lookup(page); ok {
+		if m.fastOn {
+			m.fastPage, m.fastFrame, m.fastPageOK = page, frame, true
+		}
 		return addr.PAddr(frame<<addr.PageShift | v.PageOff())
 	}
 	p, ok := m.K.Translate(v)
@@ -197,7 +263,11 @@ func (m *Machine) translate(v addr.VAddr) addr.PAddr {
 		m.obs.Span(m.cpuTrack, "tlb-walk", m.clock, m.clock+m.cfg.TLBMissPenalty)
 	}
 	m.clock += m.cfg.TLBMissPenalty
+	// The insert may evict a victim translation or clear referenced bits
+	// (the NRU sweep); either would let a stale MRU entry skip a TLB miss
+	// the reference path would charge.
 	m.TLB.Insert(v.PageNum(), p.PageNum())
+	m.fastInvalidateAll()
 	return p
 }
 
@@ -214,6 +284,7 @@ func (m *Machine) FlushTLB() {
 		m.rec.RecFlushTLB()
 	}
 	m.TLB.InvalidateAll()
+	m.fastInvalidateAll()
 }
 
 // FlushTLBPage drops one translation.
@@ -222,6 +293,7 @@ func (m *Machine) FlushTLBPage(v addr.VAddr) {
 		m.rec.RecFlushTLBPage(v)
 	}
 	m.TLB.Invalidate(v.PageNum())
+	m.fastInvalidateAll()
 }
 
 // --- Functional data movement -------------------------------------------
@@ -244,6 +316,14 @@ func (m *Machine) readValue(p addr.PAddr, size uint64) uint64 {
 		panic(fmt.Sprintf("sim: shadow read failed: %v", err))
 	}
 	m.runScratch = runs[:0]
+	if len(runs) == 1 && runs[0].Bytes == size {
+		// The gathered element is physically contiguous (the common
+		// case): one whole-value load replaces the byte loop.
+		if size == 8 {
+			return m.Mem.Load64(runs[0].P)
+		}
+		return uint64(m.Mem.Load32(runs[0].P))
+	}
 	var v uint64
 	shift := uint(0)
 	for _, r := range runs {
@@ -272,6 +352,14 @@ func (m *Machine) writeValue(p addr.PAddr, size, v uint64) {
 		panic(fmt.Sprintf("sim: shadow write failed: %v", err))
 	}
 	m.runScratch = runs[:0]
+	if len(runs) == 1 && runs[0].Bytes == size {
+		if size == 8 {
+			m.Mem.Store64(runs[0].P, v)
+		} else {
+			m.Mem.Store32(runs[0].P, uint32(v))
+		}
+		return
+	}
 	shift := uint(0)
 	for _, r := range runs {
 		for i := uint64(0); i < r.Bytes; i++ {
@@ -299,6 +387,11 @@ func (m *Machine) load(v addr.VAddr, size uint64) uint64 {
 		m.rec.RecLoad(v, size)
 	}
 	m.St.Loads++
+	if m.fastOn {
+		if value, ok := m.fastLoad(v, size); ok {
+			return value
+		}
+	}
 	start := m.clock
 	p := m.translate(v)
 	var value uint64
@@ -311,11 +404,12 @@ func (m *Machine) load(v addr.VAddr, size uint64) uint64 {
 		done := m.clock + m.cfg.L1.HitCycles
 		if r.WasPrefetched {
 			m.St.L1PrefetchHits++
-			if arr, ok := m.inflight.get(m.L1.LineAddr(uint64(p))); ok {
+			la := m.L1.LineAddr(uint64(p))
+			if arr, ok := m.inflight.get(la); ok {
 				if arr > done {
 					done = arr // partial hit: data still in flight
 				}
-				m.inflight.del(m.L1.LineAddr(uint64(p)))
+				m.inflight.del(la)
 			}
 			// PA 7200-style streaming: consuming a prefetched line
 			// triggers the next prefetch, keeping streams ahead.
@@ -327,6 +421,7 @@ func (m *Machine) load(v addr.VAddr, size uint64) uint64 {
 		if m.obs != nil {
 			m.obsLoad(start, LevelL1)
 		}
+		m.fastPopulate(v, p, r.Slot)
 		return value
 	}
 
@@ -342,6 +437,7 @@ func (m *Machine) load(v addr.VAddr, size uint64) uint64 {
 			m.obsLoad(start, LevelL2)
 		}
 		m.maybeL1Prefetch(v, done)
+		m.fastPopulate(v, p, m.L1.FindSlot(uint64(v), uint64(p)))
 		return value
 	}
 
@@ -355,6 +451,7 @@ func (m *Machine) load(v addr.VAddr, size uint64) uint64 {
 		m.obsLoad(start, LevelMem)
 	}
 	m.maybeL1Prefetch(v, done)
+	m.fastPopulate(v, p, m.L1.FindSlot(uint64(v), uint64(p)))
 	return value
 }
 
@@ -511,6 +608,9 @@ func (m *Machine) store(v addr.VAddr, size, val uint64) {
 		m.rec.RecStore(v, size)
 	}
 	m.St.Stores++
+	if m.fastOn && m.fastStore(v, size, val) {
+		return
+	}
 	start := m.clock
 	p := m.translate(v)
 	if m.functional {
@@ -519,6 +619,7 @@ func (m *Machine) store(v addr.VAddr, size, val uint64) {
 
 	if m.L1.MarkDirty(uint64(v), uint64(p)) {
 		m.St.L1StoreHits++
+		m.fastPopulate(v, p, m.L1.FindSlot(uint64(v), uint64(p)))
 	} else if m.L2.MarkDirty(uint64(p), uint64(p)) {
 		m.St.L2StoreHits++
 		m.l2port.Acquire(m.clock+1, m.cfg.L2MissProbeCycles)
@@ -633,6 +734,7 @@ func (m *Machine) ResetCachesUntimed() {
 	m.TLB.InvalidateAll()
 	m.MC.InvalidateBuffers()
 	m.inflight.reset()
+	m.fastInvalidateAll()
 }
 
 // FlushAllCaches empties both caches, writing dirty lines back

@@ -1,0 +1,123 @@
+package tlb
+
+// slotIndex maps key -> entry slot without allocating on the hot path.
+// It replaces the map[uint64]int index whose hashing dominated the
+// simulator's translation cost (every access that misses the machine's
+// MRU fast path performs a TLB lookup): open addressing with linear
+// probing, Fibonacci hashing on the top bits (page numbers cluster in
+// the low bits), backward-shift deletion, and growth at half load. The
+// index is a pure acceleration structure — hit/miss outcomes and NRU
+// replacement are decided by the entries array exactly as before.
+type slotIndex struct {
+	slots []indexSlot
+	shift uint // 64 - log2(len(slots))
+	n     int
+}
+
+type indexSlot struct {
+	key  uint64
+	slot int32
+	used bool
+}
+
+const indexMinSlots = 16
+
+func (t *slotIndex) init(capacity int) {
+	size := indexMinSlots
+	shift := uint(64 - 4)
+	for size < 2*capacity {
+		size *= 2
+		shift--
+	}
+	t.slots = make([]indexSlot, size)
+	t.shift = shift
+	t.n = 0
+}
+
+func (t *slotIndex) home(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> t.shift
+}
+
+func (t *slotIndex) get(key uint64) (int, bool) {
+	mask := uint64(len(t.slots) - 1)
+	for i := t.home(key); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if !s.used {
+			return 0, false
+		}
+		if s.key == key {
+			return int(s.slot), true
+		}
+	}
+}
+
+func (t *slotIndex) put(key uint64, slot int) {
+	if 2*(t.n+1) > len(t.slots) {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := t.home(key); ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if !s.used {
+			*s = indexSlot{key: key, slot: int32(slot), used: true}
+			t.n++
+			return
+		}
+		if s.key == key {
+			s.slot = int32(slot)
+			return
+		}
+	}
+}
+
+// del removes key if present, compacting the probe chain behind it
+// (backward-shift deletion keeps lookups tombstone-free).
+func (t *slotIndex) del(key uint64) {
+	mask := uint64(len(t.slots) - 1)
+	i := t.home(key)
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			return
+		}
+		if s.key == key {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		j = (j + 1) & mask
+		s := &t.slots[j]
+		if !s.used {
+			break
+		}
+		// s may fill the hole at i only if its home position does not
+		// lie strictly inside (i, j] — otherwise moving it would break
+		// its own probe chain.
+		if (j-t.home(s.key))&mask >= (j-i)&mask {
+			t.slots[i] = *s
+			i = j
+		}
+	}
+	t.slots[i] = indexSlot{}
+	t.n--
+}
+
+func (t *slotIndex) grow() {
+	old := t.slots
+	t.slots = make([]indexSlot, 2*len(old))
+	t.shift--
+	t.n = 0
+	for i := range old {
+		if old[i].used {
+			t.put(old[i].key, int(old[i].slot))
+		}
+	}
+}
+
+// reset empties the index, keeping its capacity.
+func (t *slotIndex) reset() {
+	clear(t.slots)
+	t.n = 0
+}

@@ -16,7 +16,7 @@ import "fmt"
 // replacement.
 type TLB struct {
 	entries []entry
-	index   map[uint64]int // key -> slot, for O(1) lookup
+	index   slotIndex // key -> slot, for O(1) lookup
 	misses  uint64
 	hits    uint64
 }
@@ -33,10 +33,9 @@ func New(capacity int) *TLB {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("tlb: non-positive capacity %d", capacity))
 	}
-	return &TLB{
-		entries: make([]entry, capacity),
-		index:   make(map[uint64]int, capacity),
-	}
+	t := &TLB{entries: make([]entry, capacity)}
+	t.index.init(capacity)
+	return t
 }
 
 // Capacity returns the number of entries.
@@ -44,7 +43,7 @@ func (t *TLB) Capacity() int { return len(t.entries) }
 
 // Lookup searches for key; on a hit it sets the entry's referenced bit.
 func (t *TLB) Lookup(key uint64) (value uint64, ok bool) {
-	if i, found := t.index[key]; found && t.entries[i].valid {
+	if i, found := t.index.get(key); found && t.entries[i].valid {
 		t.entries[i].ref = true
 		t.hits++
 		return t.entries[i].value, true
@@ -57,7 +56,7 @@ func (t *TLB) Lookup(key uint64) (value uint64, ok bool) {
 // the first entry with a clear referenced bit is the victim; if every
 // referenced bit is set, all are cleared first (the classic NRU sweep).
 func (t *TLB) Insert(key, value uint64) {
-	if i, found := t.index[key]; found {
+	if i, found := t.index.get(key); found {
 		t.entries[i].value = value
 		t.entries[i].valid = true
 		t.entries[i].ref = true
@@ -72,10 +71,10 @@ func (t *TLB) Insert(key, value uint64) {
 	}
 	if victim < 0 {
 		victim = t.nruVictim()
-		delete(t.index, t.entries[victim].key)
+		t.index.del(t.entries[victim].key)
 	}
 	t.entries[victim] = entry{key: key, value: value, valid: true, ref: true}
-	t.index[key] = victim
+	t.index.put(key, victim)
 }
 
 func (t *TLB) nruVictim() int {
@@ -93,9 +92,9 @@ func (t *TLB) nruVictim() int {
 
 // Invalidate removes key if present.
 func (t *TLB) Invalidate(key uint64) {
-	if i, found := t.index[key]; found {
+	if i, found := t.index.get(key); found {
 		t.entries[i] = entry{}
-		delete(t.index, key)
+		t.index.del(key)
 	}
 }
 
@@ -104,7 +103,7 @@ func (t *TLB) InvalidateAll() {
 	for i := range t.entries {
 		t.entries[i] = entry{}
 	}
-	t.index = make(map[uint64]int, len(t.entries))
+	t.index.reset()
 }
 
 // Hits returns the number of successful lookups.
@@ -114,4 +113,4 @@ func (t *TLB) Hits() uint64 { return t.hits }
 func (t *TLB) Misses() uint64 { return t.misses }
 
 // Valid returns the number of valid entries.
-func (t *TLB) Valid() int { return len(t.index) }
+func (t *TLB) Valid() int { return t.index.n }

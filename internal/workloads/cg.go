@@ -177,18 +177,10 @@ func (c *cgState) setup() error {
 			return err
 		}
 	}
-	for i, v := range c.m.Rows {
-		s.Store32(c.rows+addr.VAddr(4*i), uint32(v))
-	}
-	for j, v := range c.m.Cols {
-		s.Store32(c.cols+addr.VAddr(4*j), v)
-	}
-	for j, v := range c.m.Vals {
-		s.StoreF64(c.vals+addr.VAddr(8*j), v)
-	}
-	for i := 0; i < c.n; i++ {
-		s.StoreF64(c.x+addr.VAddr(8*i), 1.0)
-	}
+	s.StoreStreamI32(c.rows, c.m.Rows)
+	s.StoreStreamU32(c.cols, c.m.Cols)
+	s.StoreStreamF64(c.vals, c.m.Vals)
+	s.FillStreamF64(c.x, 1.0, uint64(c.n))
 	return nil
 }
 

@@ -64,9 +64,7 @@ func RunCholesky(s *core.System, n, t int, mode CholeskyMode) (CholeskyResult, e
 	}
 	// Untimed setup: the SPD test matrix.
 	src := cholInput(n)
-	for i := uint64(0); i < nn*nn; i++ {
-		s.StoreF64(a+addr.VAddr(8*i), src[i])
-	}
+	s.StoreStreamF64(a, src)
 
 	sec := s.BeginSection()
 	switch mode {

@@ -95,21 +95,11 @@ func RunSpark(s *core.System, mesh *SparkMesh, iters int, useGather bool) (Spark
 	diag := s.MustAlloc(n*8, 0)
 	x := s.MustAlloc(n*8, 0)
 	y := s.MustAlloc(n*8, 0)
-	for i, v := range mesh.Rows {
-		s.Store32(rows+addr.VAddr(4*i), uint32(v))
-	}
-	for k, v := range mesh.Cols {
-		s.Store32(cols+addr.VAddr(4*k), v)
-	}
-	for k, v := range mesh.Vals {
-		s.StoreF64(vals+addr.VAddr(8*k), v)
-	}
-	for i, v := range mesh.Diag {
-		s.StoreF64(diag+addr.VAddr(8*i), v)
-	}
-	for i := uint64(0); i < n; i++ {
-		s.StoreF64(x+addr.VAddr(8*i), 1+float64(i%5)/8)
-	}
+	s.StoreStreamI32(rows, mesh.Rows)
+	s.StoreStreamU32(cols, mesh.Cols)
+	s.StoreStreamF64(vals, mesh.Vals)
+	s.StoreStreamF64(diag, mesh.Diag)
+	s.StoreStreamF64Gen(x, n, func(i uint64) float64 { return 1 + float64(i%5)/8 })
 
 	sec := s.BeginSection()
 	var alias addr.VAddr
