@@ -45,8 +45,11 @@ fuzz-short:
 # serve-smoke is the end-to-end check for the experiment service: boot
 # impulsed on an ephemeral port, submit a small Table 1 job through
 # impulsectl, diff the bytes against the direct cmd/table1 run, verify
-# the single-flight dedup path with a concurrent load burst, then shut
-# the daemon down gracefully (SIGTERM -> drain).
+# the single-flight dedup path with a concurrent load burst, check that
+# the burst populated the Prometheus exposition (typed histograms with
+# bucket series), fetch the job's provenance manifest and Perfetto
+# timeline, render one `top` frame end-to-end, then shut the daemon
+# down gracefully (SIGTERM -> drain).
 serve-smoke:
 	@set -e; dir=$$(mktemp -d); trap 'kill $$pid 2>/dev/null || true; rm -rf "$$dir"' EXIT; \
 	$(GO) build -o $$dir/impulsed ./cmd/impulsed; \
@@ -56,12 +59,32 @@ serve-smoke:
 	for i in $$(seq 1 100); do [ -s $$dir/addr ] && break; sleep 0.1; done; \
 	[ -s $$dir/addr ] || { echo "impulsed never bound"; cat $$dir/impulsed.log; exit 1; }; \
 	addr=$$(cat $$dir/addr); echo "impulsed up at $$addr"; \
-	$$dir/impulsectl -addr $$addr submit -wait \
-		-spec '{"kind":"table1","n":240,"nonzer":4,"niter":1,"cgits":2}' >$$dir/service.out; \
+	id=$$($$dir/impulsectl -addr $$addr submit \
+		-spec '{"kind":"table1","n":240,"nonzer":4,"niter":1,"cgits":2}' | cut -f1); \
+	$$dir/impulsectl -addr $$addr result -wait $$id >$$dir/service.out; \
 	$$dir/table1 -n 240 -nonzer 4 -niter 1 -cgits 2 -q >$$dir/direct.out; \
 	diff -u $$dir/direct.out $$dir/service.out || { echo "serve-smoke: service output differs from CLI"; exit 1; }; \
 	$$dir/impulsectl -addr $$addr load -n 8 \
 		-spec '{"kind":"table1","n":240,"nonzer":4,"niter":1,"cgits":2}'; \
+	$$dir/impulsectl -addr $$addr metrics >$$dir/metrics.out; \
+	for want in \
+		'# TYPE service_http_request_duration_us histogram' \
+		'# TYPE service_job_run_duration_us histogram' \
+		'service_job_run_duration_us_count{kind="table1"} 1' \
+		'service_http_request_duration_us_bucket{endpoint="submit"' \
+		'service_jobs_executed 1'; do \
+		grep -qF "$$want" $$dir/metrics.out || \
+			{ echo "serve-smoke: /metrics missing: $$want"; cat $$dir/metrics.out; exit 1; }; \
+	done; \
+	$$dir/impulsectl -addr $$addr manifest $$id >$$dir/manifest.json; \
+	grep -qF '"cells_recorded": 3' $$dir/manifest.json || \
+		{ echo "serve-smoke: bad manifest"; cat $$dir/manifest.json; exit 1; }; \
+	$$dir/impulsectl -addr $$addr trace $$id >$$dir/trace.json; \
+	grep -qF '"traceEvents"' $$dir/trace.json || \
+		{ echo "serve-smoke: bad trace"; cat $$dir/trace.json; exit 1; }; \
+	$$dir/impulsectl -addr $$addr top -once >$$dir/top.out; \
+	grep -q 'job run duration by kind' $$dir/top.out || \
+		{ echo "serve-smoke: top rendered nothing"; cat $$dir/top.out; exit 1; }; \
 	kill -TERM $$pid; wait $$pid || { echo "impulsed exited non-zero"; cat $$dir/impulsed.log; exit 1; }; \
 	echo "serve-smoke OK"
 

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"impulse"
+	"impulse/internal/obs"
 	"impulse/internal/workloads"
 )
 
@@ -28,6 +29,28 @@ func TestSimHotPathAllocs(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(1000, func() { s.StoreF64(x, 2.5) }); avg != 0 {
 		t.Errorf("L1-hit store allocates %.2f per op, want 0", avg)
+	}
+}
+
+// TestSimHotPathAllocsWithHub is the zero-cost-when-disabled guarantee
+// for the observability layer at the allocation level: attaching a hub
+// with tracing and series disabled (their zero config) must leave the
+// steady-state access path at zero allocations per op — every
+// instrumentation site reduces to a nil check.
+func TestSimHotPathAllocsWithHub(t *testing.T) {
+	s, err := impulse.NewSystem(impulse.Options{Controller: impulse.Impulse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachObs(obs.New(obs.Config{}))
+	x := s.MustAlloc(4096, 0)
+	s.StoreF64(x, 1.5)
+	s.LoadF64(x)
+	if avg := testing.AllocsPerRun(1000, func() { s.LoadF64(x) }); avg != 0 {
+		t.Errorf("L1-hit load with hub attached allocates %.2f per op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { s.StoreF64(x, 2.5) }); avg != 0 {
+		t.Errorf("L1-hit store with hub attached allocates %.2f per op, want 0", avg)
 	}
 }
 

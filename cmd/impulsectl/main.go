@@ -1,16 +1,21 @@
 // Command impulsectl is the client for the impulsed experiment
-// service. It submits experiment specs, polls status, fetches results
-// and counters, cancels jobs, tails live progress over SSE, and can
-// load-test the daemon's single-flight dedup path.
+// service. It submits experiment specs, polls status, fetches results,
+// counters, provenance manifests, and Perfetto timelines, cancels jobs,
+// tails live progress over SSE, load-tests the daemon's single-flight
+// dedup path, and renders a polling terminal dashboard over /metrics.
 //
 // Usage:
 //
 //	impulsectl [-addr host:port] submit [-wait] [-counters] (-spec JSON | -f spec.json)
 //	impulsectl [-addr host:port] status <job-id>
 //	impulsectl [-addr host:port] result [-counters] <job-id>
+//	impulsectl [-addr host:port] manifest [-wait] <job-id>
+//	impulsectl [-addr host:port] trace [-o FILE] <job-id>
 //	impulsectl [-addr host:port] cancel <job-id>
 //	impulsectl [-addr host:port] watch  <job-id>
 //	impulsectl [-addr host:port] load [-n 8] [-spec JSON | -f spec.json]
+//	impulsectl [-addr host:port] metrics [-plain]
+//	impulsectl [-addr host:port] top [-interval 2s] [-once]
 package main
 
 import (
@@ -27,6 +32,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"impulse/internal/obs"
 )
 
 var base string
@@ -57,6 +64,14 @@ func main() {
 		err = cmdWatch(args[1:])
 	case "load":
 		err = cmdLoad(args[1:])
+	case "manifest":
+		err = cmdManifest(args[1:])
+	case "trace":
+		err = cmdTrace(args[1:])
+	case "metrics":
+		err = cmdMetrics(args[1:])
+	case "top":
+		err = cmdTop(args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -70,12 +85,16 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: impulsectl [-addr host:port] <command> [flags]
 
 commands:
-  submit  -spec JSON | -f FILE   submit a job (add -wait to block and print the result)
-  status  <job-id>               print job status JSON
-  result  <job-id>               print result bytes (-counters for the counter dump)
-  cancel  <job-id>               cancel a queued or running job
-  watch   <job-id>               stream progress events (SSE)
-  load    -n N [-spec ...]       submit N identical specs concurrently; verify single-flight
+  submit   -spec JSON | -f FILE   submit a job (add -wait to block and print the result)
+  status   <job-id>               print job status JSON
+  result   <job-id>               print result bytes (-counters for the counter dump)
+  manifest <job-id>               print the job's provenance manifest JSON (-wait to block)
+  trace    <job-id>               print the job's Perfetto timeline JSON (-o FILE to save)
+  cancel   <job-id>               cancel a queued or running job
+  watch    <job-id>               stream progress events (SSE)
+  load     -n N [-spec ...]       submit N identical specs concurrently; verify single-flight
+  metrics                         dump /metrics (Prometheus format; -plain for name/value lines)
+  top                             polling dashboard: queue, cache hit rate, latency quantiles
 `)
 }
 
@@ -283,8 +302,11 @@ func cmdWatch(args []string) error {
 	return sc.Err()
 }
 
+// metric reads one scalar from the daemon's legacy plain exposition
+// (the Prometheus format is the /metrics default since the typed
+// registry landed; scripts keyed on exact names use ?format=plain).
 func metric(name string) (uint64, error) {
-	resp, err := http.Get(base + "/metrics")
+	resp, err := http.Get(base + "/metrics?format=plain")
 	if err != nil {
 		return 0, err
 	}
@@ -318,6 +340,13 @@ func cmdLoad(args []string) error {
 		return err
 	}
 
+	// Per-request latency of this client's own stream (submits and
+	// result fetches), bucketed the same way the daemon buckets its
+	// histograms so the p50/p95/p99 summary matches what a scrape of
+	// service.http_request_duration_us would show for this burst.
+	var lat obs.Histogram
+	observe := func(start time.Time) { lat.Observe(uint64(time.Since(start).Microseconds())) }
+
 	ids := make([]string, *n)
 	errs := make([]error, *n)
 	var wg sync.WaitGroup
@@ -326,7 +355,9 @@ func cmdLoad(args []string) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			t0 := time.Now()
 			st, err := postJob(body)
+			observe(t0)
 			ids[i], errs[i] = st.ID, err
 		}(i)
 	}
@@ -347,7 +378,9 @@ func cmdLoad(args []string) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			t0 := time.Now()
 			results[i], errs[i] = fetchResult(ids[i], "/result", true)
+			observe(t0)
 		}(i)
 	}
 	wg.Wait()
@@ -372,5 +405,13 @@ func cmdLoad(args []string) error {
 	}
 	fmt.Printf("load ok: %d submissions -> job %s, %d execution(s), %d identical bytes each, %.2fs\n",
 		*n, ids[0], delta, len(results[0]), time.Since(start).Seconds())
+	snap := lat.Snapshot()
+	fmt.Printf("request latency (%d requests): p50<=%s p95<=%s p99<=%s\n",
+		snap.Count, fmtUS(snap.Quantile(50)), fmtUS(snap.Quantile(95)), fmtUS(snap.Quantile(99)))
 	return nil
+}
+
+// fmtUS renders a microsecond quantity with a human unit.
+func fmtUS(us uint64) string {
+	return time.Duration(us * uint64(time.Microsecond)).Round(time.Microsecond).String()
 }

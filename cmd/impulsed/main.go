@@ -3,30 +3,41 @@
 // bounded job queue over the shared simulation harness, deduplicates
 // identical in-flight submissions single-flight style, caches results
 // by canonical spec hash, and streams live progress over SSE. See
-// docs/SERVICE.md for the API and cmd/impulsectl for a client.
+// docs/SERVICE.md for the API, docs/OBSERVABILITY.md for metrics,
+// timelines, and manifests, and cmd/impulsectl for a client.
 package main
 
 import (
 	"context"
-	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
+
+	"flag"
 
 	"impulse"
 	"impulse/internal/obs"
 	"impulse/internal/service"
 )
 
+// warnWriter adapts obs.SetWarnOutput's io.Writer contract to the
+// structured logger: each one-shot advisory becomes a WARN record
+// instead of a bare stderr line.
+type warnWriter struct{ log *slog.Logger }
+
+func (w warnWriter) Write(p []byte) (int, error) {
+	w.log.Warn(strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}
+
 func main() {
-	log.SetFlags(log.LstdFlags)
-	log.SetPrefix("impulsed: ")
 	addr := flag.String("addr", "127.0.0.1:7777", "listen address (use :0 for an ephemeral port)")
 	addrFile := flag.String("addr-file", "", "write the actual listen address to this file once bound")
 	queueDepth := flag.Int("queue", 64, "max queued jobs before submissions get 429")
@@ -37,34 +48,61 @@ func main() {
 	traceRecord := flag.String("trace-record", "", "persist recorded traces to this directory")
 	traceReplay := flag.String("trace-replay", "", "load previously persisted traces from this directory")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long graceful shutdown waits for in-flight jobs")
+	slowJob := flag.Duration("slow-job", time.Minute, "warn about jobs whose execution exceeds this (0 disables)")
+	logFormat := flag.String("log-format", "json", "log output format: json or text")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "impulsed: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, hopts)
+	default:
+		fmt.Fprintf(os.Stderr, "impulsed: bad -log-format %q (json|text)\n", *logFormat)
+		os.Exit(2)
+	}
+	log := slog.New(handler)
+	slog.SetDefault(log)
 
 	impulse.SetWorkers(*jobs)
 	impulse.SetTraceCache(*traceCache)
 	impulse.SetTraceRecordDir(*traceRecord)
 	impulse.SetTraceReplayDir(*traceReplay)
 	// Route one-shot advisory notes (e.g. trace-cache ineligibility)
-	// through the daemon log instead of bare stderr.
-	obs.SetWarnOutput(log.Writer())
+	// through the structured log instead of bare stderr. Notes fired
+	// inside a job carry its id (obs.WarnOnceCtx).
+	obs.SetWarnOutput(warnWriter{log})
 
 	svc := service.New(service.Config{
-		QueueDepth: *queueDepth,
-		Executors:  *executors,
-		CacheSize:  *cacheSize,
+		QueueDepth:       *queueDepth,
+		Executors:        *executors,
+		CacheSize:        *cacheSize,
+		Logger:           log,
+		SlowJobThreshold: *slowJob,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		log.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
 	actual := ln.Addr().String()
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(actual+"\n"), 0o644); err != nil {
-			log.Fatal(err)
+			log.Error("writing addr file", "path", *addrFile, "err", err)
+			os.Exit(1)
 		}
 	}
-	log.Printf("listening on http://%s (queue=%d exec=%d cache=%d workers=%d trace-cache=%t)",
-		actual, *queueDepth, *executors, *cacheSize, *jobs, *traceCache)
+	log.Info("listening", "url", "http://"+actual, "queue", *queueDepth, "exec", *executors,
+		"cache", *cacheSize, "workers", *jobs, "trace_cache", *traceCache, "slow_job", slowJob.String())
 
 	srv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)
@@ -74,20 +112,21 @@ func main() {
 	defer stop()
 	select {
 	case err := <-serveErr:
-		log.Fatal(err)
+		log.Error("serve failed", "err", err)
+		os.Exit(1)
 	case <-sigCtx.Done():
 	}
 
-	log.Printf("shutting down: draining in-flight jobs (timeout %s)", *drainTimeout)
+	log.Info("shutting down", "drain_timeout", drainTimeout.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := svc.Drain(drainCtx); err != nil {
-		log.Printf("drain: %v", err)
+		log.Warn("drain", "err", err)
 	}
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		log.Warn("http shutdown", "err", err)
 	}
 	fmt.Fprintln(os.Stderr, "impulsed: bye")
 }

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"impulse/internal/core"
 	"impulse/internal/sim"
@@ -64,6 +65,41 @@ func rowSink(ctx context.Context) func(core.Row) {
 	return sink
 }
 
+// CellEvent describes one grid cell's passage through the trace cache:
+// which reference stream it belongs to (the cell's stream-identity key),
+// how it ran, and its host wall-clock interval. The impulsed service
+// installs an observer per job (WithCellObserver) and turns these into
+// the job's Perfetto timeline and provenance manifest.
+type CellEvent struct {
+	// Key is the cell's reference-stream identity (cellSpec.key).
+	Key string
+	// Mode is how the cell ran: "record" (executed the workload under
+	// the trace recorder), "replay" (replayed a recorded stream), or
+	// "execute" (plain execution: trace cache off or recording failed
+	// over to direct execution).
+	Mode string
+	// Start and End bound the cell's host wall-clock run.
+	Start, End time.Time
+}
+
+// cellObsKey carries a per-invocation cell observer in a context.
+type cellObsKey struct{}
+
+// WithCellObserver returns a context that reports every trace-cache cell
+// run under it to fn. Cells run on pool worker goroutines, concurrently
+// and in no particular order; fn must be safe for that. A nil observer
+// (the CLIs) costs one context lookup per cell — nothing on the
+// simulator's per-access hot path, which never sees contexts.
+func WithCellObserver(ctx context.Context, fn func(CellEvent)) context.Context {
+	return context.WithValue(ctx, cellObsKey{}, fn)
+}
+
+// cellObserver extracts the observer installed by WithCellObserver, or nil.
+func cellObserver(ctx context.Context) func(CellEvent) {
+	fn, _ := ctx.Value(cellObsKey{}).(func(CellEvent))
+	return fn
+}
+
 // TaskCtx is the per-task context handed to every pool task. Systems
 // built through it buffer their observed rows locally; the pool replays
 // them in submission order after the parallel phase, keeping the global
@@ -103,6 +139,10 @@ var fastPathOff bool
 // default. Call during setup, not while an experiment runs; results are
 // identical either way (only host time differs).
 func SetFastPath(on bool) { fastPathOff = !on }
+
+// FastPathEnabled reports whether systems built through a TaskCtx use
+// the fast-path access engine (recorded in job provenance manifests).
+func FastPathEnabled() bool { return !fastPathOff }
 
 // Observe adds a row to the task's buffered row log directly (for tasks
 // that synthesize rows without a System, e.g. trace replays).

@@ -18,12 +18,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"impulse/internal/core"
 	"impulse/internal/obs"
@@ -89,16 +91,28 @@ type cellSpec struct {
 // runCell runs one grid cell through the trace cache: the first cell to
 // claim the key executes exec (recording), every other cell replays the
 // recorded stream under its own opts. With the cache off it simply
-// executes.
+// executes. Each cell's mode and wall-clock interval are reported to the
+// context's cell observer (WithCellObserver), if one is installed.
 func runCell(tc *TaskCtx, spec cellSpec) (core.Row, error) {
+	if observe := cellObserver(tc.Ctx); observe != nil {
+		start := time.Now()
+		row, mode, err := runCellInner(tc, spec)
+		observe(CellEvent{Key: spec.key, Mode: mode, Start: start, End: time.Now()})
+		return row, err
+	}
+	row, _, err := runCellInner(tc, spec)
+	return row, err
+}
+
+func runCellInner(tc *TaskCtx, spec cellSpec) (core.Row, string, error) {
 	if !traceCacheOn {
 		s, err := tc.NewSystem(spec.opts)
 		if err != nil {
-			return core.Row{}, err
+			return core.Row{}, "execute", err
 		}
 		r, err := spec.exec(s)
 		s.ReleaseBuffers()
-		return r, err
+		return r, "execute", err
 	}
 	v, _ := traceCache.LoadOrStore(spec.key, &traceEntry{})
 	ent := v.(*traceEntry)
@@ -129,7 +143,7 @@ func runCell(tc *TaskCtx, spec cellSpec) (core.Row, error) {
 		}
 		ent.data = data
 		row, recorded = r, true
-		persistTrace(spec.key, data)
+		persistTrace(tc.Ctx, spec.key, data)
 	})
 	if ent.err != nil {
 		// Drop the failed entry so a later run (a daemon serves many
@@ -140,35 +154,36 @@ func runCell(tc *TaskCtx, spec cellSpec) (core.Row, error) {
 		traceCache.CompareAndDelete(spec.key, v)
 		// Return the recording cell's error verbatim so the surfaced
 		// error text does not depend on which cell happened to record.
-		return core.Row{}, ent.err
+		return core.Row{}, "record", ent.err
 	}
 	if recorded {
-		return row, nil
+		return row, "record", nil
 	}
 	s, err := tc.NewSystem(spec.opts)
 	if err != nil {
-		return core.Row{}, err
+		return core.Row{}, "replay", err
 	}
 	rows, err := tracefile.ReplayV2(s, ent.data, tracefile.ReplayOpts{MapLabel: spec.relabel})
 	s.ReleaseBuffers()
 	if err != nil {
-		return core.Row{}, fmt.Errorf("harness: trace replay (%s): %w", spec.key, err)
+		return core.Row{}, "replay", fmt.Errorf("harness: trace replay (%s): %w", spec.key, err)
 	}
 	if len(rows) == 0 {
-		return core.Row{}, fmt.Errorf("harness: trace replay (%s): no measured rows", spec.key)
+		return core.Row{}, "replay", fmt.Errorf("harness: trace replay (%s): no measured rows", spec.key)
 	}
-	return rows[len(rows)-1], nil
+	return rows[len(rows)-1], "replay", nil
 }
 
 // noteIneligible reports (once per process per family, via the shared
 // obs.WarnOnce helper) that a sweep family executes every cell because
 // its cells vary the reference stream, not just timing. A daemon
-// serving many jobs logs each note once, not once per job.
-func noteIneligible(family, reason string) {
+// serving many jobs logs each note once, not once per job — attributed
+// to the job that first triggered it when ctx carries a job id.
+func noteIneligible(ctx context.Context, family, reason string) {
 	if !traceCacheOn {
 		return
 	}
-	obs.WarnOnce("trace-cache-ineligible:"+family,
+	obs.WarnOnceCtx(ctx, "trace-cache-ineligible:"+family,
 		"trace-cache: %s: ineligible (%s); executing every cell", family, reason)
 }
 
@@ -213,16 +228,16 @@ func loadPersistedTrace(key string) []byte {
 	return data
 }
 
-func persistTrace(key string, data []byte) {
+func persistTrace(ctx context.Context, key string, data []byte) {
 	if traceRecordDir == "" {
 		return
 	}
 	if err := os.MkdirAll(traceRecordDir, 0o755); err != nil {
-		obs.WarnOnce("trace-record-dir:"+traceRecordDir, "trace-cache: record dir: %v", err)
+		obs.WarnOnceCtx(ctx, "trace-record-dir:"+traceRecordDir, "trace-cache: record dir: %v", err)
 		return
 	}
 	if err := os.WriteFile(tracePath(traceRecordDir, key), data, 0o644); err != nil {
-		obs.WarnOnce("trace-persist:"+traceRecordDir, "trace-cache: persist %s: %v", key, err)
+		obs.WarnOnceCtx(ctx, "trace-persist:"+traceRecordDir, "trace-cache: persist %s: %v", key, err)
 	}
 }
 

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedTrace builds a deterministic timeline: two lifecycle phases, two
+// marks, and three cells of which two overlap (forcing a second lane).
+func fixedTrace() *JobTrace {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	at := func(us int64) time.Time { return base.Add(time.Duration(us) * time.Microsecond) }
+	t := NewJobTrace(base)
+	t.Mark("submitted", at(0))
+	t.Phase("queued", at(0), at(100))
+	t.Phase("running", at(100), at(900))
+	// Deliberately out of order and overlapping: lanes are assigned at
+	// export, not at record time.
+	t.Cell("cg/sg replay", at(400), at(600))
+	t.Cell("cg/conv record", at(150), at(500))
+	t.Cell("cg/recolor replay", at(600), at(800))
+	t.Mark("archived", at(900))
+	return t
+}
+
+func TestJobTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`{"displayTimeUnit":"ms","traceEvents":[`,
+		`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"impulse job"}},`,
+		`{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"job"}},`,
+		`{"ph":"M","pid":1,"tid":1,"name":"thread_sort_index","args":{"sort_index":0}},`,
+		`{"ph":"M","pid":1,"tid":2,"name":"thread_name","args":{"name":"cells #1"}},`,
+		`{"ph":"M","pid":1,"tid":2,"name":"thread_sort_index","args":{"sort_index":1}},`,
+		`{"ph":"M","pid":1,"tid":3,"name":"thread_name","args":{"name":"cells #2"}},`,
+		`{"ph":"M","pid":1,"tid":3,"name":"thread_sort_index","args":{"sort_index":2}},`,
+		`{"ph":"i","pid":1,"tid":1,"ts":0,"s":"t","cat":"job","name":"submitted"},`,
+		`{"ph":"X","pid":1,"tid":1,"ts":0,"dur":100,"cat":"job","name":"queued"},`,
+		`{"ph":"X","pid":1,"tid":1,"ts":100,"dur":800,"cat":"job","name":"running"},`,
+		`{"ph":"i","pid":1,"tid":1,"ts":900,"s":"t","cat":"job","name":"archived"},`,
+		`{"ph":"X","pid":1,"tid":2,"ts":150,"dur":350,"cat":"cell","name":"cg/conv record"},`,
+		`{"ph":"X","pid":1,"tid":3,"ts":400,"dur":200,"cat":"cell","name":"cg/sg replay"},`,
+		`{"ph":"X","pid":1,"tid":2,"ts":600,"dur":200,"cat":"cell","name":"cg/recolor replay"}`,
+		`]}`,
+	}, "\n") + "\n"
+	if buf.String() != want {
+		t.Errorf("job trace JSON:\n%s\nwant:\n%s", buf.String(), want)
+	}
+
+	// Round-trips through encoding/json (valid Perfetto/Chrome input).
+	var doc struct {
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("job trace JSON invalid: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) != 14 {
+		t.Fatalf("decoded %d events, unit %q", len(doc.TraceEvents), doc.DisplayTimeUnit)
+	}
+
+	// Deterministic regardless of recording interleaving: same spans,
+	// different insertion order, identical bytes.
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	at := func(us int64) time.Time { return base.Add(time.Duration(us) * time.Microsecond) }
+	tr := NewJobTrace(base)
+	tr.Mark("submitted", at(0))
+	tr.Cell("cg/recolor replay", at(600), at(800))
+	tr.Cell("cg/conv record", at(150), at(500))
+	tr.Cell("cg/sg replay", at(400), at(600))
+	tr.Phase("running", at(100), at(900))
+	tr.Phase("queued", at(0), at(100))
+	tr.Mark("archived", at(900))
+	var again bytes.Buffer
+	if err := tr.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != buf.String() {
+		t.Errorf("job trace depends on recording order:\n%s\nvs:\n%s", again.String(), buf.String())
+	}
+}
+
+func TestJobTraceNilSafe(t *testing.T) {
+	var tr *JobTrace
+	tr.Mark("x", time.Now())
+	tr.Phase("x", time.Now(), time.Now())
+	tr.Cell("x", time.Now(), time.Now())
+	if err := tr.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Error("nil JobTrace WriteJSON should error")
+	}
+}
+
+func TestJobTraceClampsPreBaseTimes(t *testing.T) {
+	base := time.Now()
+	tr := NewJobTrace(base)
+	tr.Phase("weird", base.Add(-time.Second), base.Add(time.Millisecond))
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"ts":-`) {
+		t.Errorf("negative timestamp leaked:\n%s", buf.String())
+	}
+}

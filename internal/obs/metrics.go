@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// HistBuckets is the number of power-of-two histogram buckets. Bucket i
+// holds observations in [2^i, 2^(i+1)) — the same scheme
+// internal/stats.LatencyHist uses for simulated load latencies (it calls
+// BucketIndex below) — but with enough buckets that a value in
+// microseconds spans one host microsecond to ~35 host minutes, which
+// covers everything the service measures, from a cache-hit HTTP round
+// trip to a full-geometry Table 1 run.
+const HistBuckets = 32
+
+// BucketIndex returns the power-of-two bucket for v among n buckets:
+// bucket i holds [2^i, 2^(i+1)), bucket 0 also holds 0, and the last
+// bucket is open-ended.
+func BucketIndex(v uint64, n int) int {
+	i := 0
+	if v > 0 {
+		i = bits.Len64(v) - 1
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// BucketBound returns the inclusive upper bound of bucket i (2^(i+1)-1),
+// i.e. the Prometheus `le` value for the bucket.
+func BucketBound(i int) uint64 { return 1<<(i+1) - 1 }
+
+// Histogram is a concurrency-safe power-of-two-bucketed histogram for
+// service-side latencies (the simulator core keeps using
+// stats.LatencyHist, which is single-threaded like the machine it
+// measures). All methods are nil-safe. Units are whatever the caller
+// observes; the service observes microseconds and says so in the metric
+// name.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[BucketIndex(v, HistBuckets)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram. Buckets, Count,
+// and Sum are read individually (not atomically as a set), which is fine
+// for monitoring: a scrape races with observations by design.
+type HistSnapshot struct {
+	Buckets [HistBuckets]uint64
+	Count   uint64
+	Sum     uint64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Quantile returns an upper bound for the p-th percentile (0 < p <=
+// 100): the top of the bucket containing that rank, mirroring
+// stats.LatencyHist.Percentile.
+func (s HistSnapshot) Quantile(p float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(p / 100 * float64(s.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < HistBuckets; i++ {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(HistBuckets - 1)
+}
+
+// HistVec is a family of Histograms sharing one name and differing in
+// the value of a single label (the service labels job histograms by spec
+// kind and HTTP histograms by endpoint). Children are created lazily on
+// first With and registered with the owning Registry, so only label
+// values that actually occur appear in the exposition.
+type HistVec struct {
+	reg   *Registry
+	name  string
+	help  string
+	label string
+
+	mu       sync.Mutex
+	children map[string]*Histogram
+}
+
+// With returns the child histogram for the given label value, creating
+// and registering it on first use. Nil-safe: a nil vec returns nil,
+// whose Observe is itself a no-op.
+func (v *HistVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h := v.children[value]; h != nil {
+		return h
+	}
+	if v.children == nil {
+		v.children = make(map[string]*Histogram)
+	}
+	h := &Histogram{}
+	v.children[value] = h
+	v.reg.register(entry{
+		name: v.name, help: v.help, kind: kindHistogram,
+		labelKey: v.label, labelVal: value, hist: h,
+	})
+	return h
+}

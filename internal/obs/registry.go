@@ -4,67 +4,297 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
+	"sync"
 )
 
-// Registry is a named counter/gauge registry with expvar-style text
-// exposition: one "name value" line per entry, sorted by name. Counters
-// are registered as *uint64 and read at dump time, so live simulator
-// counters (MemStats fields, timeline.Resource accounting, controller
-// descriptor activity) cost nothing between dumps. The zero value is
-// ready to use; all methods are nil-safe so unobserved components can
-// register unconditionally.
+// Registry is a named metric registry with two text expositions: the
+// legacy expvar-style "name value" dump (WriteText) and Prometheus text
+// exposition format v0.0.4 (WritePrometheus), with typed # TYPE/# HELP
+// metadata and _bucket/_sum/_count histogram series. Counters are
+// registered as *uint64 (or a func) and read at dump time, so live
+// simulator counters (MemStats fields, timeline.Resource accounting,
+// controller descriptor activity) cost nothing between dumps. The zero
+// value is ready to use; all methods are nil-safe so unobserved
+// components can register unconditionally, and registration/read are
+// safe for concurrent use (the impulsed service registers labeled
+// histogram children while scrapes are in flight).
 type Registry struct {
-	names []string
-	fns   map[string]func() uint64
+	mu      sync.Mutex
+	entries []entry
+	index   map[string]int // name+"\xff"+labelVal -> entries slot
 }
 
-// Counter registers a live counter by pointer. Registering a name twice
-// replaces the earlier entry (the newest machine wins).
+type metricKind uint8
+
+const (
+	kindUntyped metricKind = iota
+	kindCounter
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// entry is one registered series: a scalar read through fn, or a
+// histogram. labelKey/labelVal carry at most one label pair (all the
+// service needs; the zero value means unlabeled).
+type entry struct {
+	name     string
+	help     string
+	kind     metricKind
+	labelKey string
+	labelVal string
+	fn       func() uint64
+	hist     *Histogram
+}
+
+func (e *entry) key() string { return e.name + "\xff" + e.labelVal }
+
+// register inserts or replaces an entry (the newest machine wins,
+// preserving the original Counter/Gauge replacement semantics).
+func (r *Registry) register(e entry) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.index == nil {
+		r.index = make(map[string]int)
+	}
+	if i, seen := r.index[e.key()]; seen {
+		r.entries[i] = e
+		return
+	}
+	r.index[e.key()] = len(r.entries)
+	r.entries = append(r.entries, e)
+}
+
+// Counter registers a live monotonic counter by pointer. Registering a
+// name twice replaces the earlier entry (the newest machine wins).
 func (r *Registry) Counter(name string, p *uint64) {
-	r.Gauge(name, func() uint64 { return *p })
+	r.register(entry{name: name, kind: kindCounter, fn: func() uint64 { return *p }})
 }
 
 // Gauge registers a computed value.
 func (r *Registry) Gauge(name string, fn func() uint64) {
-	if r == nil {
-		return
-	}
-	if r.fns == nil {
-		r.fns = make(map[string]func() uint64)
-	}
-	if _, seen := r.fns[name]; !seen {
-		r.names = append(r.names, name)
-	}
-	r.fns[name] = fn
+	r.register(entry{name: name, kind: kindGauge, fn: fn})
 }
 
-// Value reads one entry.
+// CounterFunc registers a computed monotonic counter with help text for
+// the Prometheus exposition.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.register(entry{name: name, help: help, kind: kindCounter, fn: fn})
+}
+
+// GaugeFunc registers a computed gauge with help text.
+func (r *Registry) GaugeFunc(name, help string, fn func() uint64) {
+	r.register(entry{name: name, help: help, kind: kindGauge, fn: fn})
+}
+
+// Histogram creates and registers an unlabeled histogram. A nil
+// Registry returns nil (whose Observe is a no-op).
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := &Histogram{}
+	r.register(entry{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// HistogramVec creates a labeled histogram family; children are created
+// by With and registered on first use.
+func (r *Registry) HistogramVec(name, help, label string) *HistVec {
+	if r == nil {
+		return nil
+	}
+	return &HistVec{reg: r, name: name, help: help, label: label}
+}
+
+// Value reads one scalar entry (unlabeled counters and gauges).
 func (r *Registry) Value(name string) (uint64, bool) {
-	if r == nil || r.fns[name] == nil {
+	if r == nil {
 		return 0, false
 	}
-	return r.fns[name](), true
+	r.mu.Lock()
+	i, ok := r.index[name+"\xff"]
+	var fn func() uint64
+	if ok {
+		fn = r.entries[i].fn
+	}
+	r.mu.Unlock()
+	if fn == nil {
+		return 0, false
+	}
+	return fn(), true
 }
 
-// Len returns the number of registered entries.
+// Len returns the number of registered series.
 func (r *Registry) Len() int {
 	if r == nil {
 		return 0
 	}
-	return len(r.names)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
 }
 
-// WriteText dumps every entry as "name value\n", sorted by name.
+// snapshot copies the entry table so rendering never holds the lock
+// while calling reader funcs.
+func (r *Registry) snapshot() []entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]entry(nil), r.entries...)
+}
+
+// labels renders the entry's label pair as {k="v"}, or "".
+func (e *entry) labels() string {
+	if e.labelKey == "" {
+		return ""
+	}
+	return "{" + e.labelKey + `="` + escapeLabel(e.labelVal) + `"}`
+}
+
+// WriteText dumps every series as "name value\n", sorted by name — the
+// legacy format the CLIs' -counters output and the per-job counter dumps
+// are pinned to. Scalars render exactly as before; a histogram
+// contributes "<name>_count" and "<name>_sum" lines (with its label pair
+// inline) so the plain format stays one value per line.
 func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	names := append([]string(nil), r.names...)
-	sort.Strings(names)
-	for _, n := range names {
-		if _, err := fmt.Fprintf(w, "%s %d\n", n, r.fns[n]()); err != nil {
+	entries := r.snapshot()
+	lines := make([]string, 0, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		if e.kind == kindHistogram {
+			s := e.hist.Snapshot()
+			lines = append(lines,
+				fmt.Sprintf("%s_count%s %d", e.name, e.labels(), s.Count),
+				fmt.Sprintf("%s_sum%s %d", e.name, e.labels(), s.Sum))
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%s%s %d", e.name, e.labels(), e.fn()))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := io.WriteString(w, l+"\n"); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// promName maps a registry name to a legal Prometheus metric name:
+// every character outside [a-zA-Z0-9_:] becomes '_' (the registry's
+// dotted names like "service.jobs_done" turn into
+// "service_jobs_done").
+func promName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format v0.0.4: families sorted by metric name, one # HELP (when help
+// text was registered) and # TYPE line per family, series within a
+// family sorted by label value, histograms as cumulative _bucket series
+// with power-of-two `le` bounds plus _sum and _count. Output is
+// deterministic: same registry state, same bytes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	entries := r.snapshot()
+
+	type family struct {
+		name   string
+		help   string
+		kind   metricKind
+		series []*entry
+	}
+	fams := make(map[string]*family)
+	order := []string{}
+	for i := range entries {
+		e := &entries[i]
+		pn := promName(e.name)
+		f := fams[pn]
+		if f == nil {
+			f = &family{name: pn, help: e.help, kind: e.kind}
+			fams[pn] = f
+			order = append(order, pn)
+		}
+		if f.help == "" {
+			f.help = e.help
+		}
+		f.series = append(f.series, e)
+	}
+	sort.Strings(order)
+
+	var b strings.Builder
+	for _, pn := range order {
+		f := fams[pn]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labelVal < f.series[j].labelVal })
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, e := range f.series {
+			if e.kind != kindHistogram {
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, e.labels(), e.fn())
+				continue
+			}
+			s := e.hist.Snapshot()
+			var cum uint64
+			for i := 0; i < HistBuckets-1; i++ {
+				cum += s.Buckets[i]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, bucketLabels(e, fmt.Sprint(BucketBound(i))), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, bucketLabels(e, "+Inf"), s.Count)
+			fmt.Fprintf(&b, "%s_sum%s %d\n", f.name, e.labels(), s.Sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", f.name, e.labels(), s.Count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// bucketLabels renders a histogram bucket's label set: the entry's own
+// label pair (if any) plus le.
+func bucketLabels(e *entry, le string) string {
+	if e.labelKey == "" {
+		return `{le="` + le + `"}`
+	}
+	return "{" + e.labelKey + `="` + escapeLabel(e.labelVal) + `",le="` + le + `"}`
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -48,4 +49,34 @@ func ResetWarnings() {
 	warnMu.Lock()
 	defer warnMu.Unlock()
 	warnSeen = make(map[string]bool)
+}
+
+// jobIDKey carries the owning service job's id in a context, so
+// advisories fired deep inside the harness while a daemon job runs can
+// be attributed to that job in fleet logs.
+type jobIDKey struct{}
+
+// WithJobID tags ctx with a service job id. The impulsed service tags
+// every job's execution context; WarnOnceCtx (and anything else that
+// calls JobID) picks it up.
+func WithJobID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, jobIDKey{}, id)
+}
+
+// JobID returns the service job id carried by ctx, or "" outside a
+// service job.
+func JobID(ctx context.Context) string {
+	id, _ := ctx.Value(jobIDKey{}).(string)
+	return id
+}
+
+// WarnOnceCtx is WarnOnce with job attribution: when ctx carries a job
+// id (WithJobID), the message is suffixed with " [job <id>]". The
+// dedup key is unchanged — an advisory still fires once per process,
+// attributed to the first job that triggered it.
+func WarnOnceCtx(ctx context.Context, key, format string, args ...any) {
+	if id := JobID(ctx); id != "" {
+		format += " [job " + id + "]"
+	}
+	WarnOnce(key, format, args...)
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -27,6 +28,31 @@ func TestWarnOnce(t *testing.T) {
 	WarnOnce("k1", "again")
 	if !strings.HasSuffix(buf.String(), "again\n") {
 		t.Errorf("after reset, warning not re-emitted: %q", buf.String())
+	}
+}
+
+func TestWarnOnceCtxTagsJobID(t *testing.T) {
+	var buf bytes.Buffer
+	SetWarnOutput(&buf)
+	defer SetWarnOutput(nil)
+	ResetWarnings()
+	defer ResetWarnings()
+
+	// Inside a service job: the message carries the job id.
+	ctx := WithJobID(context.Background(), "j-000042")
+	WarnOnceCtx(ctx, "ka", "family %s ineligible", "ipc")
+	// Outside a job: plain message, no suffix.
+	WarnOnceCtx(context.Background(), "kb", "plain note")
+	// Same key from another job: still deduplicated (once per process).
+	WarnOnceCtx(WithJobID(context.Background(), "j-000043"), "ka", "family %s ineligible", "ipc")
+
+	got := buf.String()
+	want := "family ipc ineligible [job j-000042]\nplain note\n"
+	if got != want {
+		t.Errorf("warnings = %q, want %q", got, want)
+	}
+	if JobID(ctx) != "j-000042" || JobID(context.Background()) != "" {
+		t.Error("JobID extraction wrong")
 	}
 }
 

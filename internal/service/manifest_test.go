@@ -1,0 +1,200 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestManifestAndTraceEndpoints drives a stubbed job through its
+// lifecycle and checks the provenance manifest and Perfetto timeline it
+// leaves behind: field content, JSON round-trip stability, and the HTTP
+// surfaces serving them.
+func TestManifestAndTraceEndpoints(t *testing.T) {
+	stub := newStub()
+	s := New(Config{QueueDepth: 4, Executors: 1})
+	s.executeFn = stub.fn
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postSpec(t, ts, `{"kind":"sim","workload":"diag","n":512}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s %s", resp.Status, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	<-stub.started
+
+	// Manifest of a pending job: 202 + Retry-After.
+	mr, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, mr.Body)
+	mr.Body.Close()
+	if mr.StatusCode != http.StatusAccepted || mr.Header.Get("Retry-After") == "" {
+		t.Fatalf("pending manifest: %s", mr.Status)
+	}
+
+	// A duplicate submission while running leaves a dedup mark on the
+	// shared job's timeline.
+	postSpec(t, ts, `{"kind":"sim","workload":"diag","n":512}`)
+
+	close(stub.release)
+	mr2, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/manifest?wait=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mr2.Body)
+	mr2.Body.Close()
+	if mr2.StatusCode != http.StatusOK {
+		t.Fatalf("manifest: %s %s", mr2.Status, mb)
+	}
+	var m Manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		t.Fatalf("manifest JSON invalid: %v\n%s", err, mb)
+	}
+	wantDigest := sha256.Sum256([]byte("stub output\n"))
+	switch {
+	case m.JobID != st.ID:
+		t.Errorf("manifest job id = %q, want %q", m.JobID, st.ID)
+	case m.State != StateDone:
+		t.Errorf("manifest state = %q", m.State)
+	case m.SpecHash != st.Hash || m.Canonical != m.Spec.Canonical():
+		t.Errorf("manifest hash/canonical mismatch: %+v", m)
+	case m.RunUS <= 0 || m.QueueWaitUS < 0:
+		t.Errorf("manifest timings: queue=%d run=%d", m.QueueWaitUS, m.RunUS)
+	case m.ResultDigest != hex.EncodeToString(wantDigest[:]):
+		t.Errorf("result digest = %q", m.ResultDigest)
+	case m.OutputBytes != len("stub output\n"):
+		t.Errorf("output bytes = %d", m.OutputBytes)
+	case m.Build.GoVersion == "":
+		t.Error("manifest missing go version")
+	case m.Workers < 1:
+		t.Errorf("manifest workers = %d", m.Workers)
+	}
+	if m.SubmittedAt.IsZero() || m.StartedAt.IsZero() || m.FinishedAt.IsZero() {
+		t.Errorf("manifest timestamps not set: %+v", m)
+	}
+
+	// Round-trip: unmarshal → marshal reproduces the same document
+	// (stable field order and no lossy types).
+	remb, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m2 Manifest
+	if err := json.Unmarshal(remb, &m2); err != nil {
+		t.Fatal(err)
+	}
+	remb2, _ := json.Marshal(&m2)
+	if string(remb) != string(remb2) {
+		t.Errorf("manifest does not round-trip:\n%s\nvs\n%s", remb, remb2)
+	}
+
+	// Timeline: valid trace-event JSON with the lifecycle on the job
+	// track, including the dedup instant.
+	tr, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := io.ReadAll(tr.Body)
+	tct := tr.Header.Get("Content-Type")
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusOK || tct != "application/json" {
+		t.Fatalf("trace: %s %q", tr.Status, tct)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tb, &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v\n%s", err, tb)
+	}
+	seen := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		seen[ev.Name] = true
+	}
+	for _, want := range []string{"submitted", "queued", "running", "archived", "dedup"} {
+		if !seen[want] {
+			t.Errorf("trace missing %q event:\n%s", want, tb)
+		}
+	}
+
+	// Job histograms populated: one diag job through queue-wait and
+	// run-duration, labeled by kind.
+	pb := httpGet(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`service_job_queue_wait_us_count{kind="sim"} 1`,
+		`service_job_run_duration_us_count{kind="sim"} 1`,
+	} {
+		if !strings.Contains(pb, want) {
+			t.Errorf("metrics missing %q:\n%s", want, pb)
+		}
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}
+
+// TestManifestCancelledWhileQueued: a job that never ran still gets a
+// manifest (zero run time, no result digests) and a coherent timeline.
+func TestManifestCancelledWhileQueued(t *testing.T) {
+	stub := newStub()
+	s := New(Config{QueueDepth: 4, Executors: 1})
+	s.executeFn = stub.fn
+	defer s.Close()
+
+	// First job occupies the single executor; the second stays queued.
+	j1, _, err := s.Submit(diagSpec(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-stub.started
+	j2, _, err := s.Submit(diagSpec(513))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(j2.ID); err != nil {
+		t.Fatal(err)
+	}
+	<-j2.Done()
+	m := j2.Manifest()
+	if m == nil {
+		t.Fatal("cancelled job has no manifest")
+	}
+	if m.State != StateCancelled || m.RunUS != 0 || m.ResultDigest != "" {
+		t.Errorf("cancelled manifest: %+v", m)
+	}
+	if !m.StartedAt.IsZero() {
+		t.Errorf("cancelled-while-queued job has started_at %v", m.StartedAt)
+	}
+	close(stub.release)
+	select {
+	case <-j1.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("job 1 did not finish")
+	}
+	if j1.Manifest() == nil {
+		t.Error("finished job has no manifest")
+	}
+}

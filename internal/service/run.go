@@ -4,12 +4,28 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"time"
 
 	"impulse/internal/core"
 	"impulse/internal/harness"
 	"impulse/internal/obs"
 	"impulse/internal/workloads"
 )
+
+// jobTraceKey carries the owning job's timeline through Execute, so the
+// render phase (grid → bytes) shows up on the job track. Nil outside the
+// service (direct Execute calls, CLIs); every JobTrace method is
+// nil-safe.
+type jobTraceKey struct{}
+
+func withJobTrace(ctx context.Context, t *obs.JobTrace) context.Context {
+	return context.WithValue(ctx, jobTraceKey{}, t)
+}
+
+func jobTraceFrom(ctx context.Context) *obs.JobTrace {
+	t, _ := ctx.Value(jobTraceKey{}).(*obs.JobTrace)
+	return t
+}
 
 // Result is a finished job's payload: the experiment's rendered output
 // (byte-identical to the equivalent CLI invocation) plus the counter
@@ -34,20 +50,15 @@ func Execute(ctx context.Context, spec Spec, progress harness.Progress) (*Result
 	var out bytes.Buffer
 	mime := "text/plain; charset=utf-8"
 	var err error
+	var grid *harness.Grid // set by the table kinds; rendered below
 	switch spec.Kind {
 	case "table1":
 		par := workloads.CGParams{N: spec.N, Nonzer: spec.Nonzer, Niter: spec.Niter,
 			CGIts: spec.CGIts, Shift: spec.Shift, RCond: spec.RCond}
-		var g *harness.Grid
-		if g, err = harness.Table1(ctx, par, progress); err == nil {
-			mime, err = writeGrid(&out, g, spec.Format)
-		}
+		grid, err = harness.Table1(ctx, par, progress)
 	case "table2":
 		par := workloads.MMPParams{N: spec.N, Tile: spec.Tile}
-		var g *harness.Grid
-		if g, err = harness.Table2(ctx, par, progress); err == nil {
-			mime, err = writeGrid(&out, g, spec.Format)
-		}
+		grid, err = harness.Table2(ctx, par, progress)
 	case "figure1":
 		err = harness.Figure1(ctx, spec.Dim, spec.Sweeps, &out)
 	case "sweep":
@@ -56,6 +67,11 @@ func Execute(ctx context.Context, spec Spec, progress harness.Progress) (*Result
 		err = runSim(ctx, spec, &out, collect)
 	default:
 		err = fmt.Errorf("unknown kind %q", spec.Kind)
+	}
+	if err == nil && grid != nil {
+		renderStart := time.Now()
+		mime, err = writeGrid(&out, grid, spec.Format)
+		jobTraceFrom(ctx).Phase("render", renderStart, time.Now())
 	}
 	if err != nil {
 		return nil, err

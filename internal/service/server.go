@@ -19,22 +19,42 @@ import (
 //	GET  /v1/jobs/{id}           job status
 //	GET  /v1/jobs/{id}/result    result bytes (202 + Retry-After while pending; ?wait=30s long-polls)
 //	GET  /v1/jobs/{id}/counters  the job's counter-registry dump
+//	GET  /v1/jobs/{id}/trace     the job's Perfetto/Chrome timeline JSON
+//	GET  /v1/jobs/{id}/manifest  the job's provenance manifest (202 while pending; ?wait long-polls)
 //	POST /v1/jobs/{id}/cancel    cancel a queued or running job
 //	GET  /v1/jobs/{id}/events    live progress (Server-Sent Events)
 //	GET  /healthz                liveness + drain state
-//	GET  /metrics                counter registry, "name value" text
+//	GET  /metrics                Prometheus text exposition (?format=plain for "name value" lines)
 //	GET  /debug/pprof/           Go runtime profiles (see docs/PERF.md)
+//
+// Every non-pprof endpoint is instrumented: request latency lands in the
+// service.http_request_duration_us histogram labeled by endpoint, and
+// service.http_in_flight counts requests being served.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /v1/jobs/{id}/counters", s.handleCounters)
-	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.Handle("GET /metrics", obs.MetricsHandler(&s.reg))
+	route := func(pattern, endpoint string, h http.HandlerFunc) {
+		hist := s.hHTTP.With(endpoint)
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			s.gHTTPInFlight.Add(1)
+			start := time.Now()
+			defer func() {
+				s.gHTTPInFlight.Add(^uint64(0))
+				hist.Observe(uint64(time.Since(start).Microseconds()))
+			}()
+			h(w, r)
+		})
+	}
+	route("POST /v1/jobs", "submit", s.handleSubmit)
+	route("GET /v1/jobs", "list", s.handleList)
+	route("GET /v1/jobs/{id}", "status", s.handleStatus)
+	route("GET /v1/jobs/{id}/result", "result", s.handleResult)
+	route("GET /v1/jobs/{id}/counters", "counters", s.handleCounters)
+	route("GET /v1/jobs/{id}/trace", "trace", s.handleTrace)
+	route("GET /v1/jobs/{id}/manifest", "manifest", s.handleManifest)
+	route("POST /v1/jobs/{id}/cancel", "cancel", s.handleCancel)
+	route("GET /v1/jobs/{id}/events", "events", s.handleEvents)
+	route("GET /healthz", "healthz", s.handleHealthz)
+	route("GET /metrics", "metrics", obs.MetricsHandler(&s.reg).ServeHTTP)
 	// Profiling endpoints: the daemon is where long sweeps run, so being
 	// able to grab a CPU or heap profile from a live instance is how the
 	// fast-path work in internal/sim gets found and verified.
@@ -185,6 +205,39 @@ func (s *Service) handleCounters(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = w.Write(res.Counters)
+}
+
+// handleTrace serves the job's Perfetto/Chrome trace-event timeline.
+// Always available (a running job yields its timeline so far); load the
+// JSON in ui.perfetto.dev or chrome://tracing.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Impulse-Job", j.ID)
+	_ = j.Trace().WriteJSON(w)
+}
+
+// handleManifest serves the job's provenance manifest; like /result it
+// answers 202 + Retry-After while the job is pending (?wait long-polls).
+func (s *Service) handleManifest(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	if !waitFor(j, r) {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusAccepted, j.Status())
+		return
+	}
+	m := j.Manifest()
+	if m == nil {
+		writeError(w, http.StatusInternalServerError, "job %s has no manifest", j.ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {

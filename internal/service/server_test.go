@@ -226,20 +226,47 @@ func TestHTTPMetricsAndHealthz(t *testing.T) {
 		t.Fatalf("healthz: %s %s", hr.Status, hb)
 	}
 
+	// Default exposition is Prometheus: typed families, sanitized names.
 	mr, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
 	mb, _ := io.ReadAll(mr.Body)
+	ct := mr.Header.Get("Content-Type")
 	mr.Body.Close()
+	if ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE service_jobs_submitted counter",
+		"# TYPE service_jobs_running gauge",
+		"# TYPE service_http_request_duration_us histogram",
+		"service_jobs_submitted 0",
+		"service_jobs_executed 0",
+		"service_queue_capacity 7",
+		"service_executors 3",
+		`service_http_request_duration_us_bucket{endpoint="healthz",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metrics missing %q:\n%s", want, mb)
+		}
+	}
+
+	// The legacy plain dump stays available for scripts and impulsectl.
+	pr, err := http.Get(ts.URL + "/metrics?format=plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _ := io.ReadAll(pr.Body)
+	pr.Body.Close()
 	for _, want := range []string{
 		"service.jobs_submitted 0",
 		"service.jobs_executed 0",
 		"service.queue_capacity 7",
 		"service.executors 3",
 	} {
-		if !strings.Contains(string(mb), want) {
-			t.Errorf("metrics missing %q:\n%s", want, mb)
+		if !strings.Contains(string(pb), want) {
+			t.Errorf("plain metrics missing %q:\n%s", want, pb)
 		}
 	}
 }
@@ -360,6 +387,29 @@ func TestDifferentialEligibleFamily(t *testing.T) {
 	cr.Body.Close()
 	if !bytes.Equal(gotCtr, wantCtr) {
 		t.Errorf("service counters differ from direct run (%d vs %d bytes)", len(gotCtr), len(wantCtr))
+	}
+
+	// Provenance: Table 1 is 3 sections x 4 prefetch columns sharing one
+	// stream per section — the manifest must show 3 recordings and 9
+	// replays, every cell timed.
+	mrr, err := http.Get(ts.URL + "/v1/jobs/" + ids[0] + "/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mBody, _ := io.ReadAll(mrr.Body)
+	mrr.Body.Close()
+	var man Manifest
+	if err := json.Unmarshal(mBody, &man); err != nil {
+		t.Fatalf("manifest: %v\n%s", err, mBody)
+	}
+	if man.CellsRecorded != 3 || man.CellsReplayed != 9 || man.CellsExecuted != 0 || len(man.Cells) != 12 {
+		t.Errorf("manifest cells: recorded=%d replayed=%d executed=%d total=%d, want 3/9/0/12",
+			man.CellsRecorded, man.CellsReplayed, man.CellsExecuted, len(man.Cells))
+	}
+	for _, c := range man.Cells {
+		if c.DurationUS < 0 || c.Key == "" {
+			t.Errorf("bad cell manifest entry: %+v", c)
+		}
 	}
 }
 

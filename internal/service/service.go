@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +59,14 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+
+	// Observability: the job's Perfetto timeline (trace is internally
+	// locked, so Mark/Phase/Cell never take j.mu), the raw cell events
+	// feeding the manifest, and the manifest itself (built once, at
+	// finish).
+	trace    *obs.JobTrace
+	cells    []harness.CellEvent
+	manifest *Manifest
 }
 
 // JobStatus is the wire form of a job's state.
@@ -100,6 +110,28 @@ func (j *Job) Result() *Result {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.result
+}
+
+// Trace returns the job's Perfetto timeline. Never nil for jobs created
+// by Submit; safe to render at any point in the lifecycle (a running
+// job yields its timeline so far).
+func (j *Job) Trace() *obs.JobTrace { return j.trace }
+
+// Manifest returns the job's provenance manifest, or nil while the job
+// is still queued or running (manifests describe finished work).
+func (j *Job) Manifest() *Manifest {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.manifest
+}
+
+// observeCell records one harness cell event against the job (timeline
+// lane + manifest row). Called concurrently from pool workers.
+func (j *Job) observeCell(ev harness.CellEvent) {
+	j.trace.Cell(ev.Key+" "+ev.Mode, ev.Start, ev.End)
+	j.mu.Lock()
+	j.cells = append(j.cells, ev)
+	j.mu.Unlock()
 }
 
 // emit appends an event and fans it out to subscribers. Slow consumers
@@ -194,6 +226,13 @@ type Config struct {
 	// CacheSize bounds the LRU of completed jobs kept for result reuse
 	// and status queries (default 128).
 	CacheSize int
+	// Logger receives structured job-lifecycle logs (started, finished,
+	// slow-job warnings). Nil discards them — library users and most
+	// tests; impulsed wires its process logger in.
+	Logger *slog.Logger
+	// SlowJobThreshold flags jobs whose execution (not queue wait)
+	// exceeds it with a WARN log line. Zero disables the check.
+	SlowJobThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -230,10 +269,17 @@ type Service struct {
 
 	// Counters, exported through Registry(). cExecuted counts actual
 	// harness executions — the single-flight tests pin it.
-	cSubmitted, cDeduped, cCacheHit, cExecuted atomic.Uint64
-	cDone, cFailed, cCancelled, cRejected      atomic.Uint64
-	gRunning                                   atomic.Uint64
-	reg                                        obs.Registry
+	cSubmitted, cDeduped, cCacheHit, cCacheMiss, cExecuted atomic.Uint64
+	cDone, cFailed, cCancelled, cRejected                  atomic.Uint64
+	gRunning, gHTTPInFlight                                atomic.Uint64
+	reg                                                    obs.Registry
+
+	// Latency histograms (microseconds): queue wait and execution
+	// duration labeled by spec kind, HTTP request duration labeled by
+	// endpoint.
+	hQueueWait, hRunDur, hHTTP *obs.HistVec
+
+	logger *slog.Logger
 
 	// executeFn indirection lets tests substitute a controllable
 	// executor; production always uses Execute.
@@ -256,6 +302,10 @@ func New(cfg Config) *Service {
 		baseCancel: cancel,
 		start:      time.Now(),
 		executeFn:  Execute,
+		logger:     cfg.Logger,
+	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s.registerMetrics()
 	s.execWG.Add(cfg.Executors)
@@ -267,26 +317,31 @@ func New(cfg Config) *Service {
 
 func (s *Service) registerMetrics() {
 	u := func(c *atomic.Uint64) func() uint64 { return c.Load }
-	s.reg.Gauge("service.jobs_submitted", u(&s.cSubmitted))
-	s.reg.Gauge("service.jobs_deduped", u(&s.cDeduped))
-	s.reg.Gauge("service.jobs_cache_hits", u(&s.cCacheHit))
-	s.reg.Gauge("service.jobs_executed", u(&s.cExecuted))
-	s.reg.Gauge("service.jobs_done", u(&s.cDone))
-	s.reg.Gauge("service.jobs_failed", u(&s.cFailed))
-	s.reg.Gauge("service.jobs_cancelled", u(&s.cCancelled))
-	s.reg.Gauge("service.jobs_rejected_queue_full", u(&s.cRejected))
-	s.reg.Gauge("service.jobs_running", u(&s.gRunning))
-	s.reg.Gauge("service.queue_depth", func() uint64 { return uint64(len(s.queue)) })
-	s.reg.Gauge("service.queue_capacity", func() uint64 { return uint64(s.cfg.QueueDepth) })
-	s.reg.Gauge("service.executors", func() uint64 { return uint64(s.cfg.Executors) })
-	s.reg.Gauge("service.harness_workers", func() uint64 { return uint64(harness.Workers()) })
-	s.reg.Gauge("service.trace_cache_enabled", func() uint64 {
+	s.reg.CounterFunc("service.jobs_submitted", "Total job submissions, including deduped and cache-hit ones.", u(&s.cSubmitted))
+	s.reg.CounterFunc("service.jobs_deduped", "Submissions coalesced single-flight onto a queued or running job.", u(&s.cDeduped))
+	s.reg.CounterFunc("service.jobs_cache_hits", "Submissions answered from the completed-result cache.", u(&s.cCacheHit))
+	s.reg.CounterFunc("service.jobs_cache_miss", "Submissions that enqueued a new job (no in-flight or cached twin).", u(&s.cCacheMiss))
+	s.reg.CounterFunc("service.jobs_executed", "Jobs that actually ran on the harness (the single-flight invariant pins this).", u(&s.cExecuted))
+	s.reg.CounterFunc("service.jobs_done", "Jobs finished successfully.", u(&s.cDone))
+	s.reg.CounterFunc("service.jobs_failed", "Jobs finished with an error.", u(&s.cFailed))
+	s.reg.CounterFunc("service.jobs_cancelled", "Jobs cancelled while queued or running.", u(&s.cCancelled))
+	s.reg.CounterFunc("service.jobs_rejected_queue_full", "Submissions rejected with 429 because the queue was full.", u(&s.cRejected))
+	s.reg.GaugeFunc("service.jobs_running", "Jobs currently executing.", u(&s.gRunning))
+	s.reg.GaugeFunc("service.http_in_flight", "HTTP requests currently being served.", u(&s.gHTTPInFlight))
+	s.reg.GaugeFunc("service.queue_depth", "Jobs waiting in the bounded queue.", func() uint64 { return uint64(len(s.queue)) })
+	s.reg.GaugeFunc("service.queue_capacity", "Configured queue bound.", func() uint64 { return uint64(s.cfg.QueueDepth) })
+	s.reg.GaugeFunc("service.executors", "Configured executor goroutines.", func() uint64 { return uint64(s.cfg.Executors) })
+	s.reg.GaugeFunc("service.harness_workers", "Harness worker-pool width shared by all jobs.", func() uint64 { return uint64(harness.Workers()) })
+	s.reg.GaugeFunc("service.trace_cache_enabled", "1 when the harness trace cache is on.", func() uint64 {
 		if harness.TraceCacheEnabled() {
 			return 1
 		}
 		return 0
 	})
-	s.reg.Gauge("service.uptime_seconds", func() uint64 { return uint64(time.Since(s.start).Seconds()) })
+	s.reg.GaugeFunc("service.uptime_seconds", "Seconds since the service started.", func() uint64 { return uint64(time.Since(s.start).Seconds()) })
+	s.hQueueWait = s.reg.HistogramVec("service.job_queue_wait_us", "Microseconds jobs spent queued before an executor picked them up.", "kind")
+	s.hRunDur = s.reg.HistogramVec("service.job_run_duration_us", "Microseconds jobs spent executing on the harness.", "kind")
+	s.hHTTP = s.reg.HistogramVec("service.http_request_duration_us", "Microseconds spent serving HTTP requests.", "endpoint")
 }
 
 // Registry exposes the service's live counters (mounted at /metrics).
@@ -312,23 +367,29 @@ func (s *Service) Submit(spec Spec) (job *Job, deduped bool, err error) {
 	s.cSubmitted.Add(1)
 	if j := s.inflight[hash]; j != nil {
 		s.cDeduped.Add(1)
+		j.trace.Mark("dedup", time.Now())
 		return j, true, nil
 	}
 	if j := s.byHash[hash]; j != nil {
 		s.cCacheHit.Add(1)
+		j.trace.Mark("dedup", time.Now())
 		s.touchArchived(j)
 		return j, true, nil
 	}
+	s.cCacheMiss.Add(1)
 
 	s.seq++
+	now := time.Now()
 	j := &Job{
 		ID:        fmt.Sprintf("j-%06d", s.seq),
 		Spec:      norm,
 		Hash:      hash,
 		state:     StateQueued,
 		done:      make(chan struct{}),
-		submitted: time.Now(),
+		submitted: now,
+		trace:     obs.NewJobTrace(now),
 	}
+	j.trace.Mark("submitted", now)
 	select {
 	case s.queue <- j:
 	default:
@@ -420,9 +481,23 @@ func (s *Service) runJob(j *Job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	started := j.started
 	j.cancelRun = cancel
 	j.mu.Unlock()
 	j.emit(Event{Type: "state", State: StateRunning})
+
+	queueWait := started.Sub(j.submitted)
+	j.trace.Phase("queued", j.submitted, started)
+	s.hQueueWait.With(j.Spec.Kind).Observe(uint64(queueWait.Microseconds()))
+	log := s.logger.With("job", j.ID, "kind", j.Spec.Kind, "hash", j.Hash)
+	log.Info("job started", "queue_wait_ms", queueWait.Milliseconds())
+
+	// The execution context carries the job id (advisory attribution),
+	// the cell observer (timeline + manifest), and the job trace (the
+	// render phase is recorded from inside Execute).
+	ctx = obs.WithJobID(ctx, j.ID)
+	ctx = harness.WithCellObserver(ctx, j.observeCell)
+	ctx = withJobTrace(ctx, j.trace)
 
 	s.gRunning.Add(1)
 	s.cExecuted.Add(1)
@@ -431,8 +506,14 @@ func (s *Service) runJob(j *Job) {
 	})
 	s.gRunning.Add(^uint64(0))
 
+	end := time.Now()
+	runDur := end.Sub(started)
+	j.trace.Phase("running", started, end)
+	s.hRunDur.With(j.Spec.Kind).Observe(uint64(runDur.Microseconds()))
+
 	j.mu.Lock()
 	wasCancelled := j.cancelReq
+	cellCount := len(j.cells)
 	j.mu.Unlock()
 	switch {
 	case err != nil && (wasCancelled || errors.Is(err, context.Canceled)):
@@ -442,12 +523,24 @@ func (s *Service) runJob(j *Job) {
 	default:
 		s.finishJob(j, StateDone, res, "")
 	}
+	st := j.Status()
+	log.Info("job finished", "state", st.State, "run_ms", runDur.Milliseconds(), "cells", cellCount)
+	if s.cfg.SlowJobThreshold > 0 && runDur > s.cfg.SlowJobThreshold {
+		log.Warn("slow job", "run_ms", runDur.Milliseconds(),
+			"threshold_ms", s.cfg.SlowJobThreshold.Milliseconds())
+	}
 }
 
 // finishJob finalizes j and moves it from the in-flight table to the
 // archive LRU (successful results stay addressable by hash for reuse).
 func (s *Service) finishJob(j *Job, state State, res *Result, errMsg string) {
-	j.finalize(state, res, errMsg, time.Now())
+	now := time.Now()
+	j.finalize(state, res, errMsg, now)
+	j.trace.Mark("archived", now)
+	m := buildManifest(j)
+	j.mu.Lock()
+	j.manifest = m
+	j.mu.Unlock()
 	switch state {
 	case StateDone:
 		s.cDone.Add(1)

@@ -2,12 +2,16 @@ package stats
 
 import (
 	"fmt"
-	"math/bits"
 	"strings"
+
+	"impulse/internal/obs"
 )
 
 // histBuckets is the number of power-of-two latency buckets: bucket i
 // holds observations in [2^i, 2^(i+1)), with the last bucket open-ended.
+// The bucketing scheme is shared with the service-side obs.Histogram
+// (obs.BucketIndex); only the bucket count differs, because simulated
+// load latencies span a narrower range than host-side job durations.
 const histBuckets = 16
 
 // LatencyHist is a power-of-two-bucketed latency histogram. The paper
@@ -23,14 +27,7 @@ type LatencyHist struct {
 
 // Observe records one latency value (cycles).
 func (h *LatencyHist) Observe(c uint64) {
-	i := 0
-	if c > 0 {
-		i = bits.Len64(c) - 1
-	}
-	if i >= histBuckets {
-		i = histBuckets - 1
-	}
-	h.Buckets[i]++
+	h.Buckets[obs.BucketIndex(c, histBuckets)]++
 	h.Count++
 	h.Total += c
 	if c > h.Max {
