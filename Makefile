@@ -24,7 +24,7 @@ bench:
 # bench-json runs the benchmark suite and writes the machine-readable
 # results committed with each PR (name, ns/op, B/op, allocs/op, and the
 # sim-cycles metric). Progress streams to stderr while it runs.
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR7.json
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
@@ -37,10 +37,13 @@ bench-diff:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | \
 		$(GO) run ./cmd/benchjson -compare $(BENCH_JSON) -threshold $(BENCH_THRESHOLD)
 
-# fuzz-short gives the trace decoder a brief randomized shakedown; the
+# fuzz-short gives the trace decoders a brief randomized shakedown; the
 # corpus seeds cover a real recorded trace plus known-malformed shapes.
+# Both decoders run: the scalar replay decoder and the vectorized
+# program decoder (which must agree with the scalar one op for op).
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzTraceDecode -fuzztime 10s ./internal/tracefile
+	$(GO) test -run '^$$' -fuzz FuzzVectorDecode -fuzztime 10s ./internal/tracefile
 
 # serve-smoke is the end-to-end check for the experiment service: boot
 # impulsed on an ephemeral port, submit a small Table 1 job through
@@ -91,9 +94,11 @@ serve-smoke:
 # ci is the pre-PR gate: formatting, vet, build, full tests, the race
 # detector over the short suite, a short decoder fuzz, the service
 # smoke test, and a warn-only benchmark diff against the committed
-# baseline (benchmarks on shared CI hosts are too noisy to be a hard
-# gate; a regression prints loudly but does not fail the build — see
-# docs/PERF.md). Run it before every PR.
+# baseline — including the vector-replay K-sweep
+# (BenchmarkVectorReplay/K=*) so a per-lane apply regression prints
+# loudly. Benchmarks on shared CI hosts are too noisy to be a hard
+# gate; a regression warns but does not fail the build — see
+# docs/PERF.md. Run it before every PR.
 ci:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi

@@ -45,6 +45,7 @@ func main() {
 	cacheSize := flag.Int("cache", 128, "finished jobs kept for result reuse")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "harness worker goroutines per running job")
 	traceCache := flag.Bool("trace-cache", true, "share recorded reference streams across cells and jobs")
+	vectorReplay := flag.Bool("vector-replay", true, "replay each cell family through one shared trace decode (needs -trace-cache)")
 	traceRecord := flag.String("trace-record", "", "persist recorded traces to this directory")
 	traceReplay := flag.String("trace-replay", "", "load previously persisted traces from this directory")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long graceful shutdown waits for in-flight jobs")
@@ -74,6 +75,7 @@ func main() {
 
 	impulse.SetWorkers(*jobs)
 	impulse.SetTraceCache(*traceCache)
+	impulse.SetVectorReplay(*vectorReplay)
 	impulse.SetTraceRecordDir(*traceRecord)
 	impulse.SetTraceReplayDir(*traceReplay)
 	// Route one-shot advisory notes (e.g. trace-cache ineligibility)

@@ -151,6 +151,17 @@ func SetTraceCache(on bool) { harness.SetTraceCache(on) }
 // TraceCacheEnabled reports whether the trace cache is on.
 func TraceCacheEnabled() bool { return harness.TraceCacheEnabled() }
 
+// SetVectorReplay enables or disables vectorized batch replay (the cmd
+// binaries' -vector-replay flag, on by default): the cells of a sweep
+// family that share one recorded reference stream replay through a
+// single shared decode instead of re-decoding the trace per cell.
+// Results are byte-identical either way; only host time differs.
+// Effective only while the trace cache is on.
+func SetVectorReplay(on bool) { harness.SetVectorReplay(on) }
+
+// VectorReplayEnabled reports whether replay batches are vectorized.
+func VectorReplayEnabled() bool { return harness.VectorReplayEnabled() }
+
 // SetTraceRecordDir persists every trace the cache records to dir (the
 // -trace-record flag). Empty disables persistence.
 func SetTraceRecordDir(dir string) { harness.SetTraceRecordDir(dir) }

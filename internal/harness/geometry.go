@@ -28,10 +28,10 @@ func CacheGeometrySweep(ctx context.Context, par workloads.CGParams, l2Sizes []u
 	for i, size := range l2Sizes {
 		cols[i] = fmt.Sprintf("L2=%dK", size>>10)
 	}
-	rows, err := RunCtx(ctx, len(l2Sizes), func(i int, tc *TaskCtx) (core.Row, error) {
+	rows, err := runCells(ctx, len(l2Sizes), func(i int) cellSpec {
 		cfg := sim.DefaultConfig()
 		cfg.L2.Bytes = l2Sizes[i]
-		return runCell(tc, cellSpec{
+		return cellSpec{
 			key:     cgKey(par, workloads.CGConventional, &cfg),
 			opts:    core.Options{Controller: core.Conventional, Config: &cfg},
 			relabel: relabelPf(core.PrefetchNone),
@@ -46,7 +46,7 @@ func CacheGeometrySweep(ctx context.Context, par workloads.CGParams, l2Sizes []u
 				}
 				return res.Row, nil
 			},
-		})
+		}
 	})
 	if err != nil {
 		return err

@@ -128,15 +128,15 @@ func Table1(ctx context.Context, par workloads.CGParams, progress Progress) (*Gr
 	g := &Grid{Title: fmt.Sprintf("Table 1: NAS conjugate gradient (n=%d, nnz=%d, %d CG iterations)",
 		par.N, m.NNZ(), par.Niter*par.CGIts)}
 	nc := len(prefetchColumns)
-	cells, err := RunCtx(ctx, len(sections)*nc, func(idx int, tc *TaskCtx) (Cell, error) {
+	// The four prefetch columns of a section share one reference stream;
+	// one column records, the others replay as one vectorized batch.
+	rows, err := runCells(ctx, len(sections)*nc, func(idx int) cellSpec {
 		sec, ci := sections[idx/nc], idx%nc
 		pf := prefetchColumns[ci]
 		if progress != nil {
 			progress(sec.name, columnNames[ci])
 		}
-		// The four prefetch columns of a section share one reference
-		// stream; one column records, the others replay.
-		row, err := runCell(tc, cellSpec{
+		return cellSpec{
 			key: cgKey(par, sec.mode, nil),
 			opts: core.Options{
 				Controller: controllerFor(sec.mode != workloads.CGConventional, pf),
@@ -156,18 +156,18 @@ func Table1(ctx context.Context, par workloads.CGParams, progress Progress) (*Gr
 				}
 				return res.Row, nil
 			},
-		})
-		if err != nil {
-			return Cell{}, err
 		}
-		return Cell{Row: row}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for si, sec := range sections {
 		g.Sections = append(g.Sections, sec.name)
-		g.Cells = append(g.Cells, cells[si*nc:(si+1)*nc])
+		cells := make([]Cell, nc)
+		for ci := range cells {
+			cells[ci] = Cell{Row: rows[si*nc+ci]}
+		}
+		g.Cells = append(g.Cells, cells)
 	}
 	g.fillSpeedups()
 	return g, nil
@@ -189,13 +189,13 @@ func Table2(ctx context.Context, par workloads.MMPParams, progress Progress) (*G
 	g := &Grid{Title: fmt.Sprintf("Table 2: tiled matrix-matrix product (%dx%d, %dx%d tiles)",
 		par.N, par.N, par.Tile, par.Tile)}
 	nc := len(prefetchColumns)
-	cells, err := RunCtx(ctx, len(sections)*nc, func(idx int, tc *TaskCtx) (Cell, error) {
+	rows, err := runCells(ctx, len(sections)*nc, func(idx int) cellSpec {
 		sec, ci := sections[idx/nc], idx%nc
 		pf := prefetchColumns[ci]
 		if progress != nil {
 			progress(sec.name, columnNames[ci])
 		}
-		row, err := runCell(tc, cellSpec{
+		return cellSpec{
 			key: mmpKey(par, sec.mode, nil),
 			opts: core.Options{
 				Controller: controllerFor(sec.mode == workloads.MMPTileRemap, pf),
@@ -213,18 +213,18 @@ func Table2(ctx context.Context, par workloads.MMPParams, progress Progress) (*G
 				}
 				return res.Row, nil
 			},
-		})
-		if err != nil {
-			return Cell{}, err
 		}
-		return Cell{Row: row}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for si, sec := range sections {
 		g.Sections = append(g.Sections, sec.name)
-		g.Cells = append(g.Cells, cells[si*nc:(si+1)*nc])
+		cells := make([]Cell, nc)
+		for ci := range cells {
+			cells[ci] = Cell{Row: rows[si*nc+ci]}
+		}
+		g.Cells = append(g.Cells, cells)
 	}
 	g.fillSpeedups()
 	return g, nil

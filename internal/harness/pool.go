@@ -24,7 +24,6 @@ import (
 	"time"
 
 	"impulse/internal/core"
-	"impulse/internal/sim"
 )
 
 // workers is the pool width used by Run. Set once at startup (flag
@@ -74,12 +73,25 @@ type CellEvent struct {
 	// Key is the cell's reference-stream identity (cellSpec.key).
 	Key string
 	// Mode is how the cell ran: "record" (executed the workload under
-	// the trace recorder), "replay" (replayed a recorded stream), or
-	// "execute" (plain execution: trace cache off or recording failed
-	// over to direct execution).
+	// the trace recorder), "replay" (replayed a recorded stream
+	// scalar), "replayed-vectorized" (replayed as one lane of a
+	// vectorized batch), or "execute" (plain execution: trace cache off
+	// or recording failed over to direct execution).
 	Mode string
 	// Start and End bound the cell's host wall-clock run.
 	Start, End time.Time
+	// Batch identifies the vectorized replay batch this cell belonged
+	// to ("v-" + hash of the stream key); empty for scalar cells.
+	// BatchSize is the number of cells in the batch (including the
+	// recording cell) and BatchIndex this cell's lane position.
+	Batch      string
+	BatchSize  int
+	BatchIndex int
+	// Decode is the batch's shared trace-decode wall-clock, reported on
+	// the first lane only (the decode runs once per batch). Apply is
+	// this lane's own apply wall-clock. Both zero for scalar cells.
+	Decode time.Duration
+	Apply  time.Duration
 }
 
 // cellObsKey carries a per-invocation cell observer in a context.
@@ -117,16 +129,7 @@ type TaskCtx struct {
 // Pool tasks must create systems through this method (not core.NewSystem
 // directly), or their rows would race on the global observer.
 func (tc *TaskCtx) NewSystem(opts core.Options) (*core.System, error) {
-	opts.RowObserver = func(r core.Row) { tc.rows = append(tc.rows, r) }
-	if fastPathOff {
-		cfg := sim.DefaultConfig()
-		if opts.Config != nil {
-			cfg = *opts.Config
-		}
-		cfg.DisableFastPath = true
-		opts.Config = &cfg
-	}
-	return core.NewSystem(opts)
+	return buildSystem(opts, func(r core.Row) { tc.rows = append(tc.rows, r) })
 }
 
 // fastPathOff forces DisableFastPath on every system built through a

@@ -27,10 +27,10 @@ func SchedulerAblation(ctx context.Context, par workloads.CGParams, w io.Writer)
 	orders := []dram.Order{dram.InOrder, dram.RowMajor}
 	// The scheduler is pure timing: both orders share one reference
 	// stream (and share it with any other sweep at these CG parameters).
-	rows, err := RunCtx(ctx, len(orders), func(i int, tc *TaskCtx) (core.Row, error) {
+	rows, err := runCells(ctx, len(orders), func(i int) cellSpec {
 		cfg := sim.DefaultConfig()
 		cfg.MC.Order = orders[i]
-		return runCell(tc, cellSpec{
+		return cellSpec{
 			key: cgKey(par, workloads.CGScatterGather, &cfg),
 			opts: core.Options{
 				Controller: core.Impulse,
@@ -45,7 +45,7 @@ func SchedulerAblation(ctx context.Context, par workloads.CGParams, w io.Writer)
 				}
 				return res.Row, nil
 			},
-		})
+		}
 	})
 	if err != nil {
 		return err
@@ -74,7 +74,7 @@ func SchedulerAblation(ctx context.Context, par workloads.CGParams, w io.Writer)
 func schedulerAdversarial(ctx context.Context, w io.Writer) error {
 	const elems = 8192
 	orders := []dram.Order{dram.InOrder, dram.RowMajor}
-	rows, err := RunCtx(ctx, len(orders), func(i int, tc *TaskCtx) (core.Row, error) {
+	rows, err := runCells(ctx, len(orders), func(i int) cellSpec {
 		order := orders[i]
 		cfg := sim.DefaultConfig()
 		cfg.MC.Order = order
@@ -83,7 +83,7 @@ func schedulerAdversarial(ctx context.Context, w io.Writer) error {
 		// itself is pure timing and both cells share one trace.
 		key := fmt.Sprintf("sched-adv-e%d-line%d-banks%d-row%d-%s",
 			elems, cfg.DRAM.LineBytes, cfg.DRAM.Banks, cfg.DRAM.RowBytes, streamSig(&cfg))
-		return runCell(tc, cellSpec{
+		return cellSpec{
 			key:     key,
 			opts:    core.Options{Controller: core.Impulse, Config: &cfg},
 			relabel: constLabel(order.String()),
@@ -122,7 +122,7 @@ func schedulerAdversarial(ctx context.Context, w io.Writer) error {
 				}
 				return sec.End(order.String())
 			},
-		})
+		}
 	})
 	if err != nil {
 		return err
@@ -239,11 +239,11 @@ func PrefetchBufferSweep(ctx context.Context, sizes []uint64, w io.Writer) error
 		cols[i] = fmt.Sprintf("%dB", size)
 	}
 	// SRAM capacity is pure timing: every size shares one stream.
-	rows, err := RunCtx(ctx, len(sizes), func(i int, tc *TaskCtx) (core.Row, error) {
+	rows, err := runCells(ctx, len(sizes), func(i int) cellSpec {
 		cfg := sim.DefaultConfig()
 		cfg.MC.SRAMBytes = sizes[i]
 		key := fmt.Sprintf("sramsweep-streams%d-per%d-%s", streams, perStream, streamSig(&cfg))
-		return runCell(tc, cellSpec{
+		return cellSpec{
 			key: key,
 			opts: core.Options{
 				Controller: core.Impulse,
@@ -268,7 +268,7 @@ func PrefetchBufferSweep(ctx context.Context, sizes []uint64, w io.Writer) error
 				}
 				return sec.End(cols[i])
 			},
-		})
+		}
 	})
 	if err != nil {
 		return err
@@ -299,7 +299,7 @@ func GatherStrideSweep(ctx context.Context, strides []int, elems int, w io.Write
 	// Task order matches the serial loop: stride-major, no-prefetch first.
 	// The stride shapes the indirection vector (the reference stream);
 	// the prefetch pair at each stride shares one trace.
-	rows, err := RunCtx(ctx, 2*len(strides), func(idx int, tc *TaskCtx) (core.Row, error) {
+	rows, err := runCells(ctx, 2*len(strides), func(idx int) cellSpec {
 		i, pf := idx/2, idx%2 == 1
 		stride := strides[i]
 		opt := core.Options{Controller: core.Impulse}
@@ -307,7 +307,7 @@ func GatherStrideSweep(ctx context.Context, strides []int, elems int, w io.Write
 			opt.Prefetch = core.PrefetchMC
 		}
 		key := fmt.Sprintf("gstride-s%d-e%d-%s", stride, elems, streamSig(nil))
-		return runCell(tc, cellSpec{
+		return cellSpec{
 			key:  key,
 			opts: opt,
 			exec: func(s *core.System) (core.Row, error) {
@@ -334,7 +334,7 @@ func GatherStrideSweep(ctx context.Context, strides []int, elems int, w io.Write
 				}
 				return sec.End(cols[i])
 			},
-		})
+		}
 	})
 	if err != nil {
 		return err
@@ -416,10 +416,10 @@ func SparkExperiment(ctx context.Context, nodesX, nodesY, iters int, w io.Writer
 	}
 	// The conventional cell and the two gather cells issue different
 	// streams; the gather pair (with and without prefetch) shares one.
-	rows, err := RunCtx(ctx, len(configs), func(i int, tc *TaskCtx) (core.Row, error) {
+	rows, err := runCells(ctx, len(configs), func(i int) cellSpec {
 		gather := configs[i].gather
 		key := fmt.Sprintf("spark-x%d-y%d-it%d-g%v-%s", nodesX, nodesY, iters, gather, streamSig(nil))
-		return runCell(tc, cellSpec{
+		return cellSpec{
 			key:  key,
 			opts: core.Options{Controller: configs[i].kind, Prefetch: configs[i].pf},
 			exec: func(s *core.System) (core.Row, error) {
@@ -432,7 +432,7 @@ func SparkExperiment(ctx context.Context, nodesX, nodesY, iters int, w io.Writer
 				}
 				return res.Row, nil
 			},
-		})
+		}
 	})
 	if err != nil {
 		return err
@@ -468,7 +468,7 @@ func SuperscalarExperiment(ctx context.Context, par workloads.CGParams, widths [
 	// Task order matches the serial loop: width-major, conventional first.
 	// Issue width only rescales Tick batches (replay divides by its own
 	// width), so every width of a mode shares that mode's stream.
-	rows, err := RunCtx(ctx, 2*len(widths), func(idx int, tc *TaskCtx) (core.Row, error) {
+	rows, err := runCells(ctx, 2*len(widths), func(idx int) cellSpec {
 		width, impulse := widths[idx/2], idx%2 == 1
 		cfg := sim.DefaultConfig()
 		cfg.IssueWidth = width
@@ -478,7 +478,7 @@ func SuperscalarExperiment(ctx context.Context, par workloads.CGParams, widths [
 			opt.Controller, opt.Prefetch = core.Impulse, core.PrefetchMC
 			mode = workloads.CGScatterGather
 		}
-		return runCell(tc, cellSpec{
+		return cellSpec{
 			key:     cgKey(par, mode, &cfg),
 			opts:    opt,
 			relabel: relabelPf(opt.Prefetch),
@@ -489,7 +489,7 @@ func SuperscalarExperiment(ctx context.Context, par workloads.CGParams, widths [
 				}
 				return res.Row, nil
 			},
-		})
+		}
 	})
 	if err != nil {
 		return err
@@ -520,10 +520,10 @@ func PagePolicyAblation(ctx context.Context, par workloads.CGParams, w io.Writer
 	m := workloads.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
 	policies := []dram.PagePolicy{dram.OpenPage, dram.ClosedPage}
 	// Row management is pure timing: both policies share one stream.
-	rows, err := RunCtx(ctx, len(policies), func(i int, tc *TaskCtx) (core.Row, error) {
+	rows, err := runCells(ctx, len(policies), func(i int) cellSpec {
 		cfg := sim.DefaultConfig()
 		cfg.DRAM.Policy = policies[i]
-		return runCell(tc, cellSpec{
+		return cellSpec{
 			key:     cgKey(par, workloads.CGScatterGather, &cfg),
 			opts:    core.Options{Controller: core.Impulse, Prefetch: core.PrefetchMC, Config: &cfg},
 			relabel: relabelPf(core.PrefetchMC),
@@ -534,7 +534,7 @@ func PagePolicyAblation(ctx context.Context, par workloads.CGParams, w io.Writer
 				}
 				return res.Row, nil
 			},
-		})
+		}
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,265 @@
+// Vectorized multi-config replay at the harness level: the cells of a
+// sweep family that share one reference stream (one trace-cache key) are
+// grouped into a single replay batch. The batch decodes the recorded
+// trace once (tracefile.DecodeProgram) and applies the decoded program
+// to every cell's machine in turn, instead of re-decoding the byte
+// stream once per cell. Batches compose with -j: each batch is one pool
+// task, so distinct families still run on distinct workers.
+//
+// Everything observable is preserved from the scalar path: rows are
+// emitted in cell submission order, the returned rows and every counter
+// are byte-identical to scalar replay (the differential tests pin
+// this), the surfaced error is the lowest-index failing cell's, and
+// cancellation wins over cell errors. -vector-replay=false restores the
+// scalar per-cell path as the reference.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"impulse/internal/core"
+	"impulse/internal/obs"
+	"impulse/internal/sim"
+	"impulse/internal/tracefile"
+)
+
+// vectorReplayOn gates the vectorized replay path (the -vector-replay
+// flag). On by default; the scalar path remains as the reference.
+var vectorReplayOn = true
+
+// SetVectorReplay enables or disables vectorized batch replay. Call
+// during setup, not while an experiment runs; results are identical
+// either way (only host time differs).
+func SetVectorReplay(on bool) { vectorReplayOn = on }
+
+// VectorReplayEnabled reports whether replay batches are vectorized
+// (recorded in job provenance manifests).
+func VectorReplayEnabled() bool { return vectorReplayOn }
+
+// buildSystem builds a cell's system under the harness-wide fast-path
+// policy with an explicit row observer. TaskCtx.NewSystem and the
+// vector batches share it so a cell's configuration cannot depend on
+// which replay mode ran it.
+func buildSystem(opts core.Options, observe func(core.Row)) (*core.System, error) {
+	opts.RowObserver = observe
+	if fastPathOff {
+		cfg := sim.DefaultConfig()
+		if opts.Config != nil {
+			cfg = *opts.Config
+		}
+		cfg.DisableFastPath = true
+		opts.Config = &cfg
+	}
+	return core.NewSystem(opts)
+}
+
+// batchID derives the short batch identity reported in cell events and
+// job manifests from a trace-cache key.
+func batchID(key string) string {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return fmt.Sprintf("v-%08x", h.Sum32())
+}
+
+// runCells executes n grid cells through the trace cache and returns
+// each cell's measured row in submission order. build(i) describes cell
+// i; it is called once per cell, on the caller's goroutine in vectorized
+// mode and on the worker in scalar mode (matching runCell's timing for
+// progress callbacks).
+//
+// With vectorized replay on (and the trace cache on), cells sharing a
+// reference-stream key form one batch: the first cell records (or the
+// persisted trace loads), and every other cell replays through one
+// shared decode. With either off, each cell runs exactly as runCell
+// always has.
+func runCells(ctx context.Context, n int, build func(i int) cellSpec) ([]core.Row, error) {
+	if !vectorReplayOn || !traceCacheOn {
+		if vectorReplayOn && !traceCacheOn {
+			// Same one-shot advisory channel as trace-cache ineligibility
+			// notes: surfaced once per process, attributed to the job
+			// that first hit it when ctx carries a job id.
+			obs.WarnOnceCtx(ctx, "vector-replay-inert",
+				"vector-replay: trace cache is off; cells execute individually without batching")
+		}
+		return RunCtx(ctx, n, func(i int, tc *TaskCtx) (core.Row, error) {
+			return runCell(tc, build(i))
+		})
+	}
+	specs := make([]cellSpec, n)
+	for i := range specs {
+		specs[i] = build(i)
+	}
+	// Group cells by key in first-encounter order. Scanning ascending
+	// indices makes each group's cells ascending and the groups' lead
+	// indices ascending, which the error policy below relies on.
+	var order []string
+	groups := make(map[string][]int, n)
+	for i := range specs {
+		k := specs[i].key
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	errs := make([]error, n)
+	rows := make([]core.Row, n)
+	rowLogs := make([][]core.Row, n)
+	// Batch tasks never return errors: per-cell errors land in errs so
+	// the lowest-index *cell* error wins, exactly as if each cell were
+	// its own pool task. (Cells of one key map to one task, so task
+	// index order alone would misreport interleaved families.)
+	if _, err := RunCtx(ctx, len(order), func(gi int, tc *TaskCtx) (struct{}, error) {
+		runBatch(tc.Ctx, specs, groups[order[gi]], rows, errs, rowLogs)
+		return struct{}{}, nil
+	}); err != nil {
+		return nil, err // ctx cancellation (tasks themselves never fail)
+	}
+	for i := range errs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	// Rows flow to the sink in cell submission order, as the scalar
+	// pool's per-task replay would deliver them.
+	emit := rowSink(ctx)
+	if emit == nil {
+		emit = core.EmitRow
+	}
+	for i := range rowLogs {
+		for _, r := range rowLogs[i] {
+			emit(r)
+		}
+	}
+	return rows, nil
+}
+
+// runBatch runs the cells of one reference-stream family: record (or
+// load) the stream once, then replay it on every remaining cell's
+// machine through one shared decode. Per-cell results, errors, and
+// observed rows land in the caller's slices at the cell's own index;
+// a cell that errors contributes no rows.
+func runBatch(ctx context.Context, specs []cellSpec, cells []int, rows []core.Row, errs []error, rowLogs [][]core.Row) {
+	observe := cellObserver(ctx)
+	lead := cells[0]
+	key := specs[lead].key
+	batch := batchID(key)
+
+	v, _ := traceCache.LoadOrStore(key, &traceEntry{})
+	ent := v.(*traceEntry)
+	recorded := -1
+	var recStart, recEnd time.Time
+	ent.once.Do(func() {
+		recStart = time.Now()
+		if data := loadPersistedTrace(key); data != nil {
+			ent.data = data
+			return
+		}
+		sp := &specs[lead]
+		s, err := buildSystem(sp.opts, func(r core.Row) { rowLogs[lead] = append(rowLogs[lead], r) })
+		if err != nil {
+			ent.err = err
+			return
+		}
+		rec := tracefile.RecordRun(s)
+		r, err := sp.exec(s)
+		if err != nil {
+			s.ReleaseBuffers()
+			ent.err = err
+			return
+		}
+		data, err := rec.Bytes()
+		s.ReleaseBuffers()
+		if err != nil {
+			ent.err = err
+			return
+		}
+		ent.data = data
+		rows[lead] = r
+		recorded = lead
+		recEnd = time.Now()
+		persistTrace(ctx, key, data)
+	})
+	if ent.err != nil {
+		// Same unpoisoning and error attribution as the scalar path: drop
+		// the failed entry for future runs, and surface the recording
+		// error verbatim from every cell of the key.
+		traceCache.CompareAndDelete(key, v)
+		for _, i := range cells {
+			errs[i] = ent.err
+			rowLogs[i] = nil
+			if observe != nil {
+				observe(CellEvent{Key: key, Mode: "record", Start: recStart, End: time.Now(),
+					Batch: batch, BatchSize: len(cells)})
+			}
+		}
+		return
+	}
+	if recorded >= 0 && observe != nil {
+		observe(CellEvent{Key: key, Mode: "record", Start: recStart, End: recEnd,
+			Batch: batch, BatchSize: len(cells)})
+	}
+
+	// Every cell that did not record becomes one replay lane. A persisted
+	// or previously recorded stream means the lead replays too.
+	lanes := make([]*tracefile.VectorLane, 0, len(cells))
+	laneCell := make([]int, 0, len(cells))
+	for _, i := range cells {
+		if i == recorded {
+			continue
+		}
+		i := i
+		sp := &specs[i]
+		s, err := buildSystem(sp.opts, func(r core.Row) { rowLogs[i] = append(rowLogs[i], r) })
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		lanes = append(lanes, &tracefile.VectorLane{Sys: s, MapLabel: sp.relabel})
+		laneCell = append(laneCell, i)
+	}
+	if len(lanes) == 0 {
+		return
+	}
+	t0 := time.Now()
+	st, err := tracefile.VectorReplayV2(ctx, ent.data, lanes)
+	if err != nil {
+		// Structural decode damage or cancellation: every lane cell
+		// reports it; none of their rows survive.
+		for _, i := range laneCell {
+			errs[i] = fmt.Errorf("harness: trace replay (%s): %w", key, err)
+			rowLogs[i] = nil
+		}
+		for _, ln := range lanes {
+			ln.Sys.ReleaseBuffers()
+		}
+		return
+	}
+	applyStart := t0.Add(st.Decode)
+	for li, ln := range lanes {
+		i := laneCell[li]
+		switch {
+		case ln.Err != nil:
+			errs[i] = fmt.Errorf("harness: trace replay (%s): %w", key, ln.Err)
+			rowLogs[i] = nil
+		case len(ln.Rows) == 0:
+			errs[i] = fmt.Errorf("harness: trace replay (%s): no measured rows", key)
+			rowLogs[i] = nil
+		default:
+			rows[i] = ln.Rows[len(ln.Rows)-1]
+		}
+		ln.Sys.ReleaseBuffers()
+		if observe != nil {
+			ev := CellEvent{Key: key, Mode: "replayed-vectorized",
+				Start: applyStart, End: applyStart.Add(ln.Apply),
+				Batch: batch, BatchSize: len(cells), BatchIndex: li, Apply: ln.Apply}
+			if li == 0 {
+				ev.Decode = st.Decode
+			}
+			observe(ev)
+		}
+		applyStart = applyStart.Add(ln.Apply)
+	}
+}

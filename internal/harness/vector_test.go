@@ -1,0 +1,236 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"impulse/internal/core"
+	"impulse/internal/sim"
+	"impulse/internal/workloads"
+)
+
+// Vectorized batch replay must be invisible in everything an experiment
+// can observe: rendered grids, JSON output, every counter, and the rows
+// each cell reports. These tests run the same experiments with
+// vectorized and scalar replay (trace cache on for both — scalar
+// per-cell replay is the reference) and require byte identity, plus pin
+// the batch error/cancellation semantics the scalar pool established.
+
+// withVectorReplay runs f with vectorized replay forced on or off,
+// restoring the previous setting afterwards.
+func withVectorReplay(t *testing.T, on bool, f func()) {
+	t.Helper()
+	was := VectorReplayEnabled()
+	t.Cleanup(func() { SetVectorReplay(was) })
+	SetVectorReplay(on)
+	f()
+}
+
+// diffVectorReplay captures the same experiment under vectorized and
+// scalar replay (trace cache on) and requires identical output.
+func diffVectorReplay(t *testing.T, capture func() string) {
+	t.Helper()
+	var vec, scalar string
+	withTraceCache(t, true, func() {
+		withVectorReplay(t, true, func() { vec = capture() })
+		ResetTraceCache()
+		withVectorReplay(t, false, func() { scalar = capture() })
+	})
+	if vec != scalar {
+		t.Errorf("output differs with vectorized replay\n--- vectorized ---\n%s--- scalar ---\n%s", vec, scalar)
+	}
+}
+
+// TestVectorReplayTable1Identity: the full Table 1 grid — render, JSON,
+// and all row counters — is byte-identical whether the nine replay
+// cells share three vectorized batches or replay one by one, with the
+// fast path both on and off (the off case forces every vector lane
+// through applyGeneric and the reference access path).
+func TestVectorReplayTable1Identity(t *testing.T) {
+	capture := func() string {
+		return captureGrid(t, func() (*Grid, error) {
+			return Table1(context.Background(), smallCG(), nil)
+		})
+	}
+	diffVectorReplay(t, capture)
+	withFastPath(t, false, func() { diffVectorReplay(t, capture) })
+}
+
+// TestVectorReplayTable2Identity: same contract for the tiled
+// matrix-product grid, which exercises the store lanes heavily.
+func TestVectorReplayTable2Identity(t *testing.T) {
+	par := workloads.MMPParams{N: 64, Tile: 16}
+	capture := func() string {
+		return captureGrid(t, func() (*Grid, error) {
+			return Table2(context.Background(), par, nil)
+		})
+	}
+	diffVectorReplay(t, capture)
+}
+
+// TestVectorReplayFamiliesIdentity runs every sweep family's fast
+// geometry under vectorized and scalar replay and requires identical
+// rendered output — covering every runCells call site (scheduler,
+// prefetch-buffer, gather-stride, spark, superscalar, page-policy,
+// cache-geometry) plus the families that are trace-cache-ineligible and
+// must be bit-for-bit unaffected by the flag.
+func TestVectorReplayFamiliesIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("family sweep differentials are slow; run without -short")
+	}
+	for _, f := range Families() {
+		t.Run(f.Name, func(t *testing.T) {
+			capture := func() string {
+				var b strings.Builder
+				if err := f.Run(context.Background(), true, &b); err != nil {
+					t.Fatal(err)
+				}
+				return b.String()
+			}
+			diffVectorReplay(t, capture)
+		})
+	}
+}
+
+// vectorTestSpecs builds n cells sharing one recorded CG stream. bad
+// maps a cell index to a config mutation that makes its system
+// construction fail; every other cell is valid.
+func vectorTestSpecs(par workloads.CGParams, m *workloads.SparseMatrix, bad map[int]func(*sim.Config)) func(i int) cellSpec {
+	return func(i int) cellSpec {
+		opts := core.Options{Controller: core.Conventional}
+		if mutate, ok := bad[i]; ok {
+			cfg := sim.DefaultConfig()
+			mutate(&cfg)
+			opts.Config = &cfg
+		}
+		return cellSpec{
+			key:  "vector-test:" + cgKey(par, workloads.CGConventional, nil),
+			opts: opts,
+			exec: func(s *core.System) (core.Row, error) {
+				res, err := workloads.RunCG(s, par, workloads.CGConventional, m)
+				if err != nil {
+					return core.Row{}, err
+				}
+				return res.Row, nil
+			},
+		}
+	}
+}
+
+// TestVectorReplayBatchErrorDeterminism: when several cells of one
+// batch fail, the surfaced error is the lowest-index failing cell's —
+// exactly the scalar pool's policy — and no partial rows leak out.
+func TestVectorReplayBatchErrorDeterminism(t *testing.T) {
+	par := smallCG()
+	m := workloads.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
+	withTraceCache(t, true, func() {
+		withVectorReplay(t, true, func() {
+			rows, err := runCells(context.Background(), 4, vectorTestSpecs(par, m, map[int]func(*sim.Config){
+				1: func(c *sim.Config) { c.TLBEntries = 0 },
+				3: func(c *sim.Config) { c.IssueWidth = 0 },
+			}))
+			if err == nil {
+				t.Fatal("batch with failing cells returned no error")
+			}
+			if !strings.Contains(err.Error(), "TLBEntries") {
+				t.Errorf("surfaced error is not cell 1's (lowest failing index): %v", err)
+			}
+			if rows != nil {
+				t.Errorf("failed batch leaked %d rows, want none", len(rows))
+			}
+		})
+	})
+}
+
+// TestVectorReplayCancelMidBatch cancels the context between the
+// batch's record and its replay lanes: cancellation must win, surface
+// as context.Canceled, and leak no rows.
+func TestVectorReplayCancelMidBatch(t *testing.T) {
+	par := smallCG()
+	m := workloads.MakeA(par.N, par.Nonzer, par.RCond, par.Shift)
+	withTraceCache(t, true, func() {
+		withVectorReplay(t, true, func() {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			ctx = WithCellObserver(ctx, func(ev CellEvent) {
+				if ev.Mode == "record" {
+					cancel() // fires after the record, before the lanes finish
+				}
+			})
+			rows, err := runCells(ctx, 4, vectorTestSpecs(par, m, nil))
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled batch returned %v, want context.Canceled", err)
+			}
+			if rows != nil {
+				t.Errorf("cancelled batch leaked %d rows, want none", len(rows))
+			}
+		})
+	})
+}
+
+// TestVectorReplayCellEvents pins the observability contract of a
+// vectorized Table 1 run: three records and nine replayed-vectorized
+// cells, each replay carrying its batch id, the batch size, a dense
+// batch index, and the shared decode cost on exactly the first lane.
+func TestVectorReplayCellEvents(t *testing.T) {
+	var mu sync.Mutex
+	var events []CellEvent
+	ctx := WithCellObserver(context.Background(), func(ev CellEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	withTraceCache(t, true, func() {
+		withVectorReplay(t, true, func() {
+			if _, err := Table1(ctx, smallCG(), nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+	var records int
+	batches := map[string][]CellEvent{}
+	for _, ev := range events {
+		switch ev.Mode {
+		case "record":
+			records++
+			if ev.Batch == "" || ev.BatchSize != 4 {
+				t.Errorf("record event missing batch identity: %+v", ev)
+			}
+		case "replayed-vectorized":
+			batches[ev.Batch] = append(batches[ev.Batch], ev)
+		default:
+			t.Errorf("unexpected cell mode %q", ev.Mode)
+		}
+	}
+	if records != 3 || len(batches) != 3 {
+		t.Fatalf("got %d records and %d batches, want 3 and 3", records, len(batches))
+	}
+	for id, evs := range batches {
+		if len(evs) != 3 {
+			t.Errorf("batch %s has %d replay lanes, want 3", id, len(evs))
+		}
+		seen := map[int]bool{}
+		decodes := 0
+		for _, ev := range evs {
+			if ev.BatchSize != 4 {
+				t.Errorf("batch %s lane reports size %d, want 4", id, ev.BatchSize)
+			}
+			seen[ev.BatchIndex] = true
+			if ev.Decode > 0 {
+				decodes++
+				if ev.BatchIndex != 0 {
+					t.Errorf("batch %s reports decode on lane %d, want lane 0", id, ev.BatchIndex)
+				}
+			}
+		}
+		if !seen[0] || !seen[1] || !seen[2] {
+			t.Errorf("batch %s lane indices not dense: %v", id, seen)
+		}
+		if decodes != 1 {
+			t.Errorf("batch %s reports decode on %d lanes, want exactly 1", id, decodes)
+		}
+	}
+}

@@ -22,10 +22,19 @@ import (
 type CellManifest struct {
 	// Key is the cell's reference-stream identity (the trace-cache key).
 	Key string `json:"key"`
-	// Mode is "record", "replay", or "execute" (see harness.CellEvent).
+	// Mode is "record", "replay", "replayed-vectorized", or "execute"
+	// (see harness.CellEvent).
 	Mode string `json:"mode"`
 	// DurationUS is the cell's host wall-clock run in microseconds.
 	DurationUS int64 `json:"duration_us"`
+	// Batch identifies the vectorized replay batch the cell rode in, and
+	// BatchSize how many cells shared its decoded trace. Empty/zero for
+	// non-vectorized cells.
+	Batch     string `json:"batch,omitempty"`
+	BatchSize int    `json:"batch_size,omitempty"`
+	// DecodeUS is the batch's shared decode cost in microseconds,
+	// reported once per batch (on its first replayed cell).
+	DecodeUS int64 `json:"decode_us,omitempty"`
 }
 
 // BuildInfo identifies the binary that ran the job.
@@ -61,9 +70,10 @@ type Manifest struct {
 	RunUS       int64     `json:"run_us"`
 
 	// Harness configuration the job ran under.
-	Workers    int  `json:"workers"`
-	FastPath   bool `json:"fast_path"`
-	TraceCache bool `json:"trace_cache"`
+	Workers      int  `json:"workers"`
+	FastPath     bool `json:"fast_path"`
+	TraceCache   bool `json:"trace_cache"`
+	VectorReplay bool `json:"vector_replay"`
 
 	// Trace-cache outcome per grid cell, sorted by start time (ties by
 	// key), plus per-mode totals. Empty for kinds that run no cells
@@ -88,19 +98,20 @@ func buildManifest(j *Job) *Manifest {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	m := &Manifest{
-		JobID:       j.ID,
-		State:       j.state,
-		Error:       j.errMsg,
-		Spec:        j.Spec,
-		Canonical:   j.Spec.Canonical(),
-		SpecHash:    j.Hash,
-		SubmittedAt: j.submitted,
-		StartedAt:   j.started,
-		FinishedAt:  j.finished,
-		Workers:     harness.Workers(),
-		FastPath:    harness.FastPathEnabled(),
-		TraceCache:  harness.TraceCacheEnabled(),
-		Build:       buildInfo(),
+		JobID:        j.ID,
+		State:        j.state,
+		Error:        j.errMsg,
+		Spec:         j.Spec,
+		Canonical:    j.Spec.Canonical(),
+		SpecHash:     j.Hash,
+		SubmittedAt:  j.submitted,
+		StartedAt:    j.started,
+		FinishedAt:   j.finished,
+		Workers:      harness.Workers(),
+		FastPath:     harness.FastPathEnabled(),
+		TraceCache:   harness.TraceCacheEnabled(),
+		VectorReplay: harness.VectorReplayEnabled(),
+		Build:        buildInfo(),
 	}
 	if !j.started.IsZero() {
 		m.QueueWaitUS = j.started.Sub(j.submitted).Microseconds()
@@ -118,11 +129,13 @@ func buildManifest(j *Job) *Manifest {
 	for _, c := range cells {
 		m.Cells = append(m.Cells, CellManifest{
 			Key: c.Key, Mode: c.Mode, DurationUS: c.End.Sub(c.Start).Microseconds(),
+			Batch: c.Batch, BatchSize: c.BatchSize,
+			DecodeUS: c.Decode.Microseconds(),
 		})
 		switch c.Mode {
 		case "record":
 			m.CellsRecorded++
-		case "replay":
+		case "replay", "replayed-vectorized":
 			m.CellsReplayed++
 		default:
 			m.CellsExecuted++

@@ -126,8 +126,14 @@ func (j *Job) Manifest() *Manifest {
 }
 
 // observeCell records one harness cell event against the job (timeline
-// lane + manifest row). Called concurrently from pool workers.
+// lane + manifest row). Called concurrently from pool workers. A
+// vectorized batch's first replayed cell also carries the batch's
+// shared decode cost; it gets its own lane span so the decode/apply
+// split is visible in the timeline.
 func (j *Job) observeCell(ev harness.CellEvent) {
+	if ev.Decode > 0 {
+		j.trace.Cell(ev.Key+" decode", ev.Start.Add(-ev.Decode), ev.Start)
+	}
 	j.trace.Cell(ev.Key+" "+ev.Mode, ev.Start, ev.End)
 	j.mu.Lock()
 	j.cells = append(j.cells, ev)
@@ -279,6 +285,10 @@ type Service struct {
 	// endpoint.
 	hQueueWait, hRunDur, hHTTP *obs.HistVec
 
+	// hBatchSize distributes vectorized replay batch sizes (cells that
+	// shared one decoded trace), observed once per batch.
+	hBatchSize *obs.Histogram
+
 	logger *slog.Logger
 
 	// executeFn indirection lets tests substitute a controllable
@@ -339,6 +349,13 @@ func (s *Service) registerMetrics() {
 		return 0
 	})
 	s.reg.GaugeFunc("service.uptime_seconds", "Seconds since the service started.", func() uint64 { return uint64(time.Since(s.start).Seconds()) })
+	s.reg.GaugeFunc("service.vector_replay_enabled", "1 when replay batches are vectorized (one decode shared per trace-cache family).", func() uint64 {
+		if harness.VectorReplayEnabled() {
+			return 1
+		}
+		return 0
+	})
+	s.hBatchSize = s.reg.Histogram("service.vector_replay_batch_size", "Cells per vectorized replay batch (cells sharing one decoded trace).")
 	s.hQueueWait = s.reg.HistogramVec("service.job_queue_wait_us", "Microseconds jobs spent queued before an executor picked them up.", "kind")
 	s.hRunDur = s.reg.HistogramVec("service.job_run_duration_us", "Microseconds jobs spent executing on the harness.", "kind")
 	s.hHTTP = s.reg.HistogramVec("service.http_request_duration_us", "Microseconds spent serving HTTP requests.", "endpoint")
@@ -496,7 +513,12 @@ func (s *Service) runJob(j *Job) {
 	// the cell observer (timeline + manifest), and the job trace (the
 	// render phase is recorded from inside Execute).
 	ctx = obs.WithJobID(ctx, j.ID)
-	ctx = harness.WithCellObserver(ctx, j.observeCell)
+	ctx = harness.WithCellObserver(ctx, func(ev harness.CellEvent) {
+		if ev.Mode == "replayed-vectorized" && ev.BatchIndex == 0 {
+			s.hBatchSize.Observe(uint64(ev.BatchSize))
+		}
+		j.observeCell(ev)
+	})
 	ctx = withJobTrace(ctx, j.trace)
 
 	s.gRunning.Add(1)

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"impulse/internal/addr"
 	"impulse/internal/bus"
@@ -52,22 +53,37 @@ type Machine struct {
 	blockHot      int
 	blockDisjoint bool
 
-	// fast is the MRU line-hit cache backing the access fast path (see
-	// fastpath.go); fastOn mirrors !cfg.DisableFastPath.
-	fast     [fastWays]fastEntry
-	fastNext uint8
-	fastOn   bool
+	// fastVec is the direct-mapped line-hit table backing the access
+	// fast path (see fastpath.go): a vline-indexed table large enough to
+	// remember every resident L1 line, populated on reference L1 hits,
+	// invalidated by generation bump on any translation-state change,
+	// and re-validated on every use via cache.FastTouch/FastDirty. Nil
+	// when the fast path is disabled; fastOn mirrors
+	// !cfg.DisableFastPath. fastShadow widens eligibility to shadow
+	// lines; it may be set only while functional data movement is off
+	// (vector replay, replayvec.go), because the commit paths read
+	// memory directly, skipping shadow resolution.
+	fastVec      []fastEntry
+	fastVecMask  uint64
+	fastVecGen   uint32
+	fastVecShift uint8
+	fastOn       bool
+	fastShadow   bool
 
-	// One-entry page-translation memo in front of the TLB (fastpath.go
-	// invariant 1 applies unchanged: populated only on a TLB hit, when a
-	// repeat reference lookup would be state-free — the hit counter and
-	// ref bit are not observable and the ref set is idempotent — and
-	// invalidated by fastInvalidateAll alongside the line MRU). Shadow
-	// accesses bypass the line MRU but stream through pages sequentially,
-	// so this memo is what keeps their translation cost flat.
-	fastPage   uint64
-	fastFrame  uint64
-	fastPageOK bool
+	// Page-translation memo in front of the TLB (fastpath.go invariant 1
+	// applies unchanged: populated only on a TLB hit, when a repeat
+	// reference lookup would be state-free — the hit counter and ref bit
+	// are not observable and the ref set is idempotent — and invalidated
+	// by fastInvalidateAll alongside the line MRU). Shadow accesses
+	// bypass the line MRU but stream through pages sequentially, so this
+	// memo is what keeps their translation cost flat. Four entries with
+	// round-robin replacement, because the CG inner loops interleave
+	// three-plus streams on different pages and a one-entry memo thrashed
+	// between them. Empty entries hold fastInvalid (no virtual page
+	// number is all-ones).
+	fastPages    [fastPageWays]uint64
+	fastFrames   [fastPageWays]uint64
+	fastPageNext uint8
 
 	l1LineMask uint64
 	l2LineMask uint64
@@ -145,6 +161,15 @@ func New(cfg Config) (*Machine, error) {
 		blockDisjoint: true,
 	}
 	m.inflight.init()
+	if m.fastOn {
+		// 4x the L1 line count (next power of two) keeps conflict
+		// evictions rare, so nearly every repeat hit to a resident line
+		// commits on the fast path.
+		n := uint64(1) << bits.Len64(4*cfg.L1.Bytes/cfg.L1.LineBytes-1)
+		m.fastVec = make([]fastEntry, n)
+		m.fastVecMask = n - 1
+		m.fastVecShift = uint8(bits.TrailingZeros64(cfg.L1.LineBytes))
+	}
 	m.fastInvalidateAll()
 	return m, nil
 }
@@ -244,12 +269,19 @@ func (m *Machine) translate(v addr.VAddr) addr.PAddr {
 		}
 	}
 	page := v.PageNum()
-	if m.fastPageOK && m.fastPage == page {
-		return addr.PAddr(m.fastFrame<<addr.PageShift | v.PageOff())
+	for i := range m.fastPages {
+		if m.fastPages[i] == page {
+			return addr.PAddr(m.fastFrames[i]<<addr.PageShift | v.PageOff())
+		}
 	}
 	if frame, ok := m.TLB.Lookup(page); ok {
 		if m.fastOn {
-			m.fastPage, m.fastFrame, m.fastPageOK = page, frame, true
+			i := m.fastPageNext
+			m.fastPageNext++
+			if m.fastPageNext == fastPageWays {
+				m.fastPageNext = 0
+			}
+			m.fastPages[i], m.fastFrames[i] = page, frame
 		}
 		return addr.PAddr(frame<<addr.PageShift | v.PageOff())
 	}
@@ -392,6 +424,14 @@ func (m *Machine) load(v addr.VAddr, size uint64) uint64 {
 			return value
 		}
 	}
+	return m.loadTail(v, size)
+}
+
+// loadTail is the reference load path: everything after the recorder
+// callback, the Loads counter, and the fast-path attempt. The vector
+// replay applier (replayvec.go) calls it directly for accesses its
+// inline hit path cannot commit.
+func (m *Machine) loadTail(v addr.VAddr, size uint64) uint64 {
 	start := m.clock
 	p := m.translate(v)
 	var value uint64
@@ -611,6 +651,12 @@ func (m *Machine) store(v addr.VAddr, size, val uint64) {
 	if m.fastOn && m.fastStore(v, size, val) {
 		return
 	}
+	m.storeTail(v, size, val)
+}
+
+// storeTail is the reference store path after the recorder callback, the
+// Stores counter, and the fast-path attempt (see loadTail).
+func (m *Machine) storeTail(v addr.VAddr, size, val uint64) {
 	start := m.clock
 	p := m.translate(v)
 	if m.functional {

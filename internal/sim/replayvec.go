@@ -1,0 +1,383 @@
+// Vector replay applier: the per-machine half of vectorized multi-config
+// replay (internal/tracefile decodes a recorded v2 trace once into a
+// run-structured program; one VecApplier per machine applies it).
+//
+// The applier exists to make the per-config cost of a replayed access as
+// small as possible without changing a single observable effect. It gets
+// there in three steps, each exact by construction:
+//
+//  1. Inline hit paths. During replay the machine has no recorder, no
+//     tracer, no observability hub, and functional data movement is off,
+//     so the reference load path collapses to: fast-table probe,
+//     FastTouch re-validation, and the L1-hit counter/latency/clock
+//     effects. The applier performs exactly those effects inline, and
+//     falls back to loadTail/storeTail (the reference path) for anything
+//     else — a table miss, a failed re-validation, a prefetched line.
+//
+//  2. Shadow-eligible fast table. The execution fast path excludes
+//     shadow (remapped) lines because its commit reads memory directly,
+//     skipping the controller's gather resolution. With functional
+//     movement off no path reads memory at all, so that reason
+//     disappears: the applier sets Machine.fastShadow for the duration,
+//     letting shadow L1 hits use the table too. All other invariants
+//     (translation stability via fastInvalidateAll, residency
+//     re-validation via FastTouch, the offset-preservation and
+//     block-boundary populate guards) apply to shadow lines unchanged.
+//     Close() clears the flag and kills every entry so a machine reused
+//     after replay cannot commit a stale shadow entry with functional
+//     movement back on.
+//
+//  3. Same-line batching. A run of consecutive accesses to one resident
+//     line (unit-stride inner loops) commits as a single batch: one
+//     probe, one FastTouch to validate, FastTouchN for the rest, and
+//     counter/histogram/clock updates scaled by the run length. Nothing
+//     can evict the line mid-run (the only intervening ops are fused
+//     Ticks, which do not touch caches), and every batched effect is
+//     additive, so the final machine state is bit-identical to per-op
+//     application. The store backlog stall is checked only on the first
+//     store of a run: committing a store establishes
+//     BusyUntil <= clock+lim, the clock only grows, and fast-path stores
+//     put nothing on the bus, so later stores in the run cannot trip it.
+package sim
+
+import (
+	"impulse/internal/addr"
+	"impulse/internal/obs"
+)
+
+// Vector op codes for the hot ops of a decoded trace program. Code 0 is
+// reserved for the caller (internal/tracefile marks rare-op runs, which
+// it applies itself through the public machine API).
+const (
+	VecLoad32 byte = 1 + iota
+	VecLoad64
+	VecStore32
+	VecStore64
+	VecTick
+)
+
+// VecApplier applies decoded hot-op runs to one machine. Build one per
+// machine per replay batch with NewVecApplier and Close it when the
+// batch ends. Not safe for concurrent use, like the Machine itself.
+type VecApplier struct {
+	m      *Machine
+	inline bool   // inline hit paths usable (see eligibility in NewVecApplier)
+	hitAdv uint64 // clock advance of an L1 hit (finishLoad clamps 0 to 1)
+	hitBkt int    // LoadLatency bucket index of hitAdv
+}
+
+// NewVecApplier prepares m for vectorized application. The inline hit
+// paths engage only when the reference path would have no observable
+// effects beyond theirs: functional data movement off, and no recorder,
+// tracer, or observability hub attached. Otherwise every op takes the
+// generic path through the public API — correct, just not faster.
+func NewVecApplier(m *Machine) *VecApplier {
+	adv := m.cfg.L1.HitCycles
+	if adv == 0 {
+		adv = 1
+	}
+	a := &VecApplier{
+		m:      m,
+		inline: !m.functional && m.rec == nil && m.tracer == nil && m.obs == nil,
+		hitAdv: adv,
+		hitBkt: obs.BucketIndex(adv, len(m.St.LoadLatency.Buckets)),
+	}
+	if a.inline {
+		// Widen fast-path eligibility to shadow lines for the batch:
+		// with functional movement off no commit reads memory, so the
+		// execution-time reason to exclude them disappears.
+		m.fastShadow = true
+	}
+	return a
+}
+
+// Inline reports whether the applier's inline hit paths are engaged
+// (false means every op goes through the public machine API).
+func (a *VecApplier) Inline() bool { return a.inline }
+
+// Close ends the batch: the shadow-eligibility window shuts and every
+// fast-path entry dies (generation bump), so entries populated for
+// shadow lines cannot survive into functional execution.
+func (a *VecApplier) Close() {
+	if a.m.fastShadow {
+		a.m.fastShadow = false
+		a.m.fastInvalidateAll()
+	}
+}
+
+// ApplyRun applies one run of len(args) hot ops that share an opcode.
+// args holds the per-op operand (virtual address, or tick count for
+// VecTick); aux[i] holds a Tick fused behind op i in the recorded stream
+// (0 = none; always 0 for VecTick runs — the decoder extends the run
+// instead).
+func (a *VecApplier) ApplyRun(code byte, args []uint64, aux []uint32) {
+	if !a.inline {
+		a.applyGeneric(code, args, aux)
+		return
+	}
+	switch code {
+	case VecLoad32:
+		a.applyLoads(args, aux, 4)
+	case VecLoad64:
+		a.applyLoads(args, aux, 8)
+	case VecStore32:
+		a.applyStores(args, aux, 4)
+	case VecStore64:
+		a.applyStores(args, aux, 8)
+	case VecTick:
+		m := a.m
+		if w := m.cfg.IssueWidth; w > 1 {
+			for _, n := range args {
+				m.St.Instructions += n
+				m.clock += (n + w - 1) / w
+			}
+			return
+		}
+		var tot uint64
+		for _, n := range args {
+			tot += n
+		}
+		m.St.Instructions += tot
+		m.clock += tot
+	}
+}
+
+// applyGeneric replays a run through the public machine API, for
+// machines the inline paths must not touch (recorder, tracer, or hub
+// attached, or functional movement on). Effects are the reference
+// path's by definition.
+func (a *VecApplier) applyGeneric(code byte, args []uint64, aux []uint32) {
+	m := a.m
+	for i, x := range args {
+		switch code {
+		case VecLoad32:
+			m.Load32(addr.VAddr(x))
+		case VecLoad64:
+			m.Load64(addr.VAddr(x))
+		case VecStore32:
+			m.Store32(addr.VAddr(x), 0)
+		case VecStore64:
+			m.Store64(addr.VAddr(x), 0)
+		case VecTick:
+			m.Tick(x)
+		}
+		if n := aux[i]; n != 0 {
+			m.Tick(uint64(n))
+		}
+	}
+}
+
+// fusedTicks applies the Ticks fused behind a committed same-line span.
+// Tick effects are additive against the span's (nothing in between reads
+// the clock), so order within the span cannot matter; with IssueWidth 1
+// the whole span folds into two adds.
+func (a *VecApplier) fusedTicks(aux []uint32) {
+	m := a.m
+	if w := m.cfg.IssueWidth; w > 1 {
+		for _, x := range aux {
+			if x != 0 {
+				m.St.Instructions += uint64(x)
+				m.clock += (uint64(x) + w - 1) / w
+			}
+		}
+		return
+	}
+	var tot uint64
+	for _, x := range aux {
+		tot += uint64(x)
+	}
+	m.St.Instructions += tot
+	m.clock += tot
+}
+
+// applyLoads applies a run of loads: the reference load minus the
+// recorder callback and fast-path dispatch, with wide-table hits
+// committed inline and batched over same-line spans.
+//
+// Hit-side effects accumulate in locals and flush once per run. Every
+// accumulated effect is an additive counter increment (or a max-merge),
+// so deferring them past interleaved reference-path falls cannot change
+// the final state. The clock is the exception — loadTail reads it — so
+// a local mirror is published to m.clock before every fall and reloaded
+// after, along with the table generation (a fall can insert a TLB entry
+// and invalidate the table; a stale local would revive dead entries).
+func (a *VecApplier) applyLoads(args []uint64, aux []uint32, size uint64) {
+	m := a.m
+	st := m.St
+	mask := m.l1LineMask
+	adv := a.hitAdv
+	n := len(args)
+	vec := m.fastVec
+	if vec == nil {
+		for i := 0; i < n; i++ {
+			st.Loads++
+			m.loadTail(addr.VAddr(args[i]), size)
+			if x := aux[i]; x != 0 {
+				m.Tick(uint64(x))
+			}
+		}
+		return
+	}
+	var (
+		shift = m.fastVecShift
+		vmask = m.fastVecMask
+		w     = m.cfg.IssueWidth
+		clk   = m.clock
+		gen   = m.fastVecGen
+		hits  uint64 // committed inline hits
+		instr uint64 // fused-tick instructions beyond the hits themselves
+	)
+	i := 0
+	for i < n {
+		va := args[i]
+		vline := va &^ mask
+		e := &vec[(vline>>shift)&vmask]
+		if e.vline == vline && e.gen == gen {
+			if !m.L1.FastTouch(int(e.slot), e.la) {
+				// Same as fastLoad: drop the stale entry; the
+				// reference path handles this access.
+				e.vline = fastInvalid
+			} else {
+				// Committed hit: extend over the same-line span.
+				k := i + 1
+				for k < n && args[k]&^mask == vline {
+					k++
+				}
+				cnt := uint64(k - i)
+				if cnt > 1 {
+					m.L1.FastTouchN(int(e.slot), cnt-1)
+				}
+				hits += cnt
+				clk += cnt * adv
+				for _, x := range aux[i:k] {
+					if x != 0 {
+						instr += uint64(x)
+						if w > 1 {
+							clk += (uint64(x) + w - 1) / w
+						} else {
+							clk += uint64(x)
+						}
+					}
+				}
+				i = k
+				continue
+			}
+		}
+		st.Loads++
+		m.clock = clk
+		m.loadTail(addr.VAddr(va), size)
+		if x := aux[i]; x != 0 {
+			m.Tick(uint64(x))
+		}
+		clk = m.clock
+		gen = m.fastVecGen
+		i++
+	}
+	m.clock = clk
+	if hits != 0 {
+		st.Loads += hits
+		st.L1LoadHits += hits
+		st.LoadCycles += hits * adv
+		st.LoadLatency.Buckets[a.hitBkt] += hits
+		st.LoadLatency.Count += hits
+		st.LoadLatency.Total += hits * adv
+		if adv > st.LoadLatency.Max {
+			st.LoadLatency.Max = adv
+		}
+		st.Instructions += hits + instr
+	}
+}
+
+// applyStores applies a run of stores, mirroring applyLoads. Only the
+// first store of a committed span checks the backlog stall (see the
+// package comment for why later ones cannot trip it); the check reads
+// the live bus state against the local clock mirror, which is exact
+// because the mirror equals what m.clock would hold at that op.
+func (a *VecApplier) applyStores(args []uint64, aux []uint32, size uint64) {
+	m := a.m
+	st := m.St
+	mask := m.l1LineMask
+	n := len(args)
+	vec := m.fastVec
+	if vec == nil {
+		for i := 0; i < n; i++ {
+			st.Stores++
+			m.storeTail(addr.VAddr(args[i]), size, 0)
+			if x := aux[i]; x != 0 {
+				m.Tick(uint64(x))
+			}
+		}
+		return
+	}
+	var (
+		shift    = m.fastVecShift
+		vmask    = m.fastVecMask
+		w        = m.cfg.IssueWidth
+		lim      = m.cfg.StoreBacklogCycles
+		clk      = m.clock
+		gen      = m.fastVecGen
+		hits     uint64
+		instr    uint64
+		storeCyc uint64
+	)
+	i := 0
+	for i < n {
+		va := args[i]
+		vline := va &^ mask
+		e := &vec[(vline>>shift)&vmask]
+		if e.vline == vline && e.gen == gen {
+			if !m.L1.FastDirty(int(e.slot), e.la) {
+				e.vline = fastInvalid
+			} else {
+				start := clk
+				done := clk + 1
+				if lim > 0 {
+					if bu := m.Bus.BusyUntil(); bu > done+lim {
+						done = bu - lim
+					}
+				}
+				storeCyc += done - start
+				clk = done
+				k := i + 1
+				for k < n && args[k]&^mask == vline {
+					k++
+				}
+				cnt := uint64(k - i)
+				if cnt > 1 {
+					m.L1.FastDirtyN(int(e.slot), cnt-1)
+					storeCyc += cnt - 1
+					clk += cnt - 1
+				}
+				hits += cnt
+				for _, x := range aux[i:k] {
+					if x != 0 {
+						instr += uint64(x)
+						if w > 1 {
+							clk += (uint64(x) + w - 1) / w
+						} else {
+							clk += uint64(x)
+						}
+					}
+				}
+				i = k
+				continue
+			}
+		}
+		st.Stores++
+		m.clock = clk
+		m.storeTail(addr.VAddr(va), size, 0)
+		if x := aux[i]; x != 0 {
+			m.Tick(uint64(x))
+		}
+		clk = m.clock
+		gen = m.fastVecGen
+		i++
+	}
+	m.clock = clk
+	if hits != 0 {
+		st.Stores += hits
+		st.L1StoreHits += hits
+		st.StoreCycles += storeCyc
+		st.Instructions += hits + instr
+	}
+}

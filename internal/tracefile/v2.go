@@ -338,41 +338,10 @@ func forEachOp(data []byte, fn func(o *v2op) error) error {
 		switch o.code {
 		case opLoad32, opLoad64, opStore32, opStore64:
 			o.a, err = d.addr()
-		case opTick, opFlushTLBPage, opUnmapPT, opClearDescriptor:
+		case opTick:
 			o.a, err = d.u()
-		case opFlushV, opPurgeV, opMapPT, opMapPV, opSyscallStats:
-			if o.a, err = d.u(); err == nil {
-				o.b, err = d.u()
-			}
-		case opInstallBlockTLB:
-			if o.a, err = d.u(); err == nil {
-				if o.b, err = d.u(); err == nil {
-					o.c, err = d.u()
-				}
-			}
-		case opClearBlockTLB, opFlushTLB, opResetCaches, opFlushAllCaches,
-			opMCInvalidateTLB, opMCInvalidateBufs:
-			// no operands
-		case opSectionBegin:
-			depth++
-		case opSectionEnd, opResult:
-			var n uint64
-			if n, err = d.u(); err == nil {
-				var lb []byte
-				if lb, err = d.bytes(n); err == nil {
-					o.label = string(lb)
-				}
-			}
-			if err == nil && o.code == opSectionEnd {
-				if depth == 0 {
-					return d.errAt("section end without begin")
-				}
-				depth--
-			}
-		case opSetDescriptor:
-			err = d.descriptor(&o)
 		default:
-			return fmt.Errorf("tracefile: unknown opcode %#02x at byte %d", o.code, d.pos-1)
+			err = d.rareOp(&o, &depth)
 		}
 		if err != nil {
 			return err
@@ -382,6 +351,52 @@ func forEachOp(data []byte, fn func(o *v2op) error) error {
 		}
 	}
 	return nil
+}
+
+// rareOp decodes the operands of any op other than a load/store/tick
+// (o.code is already consumed). It is the single copy of the rare-op
+// wire format, shared by forEachOp and DecodeProgram's inlined hot
+// loop, so the scalar and vector decoders cannot drift.
+func (d *v2decoder) rareOp(o *v2op, depth *int) error {
+	var err error
+	switch o.code {
+	case opFlushTLBPage, opUnmapPT, opClearDescriptor:
+		o.a, err = d.u()
+	case opFlushV, opPurgeV, opMapPT, opMapPV, opSyscallStats:
+		if o.a, err = d.u(); err == nil {
+			o.b, err = d.u()
+		}
+	case opInstallBlockTLB:
+		if o.a, err = d.u(); err == nil {
+			if o.b, err = d.u(); err == nil {
+				o.c, err = d.u()
+			}
+		}
+	case opClearBlockTLB, opFlushTLB, opResetCaches, opFlushAllCaches,
+		opMCInvalidateTLB, opMCInvalidateBufs:
+		// no operands
+	case opSectionBegin:
+		*depth++
+	case opSectionEnd, opResult:
+		var n uint64
+		if n, err = d.u(); err == nil {
+			var lb []byte
+			if lb, err = d.bytes(n); err == nil {
+				o.label = string(lb)
+			}
+		}
+		if err == nil && o.code == opSectionEnd {
+			if *depth == 0 {
+				return d.errAt("section end without begin")
+			}
+			*depth--
+		}
+	case opSetDescriptor:
+		err = d.descriptor(o)
+	default:
+		return fmt.Errorf("tracefile: unknown opcode %#02x at byte %d", o.code, d.pos-1)
+	}
+	return err
 }
 
 func (d *v2decoder) descriptor(o *v2op) error {
@@ -461,6 +476,9 @@ func ReplayV2(s *core.System, data []byte, opts ReplayOpts) (rows []core.Row, er
 	defer s.SetFunctional(true)
 	var secs []core.Section
 	err = forEachOp(data, func(o *v2op) error {
+		// The hot ops stay inline (they are the bulk of every trace); the
+		// rare ops share applyRare with the vectorized replayer, so the
+		// two paths cannot drift.
 		switch o.code {
 		case opLoad32:
 			s.Load32(addr.VAddr(o.a))
@@ -472,62 +490,8 @@ func ReplayV2(s *core.System, data []byte, opts ReplayOpts) (rows []core.Row, er
 			s.Store64(addr.VAddr(o.a), 0)
 		case opTick:
 			s.Tick(o.a)
-		case opFlushV:
-			s.FlushVRange(addr.VAddr(o.a), o.b)
-		case opPurgeV:
-			s.PurgeVRange(addr.VAddr(o.a), o.b)
-		case opInstallBlockTLB:
-			s.InstallBlockTLB(addr.VAddr(o.a), addr.PAddr(o.b), o.c)
-		case opClearBlockTLB:
-			s.ClearBlockTLB()
-		case opFlushTLB:
-			s.FlushTLB()
-		case opFlushTLBPage:
-			s.FlushTLBPage(addr.VAddr(o.a))
-		case opResetCaches:
-			s.ResetCachesUntimed()
-		case opFlushAllCaches:
-			s.FlushAllCaches()
-		case opMapPT:
-			s.K.InstallMapping(o.a, o.b)
-		case opUnmapPT:
-			s.K.Unmap(o.a)
-		case opMapPV:
-			s.MC.MapPV(o.a, o.b)
-		case opSetDescriptor:
-			if len(o.img) > 0 {
-				if err := s.MC.WritePVImage(o.desc.VecPV, o.img); err != nil {
-					return fmt.Errorf("tracefile: replay: restore indirection vector: %w", err)
-				}
-			}
-			if err := s.MC.SetDescriptor(int(o.a), o.desc); err != nil {
-				return fmt.Errorf("tracefile: replay: %w", err)
-			}
-		case opClearDescriptor:
-			s.MC.ClearDescriptor(int(o.a))
-		case opMCInvalidateTLB:
-			s.MC.InvalidateTLB()
-		case opMCInvalidateBufs:
-			s.MC.InvalidateBuffers()
-		case opSyscallStats:
-			s.St.Syscalls += o.a
-			s.St.SyscallCycles += o.b
-		case opSectionBegin:
-			secs = append(secs, s.BeginSection())
-		case opSectionEnd:
-			sec := secs[len(secs)-1]
-			secs = secs[:len(secs)-1]
-			row, err := sec.End(mapLabel(o.label))
-			if err != nil {
-				return err
-			}
-			rows = append(rows, row)
-		case opResult:
-			row, err := s.Result(mapLabel(o.label))
-			if err != nil {
-				return err
-			}
-			rows = append(rows, row)
+		default:
+			return applyRare(s, o, &secs, &rows, mapLabel)
 		}
 		return nil
 	})
@@ -535,4 +499,69 @@ func ReplayV2(s *core.System, data []byte, opts ReplayOpts) (rows []core.Row, er
 		return nil, err
 	}
 	return rows, nil
+}
+
+// applyRare applies one non-access op to s. Shared by ReplayV2 and the
+// vectorized replayer (vector.go): both must produce byte-identical
+// machine state and error text for every rare op.
+func applyRare(s *core.System, o *v2op, secs *[]core.Section, rows *[]core.Row, mapLabel func(string) string) error {
+	switch o.code {
+	case opFlushV:
+		s.FlushVRange(addr.VAddr(o.a), o.b)
+	case opPurgeV:
+		s.PurgeVRange(addr.VAddr(o.a), o.b)
+	case opInstallBlockTLB:
+		s.InstallBlockTLB(addr.VAddr(o.a), addr.PAddr(o.b), o.c)
+	case opClearBlockTLB:
+		s.ClearBlockTLB()
+	case opFlushTLB:
+		s.FlushTLB()
+	case opFlushTLBPage:
+		s.FlushTLBPage(addr.VAddr(o.a))
+	case opResetCaches:
+		s.ResetCachesUntimed()
+	case opFlushAllCaches:
+		s.FlushAllCaches()
+	case opMapPT:
+		s.K.InstallMapping(o.a, o.b)
+	case opUnmapPT:
+		s.K.Unmap(o.a)
+	case opMapPV:
+		s.MC.MapPV(o.a, o.b)
+	case opSetDescriptor:
+		if len(o.img) > 0 {
+			if err := s.MC.WritePVImage(o.desc.VecPV, o.img); err != nil {
+				return fmt.Errorf("tracefile: replay: restore indirection vector: %w", err)
+			}
+		}
+		if err := s.MC.SetDescriptor(int(o.a), o.desc); err != nil {
+			return fmt.Errorf("tracefile: replay: %w", err)
+		}
+	case opClearDescriptor:
+		s.MC.ClearDescriptor(int(o.a))
+	case opMCInvalidateTLB:
+		s.MC.InvalidateTLB()
+	case opMCInvalidateBufs:
+		s.MC.InvalidateBuffers()
+	case opSyscallStats:
+		s.St.Syscalls += o.a
+		s.St.SyscallCycles += o.b
+	case opSectionBegin:
+		*secs = append(*secs, s.BeginSection())
+	case opSectionEnd:
+		sec := (*secs)[len(*secs)-1]
+		*secs = (*secs)[:len(*secs)-1]
+		row, err := sec.End(mapLabel(o.label))
+		if err != nil {
+			return err
+		}
+		*rows = append(*rows, row)
+	case opResult:
+		row, err := s.Result(mapLabel(o.label))
+		if err != nil {
+			return err
+		}
+		*rows = append(*rows, row)
+	}
+	return nil
 }

@@ -1,0 +1,321 @@
+// Vectorized multi-config replay: decode a recorded v2 trace once and
+// drive an array of timing machines with the decoded form, instead of
+// re-decoding the byte stream once per machine.
+//
+// DecodeProgram lowers the trace into a run-structured program: flat
+// struct-of-arrays operand vectors (args/aux) partitioned into runs of
+// consecutive same-opcode hot ops, with everything else (flushes, TLB
+// and descriptor ops, section markers) parked in a rare-op side table in
+// stream order. Decoding rides forEachOp, so structural validation —
+// header, opcodes, operand bounds, section balance — is exactly the
+// scalar decoder's. Two lowering steps shape the program for the
+// applier in internal/sim:
+//
+//   - Tick fusion: a Tick immediately behind a load/store folds into
+//     that op's aux slot. The pair's combined effect is position-exact
+//     (nothing between them observes the clock), and it keeps unit-
+//     stride load/tick loops as long uninterrupted load runs.
+//   - Run batching: the per-op opcode branch is resolved once per run at
+//     decode time; each machine then applies a whole run through one
+//     dispatch (sim.VecApplier), not one branch per op per config.
+//
+// VectorReplayV2 applies the program to K lanes sequentially: the
+// decode cost is paid once, each lane's state stays hot in cache for
+// its whole pass, and the lanes' wall-clock phases (one shared decode,
+// K applies) are real, disjoint intervals the harness can report.
+package tracefile
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"impulse/internal/core"
+	"impulse/internal/sim"
+)
+
+// DecodeProgram's hot loop forwards the five hot trace opcodes directly
+// as sim.Vec* applier codes. Each pair of constants underflows byte —
+// and fails to compile — if either enum is ever reordered.
+const (
+	_ = byte(sim.VecLoad32-opLoad32) + byte(opLoad32-sim.VecLoad32)
+	_ = byte(sim.VecLoad64-opLoad64) + byte(opLoad64-sim.VecLoad64)
+	_ = byte(sim.VecStore32-opStore32) + byte(opStore32-sim.VecStore32)
+	_ = byte(sim.VecStore64-opStore64) + byte(opStore64-sim.VecStore64)
+	_ = byte(sim.VecTick-opTick) + byte(opTick-sim.VecTick)
+)
+
+// vecRare marks a run of rare ops in a decoded program (the hot codes
+// are sim.VecLoad32..VecTick; 0 is reserved for this).
+const vecRare byte = 0
+
+// vecRun is one run of consecutive same-code ops: n ops starting at
+// offset off into args/aux (hot codes) or rares (vecRare).
+type vecRun struct {
+	code byte
+	n    int32
+	off  int32
+}
+
+// Program is a decoded v2 trace, ready to apply to any number of
+// machines. It retains references into the trace bytes it was decoded
+// from (labels are copied, descriptor images are not), so the trace
+// must outlive the program. Programs are immutable after DecodeProgram
+// and safe for concurrent application to different systems.
+type Program struct {
+	runs  []vecRun
+	args  []uint64 // per hot op: virtual address, or tick count
+	aux   []uint32 // per hot op: fused trailing Tick (0 = none)
+	rares []v2op   // rare ops in stream order (label/img owned by the trace)
+}
+
+// Ops returns the total operation count of the decoded trace.
+func (p *Program) Ops() int { return len(p.args) + len(p.rares) }
+
+// programPool recycles the backing arrays of decoded programs between
+// replay batches: a sweep decodes one trace per family, and re-zeroing
+// megabytes of operand vectors per decode would cost more than the
+// decode itself. VectorReplayV2 takes programs from the pool and
+// recycles them when the batch ends; DecodeProgram always allocates a
+// caller-owned program.
+var programPool = sync.Pool{New: func() any { return new(Program) }}
+
+// recycle clears the program (dropping references into the trace bytes
+// so the pool cannot pin them) and returns it to the pool.
+func (p *Program) recycle() {
+	for i := range p.rares {
+		p.rares[i] = v2op{}
+	}
+	p.runs, p.args, p.aux, p.rares = p.runs[:0], p.args[:0], p.aux[:0], p.rares[:0]
+	programPool.Put(p)
+}
+
+// DecodeProgram decodes a v2 trace into a Program. Structural damage
+// surfaces exactly as Validate/ReplayV2 would report it: the hot loop
+// below inlines the decoder's varint/zigzag arithmetic (the five hot
+// opcodes equal their sim.Vec* codes by construction, and the decode is
+// the shared cost of a whole replay batch, so it has to run near memory
+// speed), while every rare op goes through the same rareOp method
+// forEachOp uses. FuzzVectorDecode pins the two decoders' agreement.
+func DecodeProgram(data []byte) (*Program, error) {
+	p := new(Program)
+	if err := decodeInto(p, data); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// decodeInto decodes data into p, reusing whatever operand capacity p
+// already carries.
+func decodeInto(p *Program, data []byte) error {
+	if len(data) < len(magicV2) || !bytes.Equal(data[:len(magicV2)], magicV2[:]) {
+		return fmt.Errorf("tracefile: not a v2 trace (bad or missing header)")
+	}
+	if cap(p.args) == 0 {
+		// Pre-size from the encoding's density: hot ops dominate and
+		// average ~2 bytes each.
+		p.runs = make([]vecRun, 0, len(data)/8)
+		p.args = make([]uint64, 0, len(data)/2)
+		p.aux = make([]uint32, 0, len(data)/2)
+	}
+	d := &v2decoder{data: data, pos: len(magicV2)}
+	var (
+		o     v2op
+		depth int
+		last  uint64 // previous access address (delta decoding)
+		// fusable: the last hot op is a load/store directly behind the
+		// decode position, so a Tick may fold into its aux slot.
+		fusable bool
+		// Current run, tracked in locals (a flush closure would force
+		// them onto the heap) and appended on each code change. The 0xff
+		// sentinel collides with no opcode and not with vecRare.
+		runCode byte = 0xff
+		runN    int32
+		runOff  int32
+	)
+	src := data
+	pos := d.pos
+	for pos < len(src) {
+		code := src[pos]
+		pos++
+		if code >= opLoad32 && code <= opTick {
+			// Inlined v2decoder.u, with explicit 1/2/3-byte fast paths:
+			// tick batches fit one byte and access deltas almost always fit
+			// three. The guards chain — reaching the 2-byte arm implies
+			// src[pos] >= 0x80, the 3-byte arm implies src[pos+1] >= 0x80 —
+			// so each arm decodes exactly what binary.Uvarint would.
+			var u uint64
+			if pos < len(src) && src[pos] < 0x80 {
+				u = uint64(src[pos])
+				pos++
+			} else if pos+1 < len(src) && src[pos+1] < 0x80 {
+				u = uint64(src[pos]&0x7f) | uint64(src[pos+1])<<7
+				pos += 2
+			} else if pos+2 < len(src) && src[pos+2] < 0x80 {
+				u = uint64(src[pos]&0x7f) | uint64(src[pos+1]&0x7f)<<7 | uint64(src[pos+2])<<14
+				pos += 3
+			} else {
+				var n int
+				u, n = binary.Uvarint(src[pos:])
+				if n <= 0 {
+					d.pos = pos
+					return d.errAt("truncated or oversized varint")
+				}
+				pos += n
+			}
+			if code == opTick {
+				// Fold into the preceding access when position-exact: the
+				// access is the immediately preceding op and its aux slot
+				// is free. (A second consecutive Tick, or one behind a
+				// rare op or section marker, keeps its own slot — merging
+				// Ticks would mis-round ceil(n/w) on superscalar configs,
+				// and crossing a rare op would reorder against a clock
+				// reader.)
+				if fusable && u > 0 && u <= math.MaxUint32 && p.aux[len(p.aux)-1] == 0 {
+					p.aux[len(p.aux)-1] = uint32(u)
+					fusable = false
+					continue
+				}
+				fusable = false
+			} else {
+				// Zigzag delta against the previous access address.
+				v := int64(u >> 1)
+				if u&1 != 0 {
+					v = ^v
+				}
+				last += uint64(v)
+				u = last
+				fusable = true
+			}
+			if code != runCode {
+				if runN > 0 {
+					p.runs = append(p.runs, vecRun{code: runCode, n: runN, off: runOff})
+				}
+				runCode, runN, runOff = code, 0, int32(len(p.args))
+			}
+			runN++
+			p.args = append(p.args, u)
+			p.aux = append(p.aux, 0)
+			if len(p.args) > math.MaxInt32 {
+				return fmt.Errorf("tracefile: trace too large to vectorize")
+			}
+			continue
+		}
+		// Rare op: decode through the shared forEachOp path.
+		d.pos = pos
+		o.code = code
+		if err := d.rareOp(&o, &depth); err != nil {
+			return err
+		}
+		pos = d.pos
+		fusable = false
+		if runCode != vecRare {
+			if runN > 0 {
+				p.runs = append(p.runs, vecRun{code: runCode, n: runN, off: runOff})
+			}
+			runCode, runN, runOff = vecRare, 0, int32(len(p.rares))
+		}
+		runN++
+		p.rares = append(p.rares, o) // o is reused; keep a copy
+		if len(p.rares) > math.MaxInt32 {
+			return fmt.Errorf("tracefile: trace too large to vectorize")
+		}
+	}
+	if runN > 0 {
+		p.runs = append(p.runs, vecRun{code: runCode, n: runN, off: runOff})
+	}
+	return nil
+}
+
+// VectorLane is one timing machine participating in a vectorized
+// replay: its system, the label rewrite for its rows (nil = keep), and
+// the per-lane outputs.
+type VectorLane struct {
+	Sys      *core.System
+	MapLabel func(string) string
+
+	// Outputs, filled by VectorReplayV2.
+	Rows  []core.Row    // rows the recorded sections/results produced
+	Err   error         // this lane's replay error (others still run)
+	Apply time.Duration // host wall-clock of this lane's apply pass
+}
+
+// VectorStats reports the shared work of one VectorReplayV2 call.
+type VectorStats struct {
+	Decode time.Duration // host wall-clock of the single decode pass
+	Ops    int           // operations decoded (applied once per lane)
+}
+
+// ctxPollOps is how many applied hot ops pass between context polls.
+const ctxPollOps = 1 << 16
+
+// VectorReplayV2 decodes data once and replays it on every lane in
+// order. Each lane's system must be freshly built with the timing
+// configuration under study; its rows and cycles come out identical to
+// a scalar ReplayV2 of the same bytes (the differential suites pin
+// this). A structural decode error or a cancelled ctx aborts the whole
+// call; a lane whose machine rejects the stream records the error in
+// its Err and the remaining lanes still run.
+func VectorReplayV2(ctx context.Context, data []byte, lanes []*VectorLane) (VectorStats, error) {
+	t0 := time.Now()
+	p := programPool.Get().(*Program)
+	if err := decodeInto(p, data); err != nil {
+		p.recycle()
+		return VectorStats{}, err
+	}
+	defer p.recycle()
+	st := VectorStats{Decode: time.Since(t0), Ops: p.Ops()}
+	for _, ln := range lanes {
+		t1 := time.Now()
+		ln.Rows, ln.Err = applyProgram(ctx, ln.Sys, p, ln.MapLabel)
+		ln.Apply = time.Since(t1)
+		if ctx.Err() != nil {
+			return st, ctx.Err()
+		}
+	}
+	return st, nil
+}
+
+// applyProgram replays a decoded program on one system. Semantics match
+// ReplayV2: functional movement off for the duration, machine panics
+// surface as errors, rows in recorded order.
+func applyProgram(ctx context.Context, s *core.System, p *Program, mapLabel func(string) string) (rows []core.Row, err error) {
+	if mapLabel == nil {
+		mapLabel = func(l string) string { return l }
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("tracefile: replay: %v", r)
+		}
+	}()
+	s.SetFunctional(false)
+	defer s.SetFunctional(true)
+	ap := sim.NewVecApplier(s.Machine)
+	defer ap.Close()
+	var secs []core.Section
+	poll := 0
+	for ri := range p.runs {
+		r := &p.runs[ri]
+		if r.code == vecRare {
+			for i := r.off; i < r.off+r.n; i++ {
+				if err := applyRare(s, &p.rares[i], &secs, &rows, mapLabel); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		end := r.off + r.n
+		ap.ApplyRun(r.code, p.args[r.off:end], p.aux[r.off:end])
+		if poll += int(r.n); poll >= ctxPollOps {
+			poll = 0
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,311 @@
+package tracefile
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"impulse/internal/core"
+	"impulse/internal/obs"
+	"impulse/internal/sim"
+	"impulse/internal/workloads"
+)
+
+// vectorLaneRun builds a fresh system per opts and replays data on it as
+// a single-lane vectorized batch, returning the lane's last row and
+// registry. Fatal on any error, mirroring replayRun.
+func vectorLaneRun(t *testing.T, opts core.Options, data []byte, mapLabel func(string) string) (core.Row, *obs.Registry) {
+	t.Helper()
+	var reg obs.Registry
+	opts.RowObserver = core.CollectRows(&reg)
+	s, err := core.NewSystem(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := &VectorLane{Sys: s, MapLabel: mapLabel}
+	if _, err := VectorReplayV2(context.Background(), data, []*VectorLane{lane}); err != nil {
+		t.Fatal(err)
+	}
+	if lane.Err != nil {
+		t.Fatal(lane.Err)
+	}
+	if len(lane.Rows) == 0 {
+		t.Fatal("vector replay produced no rows")
+	}
+	return lane.Rows[len(lane.Rows)-1], &reg
+}
+
+// TestVectorReplayIdentityCG pins the vectorized tentpole property the
+// way the harness uses it: one recorded stream per Table 1 section,
+// replayed as a multi-lane batch whose lanes are the other prefetch
+// columns, must equal executing (and scalar-replaying) each lane's
+// configuration directly — rendered row, cycles, every counter, full
+// registry text. Run for both fast-path settings: the inline applier
+// must be exact whether or not the MRU engine is available.
+func TestVectorReplayIdentityCG(t *testing.T) {
+	m := workloads.MakeA(tinyCG.N, tinyCG.Nonzer, tinyCG.RCond, tinyCG.Shift)
+	modes := []workloads.CGMode{workloads.CGConventional, workloads.CGScatterGather, workloads.CGRecolor}
+	pfs := []core.PrefetchPolicy{core.PrefetchNone, core.PrefetchMC, core.PrefetchL1, core.PrefetchBoth}
+	for _, fastOff := range []bool{false, true} {
+		for _, mode := range modes {
+			name := fmt.Sprintf("%v/fastOff=%v", mode, fastOff)
+			t.Run(name, func(t *testing.T) {
+				cfg := sim.DefaultConfig()
+				cfg.DisableFastPath = fastOff
+				optsFor := func(pf core.PrefetchPolicy) core.Options {
+					kind := core.Conventional
+					if mode != workloads.CGConventional || pf == core.PrefetchMC || pf == core.PrefetchBoth {
+						kind = core.Impulse
+					}
+					c := cfg
+					return core.Options{Controller: kind, Prefetch: pf, Config: &c}
+				}
+				run := func(s *core.System) (core.Row, error) {
+					res, err := workloads.RunCG(s, tinyCG, mode, m)
+					return res.Row, err
+				}
+				// Record under the first column, like the harness batch lead.
+				data, _, _ := recordedRun(t, optsFor(pfs[0]), run)
+
+				// Build one lane per column and replay the batch.
+				regs := make([]obs.Registry, len(pfs))
+				lanes := make([]*VectorLane, len(pfs))
+				relabel := func(pf core.PrefetchPolicy) func(string) string {
+					suffix := pf.String()
+					return func(l string) string {
+						if i := strings.LastIndexByte(l, '/'); i >= 0 {
+							return l[:i+1] + suffix
+						}
+						return l
+					}
+				}
+				for i, pf := range pfs {
+					opts := optsFor(pf)
+					opts.RowObserver = core.CollectRows(&regs[i])
+					s, err := core.NewSystem(opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					lanes[i] = &VectorLane{Sys: s, MapLabel: relabel(pf)}
+				}
+				st, err := VectorReplayV2(context.Background(), data, lanes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Ops == 0 {
+					t.Fatal("vector stats report zero ops")
+				}
+
+				// Every lane must match a direct execution of its config.
+				for i, pf := range pfs {
+					if lanes[i].Err != nil {
+						t.Fatalf("lane %v: %v", pf, lanes[i].Err)
+					}
+					_, execRow, execReg := recordedRun(t, optsFor(pf), run)
+					repRow := lanes[i].Rows[len(lanes[i].Rows)-1]
+					assertIdentical(t, fmt.Sprintf("%s/%v", name, pf), execRow, repRow, execReg, &regs[i])
+				}
+			})
+		}
+	}
+}
+
+// TestVectorReplayIdentityMMP covers the Table 2 streams (tile remap,
+// software copy) against scalar replay of the same bytes.
+func TestVectorReplayIdentityMMP(t *testing.T) {
+	modes := []workloads.MMPMode{workloads.MMPNoCopyTiled, workloads.MMPCopyTiled, workloads.MMPTileRemap}
+	pfs := []core.PrefetchPolicy{core.PrefetchNone, core.PrefetchMC, core.PrefetchL1, core.PrefetchBoth}
+	for _, mode := range modes {
+		for _, pf := range pfs {
+			name := fmt.Sprintf("%v/%v", mode, pf)
+			t.Run(name, func(t *testing.T) {
+				kind := core.Conventional
+				if mode == workloads.MMPTileRemap || pf == core.PrefetchMC || pf == core.PrefetchBoth {
+					kind = core.Impulse
+				}
+				opts := core.Options{Controller: kind, Prefetch: pf}
+				data, execRow, execReg := recordedRun(t, opts, func(s *core.System) (core.Row, error) {
+					res, err := workloads.RunMMP(s, tinyMMP, mode)
+					return res.Row, err
+				})
+				repRow, repReg := vectorLaneRun(t, opts, data, nil)
+				assertIdentical(t, name, execRow, repRow, execReg, repReg)
+			})
+		}
+	}
+}
+
+// TestVectorDecodeMatchesValidate: DecodeProgram accepts exactly the
+// traces Validate accepts — its validation rides the same decoder.
+func TestVectorDecodeMatchesValidate(t *testing.T) {
+	data, _, _ := recordedRun(t, core.Options{Controller: core.Impulse, Prefetch: core.PrefetchMC},
+		func(s *core.System) (core.Row, error) {
+			res, err := workloads.RunCG(s, tinyCG, workloads.CGScatterGather,
+				workloads.MakeA(tinyCG.N, tinyCG.Nonzer, tinyCG.RCond, tinyCG.Shift))
+			return res.Row, err
+		})
+	p, err := DecodeProgram(data)
+	if err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	// The program partitions the trace: hot + rare op counts must agree
+	// with a raw decode pass, and fused Ticks must all be accounted for.
+	var raw, ticksFused int
+	if err := forEachOp(data, func(o *v2op) error { raw++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range p.aux {
+		if a != 0 {
+			ticksFused++
+		}
+	}
+	if got := p.Ops() + ticksFused; got != raw {
+		t.Errorf("program accounts for %d ops (%d fused ticks), raw decode sees %d", got, ticksFused, raw)
+	}
+	if ticksFused == 0 {
+		t.Error("no ticks fused in a CG trace (fusion broken or workload changed shape)")
+	}
+
+	for _, mut := range [][]byte{
+		nil,
+		data[:4],
+		append(append([]byte(nil), data...), 0xEE),
+		data[:len(data)-1],
+		append(append([]byte(nil), magicV2[:]...), opSectionEnd, 0),
+	} {
+		if _, err := DecodeProgram(mut); err == nil {
+			t.Error("corrupt trace decoded without error")
+		}
+	}
+}
+
+// TestVectorReplaySemanticDamage: a lane whose machine rejects the
+// stream records its own error; lanes after it still replay.
+func TestVectorReplaySemanticDamage(t *testing.T) {
+	// A load to a virtual page no opMapPT ever installed.
+	data := append([]byte(nil), magicV2[:]...)
+	data = append(data, opSectionBegin, opLoad64, 0x80, 0x80, 0x80, 0x01)
+	data = append(data, opSectionEnd, 1, 'x')
+	mk := func() *core.System {
+		s, err := core.NewSystem(core.Options{Controller: core.Conventional})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	lanes := []*VectorLane{{Sys: mk()}, {Sys: mk()}}
+	if _, err := VectorReplayV2(context.Background(), data, lanes); err != nil {
+		t.Fatalf("semantic damage must stay per-lane, got top-level error: %v", err)
+	}
+	for i, ln := range lanes {
+		if ln.Err == nil {
+			t.Errorf("lane %d: semantically damaged trace accepted", i)
+		}
+		if len(ln.Rows) != 0 {
+			t.Errorf("lane %d: %d rows leaked from failed replay", i, len(ln.Rows))
+		}
+	}
+
+	// Scalar replay of the same bytes must report the same error text,
+	// so the harness surfaces identical messages in both modes.
+	if _, scalarErr := ReplayV2(mk(), data, ReplayOpts{}); scalarErr == nil {
+		t.Error("scalar replay accepted damaged trace")
+	} else if lanes[0].Err.Error() != scalarErr.Error() {
+		t.Errorf("error text diverges:\n vector: %v\n scalar: %v", lanes[0].Err, scalarErr)
+	}
+}
+
+// TestVectorReplayCancel: a cancelled context aborts the batch with
+// ctx.Err() and no rows leak from the lane that was cut short.
+func TestVectorReplayCancel(t *testing.T) {
+	m := workloads.MakeA(tinyCG.N, tinyCG.Nonzer, tinyCG.RCond, tinyCG.Shift)
+	data, _, _ := recordedRun(t, core.Options{Controller: core.Impulse, Prefetch: core.PrefetchMC},
+		func(s *core.System) (core.Row, error) {
+			res, err := workloads.RunCG(s, tinyCG, workloads.CGScatterGather, m)
+			return res.Row, err
+		})
+	s, err := core.NewSystem(core.Options{Controller: core.Impulse, Prefetch: core.PrefetchMC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	lane := &VectorLane{Sys: s}
+	if _, err := VectorReplayV2(ctx, data, []*VectorLane{lane}); err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// BenchmarkVectorReplay measures the vectorized batch at the K values
+// the sweep families produce: 1 (a lone replay lane), 4 (one table
+// section), 16, and 30 (the projected DReAM-style family sizes).
+// Per-lane cost is the number to watch: ns/op divides by K via
+// b.ReportMetric.
+func BenchmarkVectorReplay(b *testing.B) {
+	m := workloads.MakeA(benchCG.N, benchCG.Nonzer, benchCG.RCond, benchCG.Shift)
+	s, err := core.NewSystem(core.Options{Controller: core.Impulse, Prefetch: core.PrefetchMC})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := RecordRun(s)
+	if _, err := workloads.RunCG(s, benchCG, workloads.CGScatterGather, m); err != nil {
+		b.Fatal(err)
+	}
+	data, err := rec.Bytes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 4, 16, 30} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			b.SetBytes(int64(len(data)) * int64(k))
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				lanes := make([]*VectorLane, k)
+				for j := range lanes {
+					s, err := core.NewSystem(core.Options{Controller: core.Impulse, Prefetch: core.PrefetchMC})
+					if err != nil {
+						b.Fatal(err)
+					}
+					lanes[j] = &VectorLane{Sys: s}
+				}
+				if _, err := VectorReplayV2(context.Background(), data, lanes); err != nil {
+					b.Fatal(err)
+				}
+				for _, ln := range lanes {
+					if ln.Err != nil {
+						b.Fatal(ln.Err)
+					}
+					cycles = ln.Rows[len(ln.Rows)-1].Cycles
+					ln.Sys.ReleaseBuffers()
+				}
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(k), "ns/lane")
+		})
+	}
+}
+
+// BenchmarkVectorDecode isolates the shared decode pass.
+func BenchmarkVectorDecode(b *testing.B) {
+	m := workloads.MakeA(benchCG.N, benchCG.Nonzer, benchCG.RCond, benchCG.Shift)
+	s, err := core.NewSystem(core.Options{Controller: core.Impulse, Prefetch: core.PrefetchMC})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := RecordRun(s)
+	if _, err := workloads.RunCG(s, benchCG, workloads.CGScatterGather, m); err != nil {
+		b.Fatal(err)
+	}
+	data, err := rec.Bytes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeProgram(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
