@@ -24,7 +24,7 @@ bench:
 # bench-json runs the benchmark suite and writes the machine-readable
 # results committed with each PR (name, ns/op, B/op, allocs/op, and the
 # sim-cycles metric). Progress streams to stderr while it runs.
-BENCH_JSON ?= BENCH_PR7.json
+BENCH_JSON ?= BENCH_PR8.json
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
@@ -37,13 +37,16 @@ bench-diff:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | \
 		$(GO) run ./cmd/benchjson -compare $(BENCH_JSON) -threshold $(BENCH_THRESHOLD)
 
-# fuzz-short gives the trace decoders a brief randomized shakedown; the
-# corpus seeds cover a real recorded trace plus known-malformed shapes.
-# Both decoders run: the scalar replay decoder and the vectorized
-# program decoder (which must agree with the scalar one op for op).
+# fuzz-short gives the binary decoders a brief randomized shakedown;
+# the corpus seeds cover real recorded payloads plus known-malformed
+# shapes. Three decoders run: the scalar trace replay decoder, the
+# vectorized program decoder (which must agree with the scalar one op
+# for op), and the columnar result decoder (which must reject every
+# malformed blob without panicking).
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzTraceDecode -fuzztime 10s ./internal/tracefile
 	$(GO) test -run '^$$' -fuzz FuzzVectorDecode -fuzztime 10s ./internal/tracefile
+	$(GO) test -run '^$$' -fuzz FuzzColumnarDecode -fuzztime 10s ./internal/colres
 
 # serve-smoke is the end-to-end check for the experiment service: boot
 # impulsed on an ephemeral port, submit a small Table 1 job through

@@ -14,6 +14,12 @@
 // against a previously committed document (`make bench-diff`): one line
 // per benchmark with the ns/op delta and the sim-cycles movement, and a
 // non-zero exit when any ns/op regression exceeds -threshold percent.
+//
+// With -grid FILE.impres the command instead reads a columnar result
+// blob (the archive format impulsed stores and `impulsectl result
+// -format=columnar` fetches) straight off the columns and renders the
+// view named by -format (json or text) to stdout — no daemon needed to
+// inspect an archived result.
 package main
 
 import (
@@ -27,6 +33,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"impulse/internal/colres"
 )
 
 type record struct {
@@ -140,13 +148,43 @@ func diff(w io.Writer, baselinePath string, fresh []record, thresholdPct float64
 	return nil
 }
 
+// renderGrid decodes a columnar result blob and writes the requested
+// view to stdout.
+func renderGrid(path, format string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	doc, err := colres.Decode(blob)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "json":
+		return colres.WriteGridJSON(doc, os.Stdout)
+	case "text":
+		return colres.RenderText(doc, os.Stdout)
+	default:
+		return fmt.Errorf("-format %q must be json or text with -grid", format)
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
 	compare := flag.String("compare", "", "diff against this baseline JSON instead of emitting JSON")
 	threshold := flag.Float64("threshold", 10, "with -compare: exit non-zero when any ns/op regression exceeds this percent")
+	grid := flag.String("grid", "", "read a columnar result blob from this file and render it instead of parsing benchmarks")
+	format := flag.String("format", "json", "with -grid: view to render (json or text)")
 	flag.Parse()
+
+	if *grid != "" {
+		if err := renderGrid(*grid, *format); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var recs []record
 	sc := bufio.NewScanner(os.Stdin)

@@ -8,7 +8,7 @@
 //
 //	impulsectl [-addr host:port] submit [-wait] [-counters] (-spec JSON | -f spec.json)
 //	impulsectl [-addr host:port] status <job-id>
-//	impulsectl [-addr host:port] result [-counters] <job-id>
+//	impulsectl [-addr host:port] result [-counters] [-format VIEW] <job-id>
 //	impulsectl [-addr host:port] manifest [-wait] <job-id>
 //	impulsectl [-addr host:port] trace [-o FILE] <job-id>
 //	impulsectl [-addr host:port] cancel <job-id>
@@ -21,6 +21,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"impulse/internal/colres"
 	"impulse/internal/obs"
 )
 
@@ -87,7 +89,8 @@ func usage() {
 commands:
   submit   -spec JSON | -f FILE   submit a job (add -wait to block and print the result)
   status   <job-id>               print job status JSON
-  result   <job-id>               print result bytes (-counters for the counter dump)
+  result   <job-id>               print result bytes (-counters for the counter dump;
+                                  -format columnar|json|text|svg for a columnar view)
   manifest <job-id>               print the job's provenance manifest JSON (-wait to block)
   trace    <job-id>               print the job's Perfetto timeline JSON (-o FILE to save)
   cancel   <job-id>               cancel a queued or running job
@@ -154,7 +157,11 @@ func fetchResult(id, path string, wait bool) ([]byte, error) {
 	for {
 		url := base + "/v1/jobs/" + id + path
 		if wait {
-			url += "?wait=30s"
+			if strings.Contains(path, "?") {
+				url += "&wait=30s"
+			} else {
+				url += "?wait=30s"
+			}
 		}
 		resp, err := http.Get(url)
 		if err != nil {
@@ -228,13 +235,19 @@ func cmdResult(args []string) error {
 	fs := flag.NewFlagSet("result", flag.ExitOnError)
 	counters := fs.Bool("counters", false, "print the counter dump instead of the rendered result")
 	wait := fs.Bool("wait", false, "block until the job finishes")
+	format := fs.String("format", "", "render this view of the columnar result: columnar, json, text, or svg (grid kinds only)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: result [-counters] [-wait] <job-id>")
+		return fmt.Errorf("usage: result [-counters] [-wait] [-format VIEW] <job-id>")
 	}
 	path := "/result"
-	if *counters {
+	switch {
+	case *counters:
 		path = "/counters"
+	case *format != "":
+		// The daemon renders the view lazily from the archived columns;
+		// -format=columnar streams the raw mapped blob.
+		path = "/result?view=" + *format
 	}
 	data, err := fetchResult(fs.Arg(0), path, *wait)
 	if err != nil {
@@ -288,6 +301,8 @@ func cmdWatch(args []string) error {
 			State   string `json:"state"`
 			Section string `json:"section"`
 			Column  string `json:"column"`
+			Label   string `json:"label"`
+			Chunk   string `json:"chunk"`
 		}
 		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
 			continue
@@ -297,6 +312,21 @@ func cmdWatch(args []string) error {
 			fmt.Printf("[%03d] state: %s\n", ev.Seq, ev.State)
 		case "progress":
 			fmt.Printf("[%03d] %s / %s\n", ev.Seq, ev.Section, ev.Column)
+		case "cell":
+			// Incremental columnar row chunk: decode and summarize the
+			// cell's metrics as they land, before the job finishes.
+			raw, err := base64.StdEncoding.DecodeString(ev.Chunk)
+			if err != nil {
+				fmt.Printf("[%03d] cell %s (undecodable chunk: %v)\n", ev.Seq, ev.Label, err)
+				continue
+			}
+			row, err := colres.DecodeRow(raw)
+			if err != nil {
+				fmt.Printf("[%03d] cell %s (bad chunk: %v)\n", ev.Seq, ev.Label, err)
+				continue
+			}
+			fmt.Printf("[%03d] cell %s: cycles=%d L1=%.1f%% avg=%.2f p50/95/99=%d/%d/%d\n",
+				ev.Seq, row.Label, row.Cycles, row.L1*100, row.AvgLoad, row.P50, row.P95, row.P99)
 		}
 	}
 	return sc.Err()

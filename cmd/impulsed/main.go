@@ -43,6 +43,8 @@ func main() {
 	queueDepth := flag.Int("queue", 64, "max queued jobs before submissions get 429")
 	executors := flag.Int("exec", 2, "jobs running concurrently")
 	cacheSize := flag.Int("cache", 128, "finished jobs kept for result reuse")
+	archiveBytes := flag.Int64("archive-bytes", 256<<20, "byte budget for archived columnar result blobs (LRU evicts beyond it)")
+	archiveDir := flag.String("archive-dir", "", "directory for archived result blobs (empty: private temp dir, removed on exit)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "harness worker goroutines per running job")
 	traceCache := flag.Bool("trace-cache", true, "share recorded reference streams across cells and jobs")
 	vectorReplay := flag.Bool("vector-replay", true, "replay each cell family through one shared trace decode (needs -trace-cache)")
@@ -87,6 +89,8 @@ func main() {
 		QueueDepth:       *queueDepth,
 		Executors:        *executors,
 		CacheSize:        *cacheSize,
+		CacheBytes:       *archiveBytes,
+		ArchiveDir:       *archiveDir,
 		Logger:           log,
 		SlowJobThreshold: *slowJob,
 	})
@@ -104,7 +108,8 @@ func main() {
 		}
 	}
 	log.Info("listening", "url", "http://"+actual, "queue", *queueDepth, "exec", *executors,
-		"cache", *cacheSize, "workers", *jobs, "trace_cache", *traceCache, "slow_job", slowJob.String())
+		"cache", *cacheSize, "archive_bytes", *archiveBytes, "workers", *jobs,
+		"trace_cache", *traceCache, "slow_job", slowJob.String())
 
 	srv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)

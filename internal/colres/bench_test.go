@@ -1,0 +1,49 @@
+package colres
+
+import "testing"
+
+// benchDoc is a full paper-scale grid (8 sections × 4 prefetch
+// columns), the realistic upper end of what one job encodes.
+func benchDoc() *Doc {
+	d := &Doc{
+		Title:   "bench grid",
+		Columns: []string{"none", "mc", "l1", "both"},
+	}
+	for si := 0; si < 8; si++ {
+		d.Sections = append(d.Sections, "section-"+string(rune('a'+si)))
+		for ci := 0; ci < 4; ci++ {
+			d.Cells = append(d.Cells, Cell{
+				Section: uint32(si), Column: uint32(ci),
+				Cycles: uint64(1000000 + si*1000 + ci), Loads: 123456, Stores: 54321,
+				BusBytes: 1 << 20, P50: 1, P95: 80, P99: 120,
+				L1: 0.9, L2: 0.05, Mem: 0.05, AvgLoad: 4.2,
+				Speedup: 1 + float64(ci)*0.3,
+			})
+		}
+	}
+	return d
+}
+
+func BenchmarkColumnarEncode(b *testing.B) {
+	d := benchDoc()
+	blob := Encode(d)
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	buf := make([]byte, 0, len(blob))
+	for i := 0; i < b.N; i++ {
+		buf = Append(buf[:0], d)
+	}
+}
+
+func BenchmarkColumnarDecode(b *testing.B) {
+	blob := Encode(benchDoc())
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

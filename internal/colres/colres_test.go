@@ -1,0 +1,165 @@
+package colres
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testDoc is a representative two-section grid with every column
+// exercised, including float values whose bit patterns must survive the
+// round trip exactly.
+func testDoc() *Doc {
+	return &Doc{
+		Title:    "Table 1: conjugate gradient",
+		Sections: []string{"CG class S", "CG class W"},
+		Columns:  []string{"none", "mc", "l1", "both"},
+		Cells: []Cell{
+			{Section: 0, Column: 0, Cycles: 123456, Loads: 1000, Stores: 400,
+				BusBytes: 65536, P50: 1, P95: 80, P99: 100,
+				L1: 0.75, L2: 0.0625, Mem: 0.1875, AvgLoad: 10.5, Speedup: 1},
+			{Section: 0, Column: 1, Cycles: 98765, Loads: 1000, Stores: 400,
+				BusBytes: 32768, P50: 1, P95: 60, P99: 90,
+				L1: 0.8, L2: 0.05, Mem: 0.15, AvgLoad: 7.25, Speedup: 1.25},
+			{Section: 1, Column: 2, Cycles: 42, Loads: 1, Stores: 0,
+				BusBytes: 64, P50: 0, P95: 0, P99: 0,
+				L1: 1, L2: 0, Mem: 0, AvgLoad: 1, Speedup: 2.9400000000000004},
+			{Section: 1, Column: 3, Cycles: 1 << 40, Loads: 1 << 33, Stores: 1 << 20,
+				BusBytes: 1 << 36, P50: 3, P95: 180, P99: 250,
+				L1: 0.9375, L2: 0.03125, Mem: 0.03125, AvgLoad: 2.5, Speedup: 0.5},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d := testDoc()
+	blob := Encode(d)
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Errorf("round trip mutated the document\ngot:  %+v\nwant: %+v", got, d)
+	}
+}
+
+// TestEncodeDeterministic: identical documents encode byte-identically
+// (the archive keys blobs by spec hash and the manifest digests them).
+func TestEncodeDeterministic(t *testing.T) {
+	a, b := Encode(testDoc()), Encode(testDoc())
+	if !bytes.Equal(a, b) {
+		t.Error("same document encoded differently on consecutive calls")
+	}
+}
+
+// TestAppendStandalone: blobs appended after arbitrary prefix bytes are
+// still valid standalone blobs (offsets are blob-relative).
+func TestAppendStandalone(t *testing.T) {
+	prefix := []byte("some earlier bytes")
+	buf := Append(append([]byte(nil), prefix...), testDoc())
+	blob := buf[len(prefix):]
+	if _, err := Decode(blob); err != nil {
+		t.Errorf("appended blob does not decode standalone: %v", err)
+	}
+	if !bytes.Equal(blob, Encode(testDoc())) {
+		t.Error("appended encoding differs from standalone encoding")
+	}
+}
+
+// TestEmptyGridRoundTrip: a zero-cell document (no sections, no
+// columns) is still a valid blob.
+func TestEmptyGridRoundTrip(t *testing.T) {
+	blob := Encode(&Doc{Title: "empty"})
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Title != "empty" || len(got.Sections) != 0 || len(got.Columns) != 0 || len(got.Cells) != 0 {
+		t.Errorf("empty grid round trip: %+v", got)
+	}
+}
+
+// TestDecodeTruncated: every proper prefix of a valid blob must fail to
+// decode (and must not panic). This is the wire-level guarantee that a
+// torn read or short download is always detected.
+func TestDecodeTruncated(t *testing.T) {
+	blob := Encode(testDoc())
+	for i := 0; i < len(blob); i++ {
+		if _, err := Decode(blob[:i]); err == nil {
+			t.Fatalf("Decode accepted a %d/%d-byte prefix", i, len(blob))
+		}
+	}
+}
+
+// TestDecodeCorrupt covers targeted corruptions: each must be rejected
+// with a descriptive error, and the checksum must catch any flip the
+// structural checks cannot.
+func TestDecodeCorrupt(t *testing.T) {
+	base := Encode(testDoc())
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := append([]byte(nil), base...)
+		mutate(b)
+		return b
+	}
+	cases := []struct {
+		name    string
+		blob    []byte
+		wantSub string
+	}{
+		{"bad magic", corrupt(func(b []byte) { b[0] = 'X' }), "bad magic"},
+		{"bad trailer magic", corrupt(func(b []byte) { b[len(b)-1] = '?' }), "trailer magic"},
+		{"footer offset out of range", corrupt(func(b []byte) { b[len(b)-16] ^= 0x80 }), "abut"},
+		{"footer length mismatch", corrupt(func(b []byte) { b[len(b)-12]++ }), "abut"},
+		{"checksum mismatch", corrupt(func(b []byte) { b[len(magic)] ^= 0xFF }), "checksum"},
+		{"corrupt trailer checksum", corrupt(func(b []byte) { b[len(b)-8] ^= 0x01 }), "checksum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(tc.blob)
+			if err == nil {
+				t.Fatal("corrupt blob decoded without error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsForeignBytes: arbitrary non-blob inputs fail cleanly.
+func TestDecodeRejectsForeignBytes(t *testing.T) {
+	for _, b := range [][]byte{nil, []byte("IMPCOL01"), []byte(strings.Repeat("z", 64)), bytes.Repeat([]byte{0}, 128)} {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("Decode accepted %d foreign bytes", len(b))
+		}
+	}
+}
+
+func TestRowChunkRoundTrip(t *testing.T) {
+	r := Row{
+		Label: "CG class S/mc", Cycles: 123456, Loads: 1000, Stores: 400,
+		BusBytes: 65536, P50: 1, P95: 80, P99: 100,
+		L1: 0.75, L2: 0.0625, Mem: math.Inf(1), AvgLoad: 10.5,
+	}
+	got, err := DecodeRow(EncodeRow(r))
+	if err != nil {
+		t.Fatalf("DecodeRow: %v", err)
+	}
+	if got != r {
+		t.Errorf("row chunk round trip mutated the row\ngot:  %+v\nwant: %+v", got, r)
+	}
+}
+
+func TestRowChunkTruncated(t *testing.T) {
+	chunk := EncodeRow(Row{Label: "x/y", Cycles: 9, AvgLoad: 1.5})
+	for i := 0; i < len(chunk); i++ {
+		if _, err := DecodeRow(chunk[:i]); err == nil {
+			t.Fatalf("DecodeRow accepted a %d/%d-byte prefix", i, len(chunk))
+		}
+	}
+	if _, err := DecodeRow(append(chunk, 0)); err == nil {
+		t.Error("DecodeRow accepted trailing bytes")
+	}
+}

@@ -1,0 +1,111 @@
+// Views over a columnar Doc. These are the renderings the repo has
+// always produced — Grid JSON for machines, the paper-style text table
+// for humans — except they now read the one columnar schema instead of
+// harness-internal structs, so a service can store only the blob and
+// materialize whichever view a client asks for. Both byte formats are
+// frozen: the JSON view is pinned by internal/harness's golden file,
+// and the text view must stay diff-identical to the CLIs (serve-smoke
+// compares them).
+package colres
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"impulse/internal/stats"
+)
+
+// JSONCell is the machine-readable form of one table cell.
+type JSONCell struct {
+	Section  string  `json:"section"`
+	Prefetch string  `json:"prefetch"`
+	Cycles   uint64  `json:"cycles"`
+	L1Ratio  float64 `json:"l1_hit_ratio"`
+	L2Ratio  float64 `json:"l2_hit_ratio"`
+	MemRatio float64 `json:"mem_hit_ratio"`
+	AvgLoad  float64 `json:"avg_load_time"`
+	P50Load  uint64  `json:"p50_load_time"`
+	P95Load  uint64  `json:"p95_load_time"`
+	P99Load  uint64  `json:"p99_load_time"`
+	Speedup  float64 `json:"speedup"`
+	Loads    uint64  `json:"loads"`
+	Stores   uint64  `json:"stores"`
+	BusBytes uint64  `json:"bus_bytes"`
+}
+
+// JSONGrid is the machine-readable form of a whole table.
+type JSONGrid struct {
+	Title string     `json:"title"`
+	Cells []JSONCell `json:"cells"`
+}
+
+// WriteGridJSON renders the Grid JSON view: indented JSON for plotting
+// pipelines and regression comparisons (RenderText is for humans).
+func WriteGridJSON(d *Doc, w io.Writer) error {
+	out := JSONGrid{Title: d.Title}
+	for _, c := range d.Cells {
+		out.Cells = append(out.Cells, JSONCell{
+			Section:  d.Sections[c.Section],
+			Prefetch: d.Columns[c.Column],
+			Cycles:   c.Cycles,
+			L1Ratio:  c.L1,
+			L2Ratio:  c.L2,
+			MemRatio: c.Mem,
+			AvgLoad:  c.AvgLoad,
+			P50Load:  c.P50,
+			P95Load:  c.P95,
+			P99Load:  c.P99,
+			Speedup:  c.Speedup,
+			Loads:    c.Loads,
+			Stores:   c.Stores,
+			BusBytes: c.BusBytes,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// RenderText renders the paper-layout text table view.
+func RenderText(d *Doc, w io.Writer) error {
+	t := stats.NewTable(d.Title, d.Columns...)
+	for si, name := range d.Sections {
+		t.Section(name)
+		var cells []*Cell
+		for i := range d.Cells {
+			if d.Cells[i].Section == uint32(si) {
+				cells = append(cells, &d.Cells[i])
+			}
+		}
+		times := make([]interface{}, len(cells))
+		l1 := make([]float64, len(cells))
+		l2 := make([]float64, len(cells))
+		mem := make([]float64, len(cells))
+		avg := make([]interface{}, len(cells))
+		pct := make([]interface{}, len(cells))
+		sp := make([]interface{}, len(cells))
+		for i, c := range cells {
+			times[i] = stats.FormatCycles(c.Cycles)
+			l1[i] = c.L1
+			l2[i] = c.L2
+			mem[i] = c.Mem
+			avg[i] = c.AvgLoad
+			pct[i] = stats.FormatPercentiles(c.P50, c.P95, c.P99)
+			if si == 0 && i == 0 {
+				sp[i] = "—"
+			} else {
+				sp[i] = fmt.Sprintf("%.2f", c.Speedup)
+			}
+		}
+		t.AddRow("        Time", times...)
+		t.AddPercentRow("  L1 hit ratio", l1...)
+		t.AddPercentRow("  L2 hit ratio", l2...)
+		t.AddPercentRow(" mem hit ratio", mem...)
+		t.AddRow(" avg load time", avg...)
+		t.AddRow("p50/95/99 load", pct...)
+		t.AddRow("       speedup", sp...)
+	}
+	_, err := io.WriteString(w, t.Render())
+	return err
+}

@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"io"
+
+	"impulse/internal/colres"
 )
 
 // SpeedupChart renders a grid's speedups as a self-contained SVG grouped
@@ -10,6 +12,13 @@ import (
 // column — the figure the paper's tables imply but never draw. Written
 // by `cmd/report -svg`.
 func SpeedupChart(g *Grid, w io.Writer) error {
+	return SpeedupChartDoc(g.Doc(), w)
+}
+
+// SpeedupChartDoc is the SVG view over a columnar result document, so a
+// chart can be drawn from an archived blob without reconstructing the
+// grid it came from.
+func SpeedupChartDoc(d *colres.Doc, w io.Writer) error {
 	const (
 		barW     = 34
 		barGap   = 6
@@ -18,18 +27,20 @@ func SpeedupChart(g *Grid, w io.Writer) error {
 		baseY    = 340
 		leftPad  = 60
 	)
+	// Regroup the flat cell list by section (cells are section-major).
+	groups := make([][]*colres.Cell, len(d.Sections))
 	var maxSp float64 = 1
-	for _, row := range g.Cells {
-		for _, c := range row {
-			if c.Speedup > maxSp {
-				maxSp = c.Speedup
-			}
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		groups[c.Section] = append(groups[c.Section], c)
+		if c.Speedup > maxSp {
+			maxSp = c.Speedup
 		}
 	}
 	scale := float64(chartH) / (maxSp * 1.1)
 
-	nGroups := len(g.Cells)
-	nBars := len(prefetchColumns)
+	nGroups := len(groups)
+	nBars := len(d.Columns)
 	groupW := nBars*(barW+barGap) + groupGap
 	width := leftPad + nGroups*groupW + 40
 	height := baseY + 90
@@ -37,7 +48,7 @@ func SpeedupChart(g *Grid, w io.Writer) error {
 	colors := []string{"#888888", "#4477aa", "#66ccee", "#228833"}
 
 	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
-	fmt.Fprintf(w, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`+"\n", leftPad, g.Title)
+	fmt.Fprintf(w, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`+"\n", leftPad, d.Title)
 
 	// Y axis with gridlines every 0.5x.
 	for v := 0.0; v <= maxSp*1.1; v += 0.5 {
@@ -52,7 +63,7 @@ func SpeedupChart(g *Grid, w io.Writer) error {
 	fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#aa3333" stroke-dasharray="4 3"/>`+"\n",
 		leftPad, y1, width-20, y1)
 
-	for gi, row := range g.Cells {
+	for gi, row := range groups {
 		gx := leftPad + gi*groupW
 		for ci, c := range row {
 			h := c.Speedup * scale
@@ -63,7 +74,7 @@ func SpeedupChart(g *Grid, w io.Writer) error {
 				x+barW/2, float64(baseY)-h-4, c.Speedup)
 		}
 		// Section label, wrapped crudely at ~24 chars.
-		label := g.Sections[gi]
+		label := d.Sections[gi]
 		if len(label) > 26 {
 			label = label[:24] + "…"
 		}
@@ -71,7 +82,7 @@ func SpeedupChart(g *Grid, w io.Writer) error {
 			gx+(nBars*(barW+barGap))/2, baseY+22, label)
 	}
 	// Legend.
-	for ci, name := range columnNames {
+	for ci, name := range d.Columns {
 		x := leftPad + ci*140
 		fmt.Fprintf(w, `<rect x="%d" y="%d" width="14" height="14" fill="%s"/>`+"\n",
 			x, baseY+44, colors[ci%len(colors)])

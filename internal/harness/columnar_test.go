@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"impulse/internal/colres"
+	"impulse/internal/obs"
+)
+
+// TestColumnarGoldenRoundTrip is the schema-equivalence pin for the
+// columnar result pipeline: lowering the golden grid to a blob,
+// decoding it, and rendering the JSON view must reproduce
+// testdata/grid_golden.json byte for byte. This is what lets the
+// service archive blobs instead of rendered views — any view can be
+// reconstructed from the columns with zero drift.
+func TestColumnarGoldenRoundTrip(t *testing.T) {
+	g := goldenGrid()
+	blob := g.Columnar()
+	doc, err := colres.Decode(blob)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	var got bytes.Buffer
+	if err := colres.WriteGridJSON(doc, &got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "grid_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("JSON view of decoded blob drifted from golden file\n--- got ---\n%s--- want ---\n%s",
+			got.Bytes(), want)
+	}
+}
+
+// TestColumnarViewsMatchDirectRenderings: the text table and the SVG
+// chart rendered from a decoded blob are byte-identical to rendering
+// the grid directly.
+func TestColumnarViewsMatchDirectRenderings(t *testing.T) {
+	g := goldenGrid()
+	doc, err := colres.Decode(g.Columnar())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+
+	var direct, viaBlob bytes.Buffer
+	if err := g.Render(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := colres.RenderText(doc, &viaBlob); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), viaBlob.Bytes()) {
+		t.Errorf("text view from blob differs from direct render\n--- blob ---\n%s--- direct ---\n%s",
+			viaBlob.Bytes(), direct.Bytes())
+	}
+
+	direct.Reset()
+	viaBlob.Reset()
+	if err := SpeedupChart(g, &direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := SpeedupChartDoc(doc, &viaBlob); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), viaBlob.Bytes()) {
+		t.Error("SVG chart from blob differs from direct render")
+	}
+}
+
+// TestColumnarEncodeDeterministic: the same grid lowers to the same
+// blob (the archive digests blobs and the byte-budget LRU keys them by
+// spec hash, so a re-run must reproduce its bytes).
+func TestColumnarEncodeDeterministic(t *testing.T) {
+	if !bytes.Equal(goldenGrid().Columnar(), goldenGrid().Columnar()) {
+		t.Error("same grid encoded to different blobs")
+	}
+}
+
+// TestIneligibleNoteCarriesJobID: the trace-cache ineligibility
+// advisory fires once per process per family through obs.WarnOnceCtx,
+// attributed to the service job whose context triggered it.
+func TestIneligibleNoteCarriesJobID(t *testing.T) {
+	var buf bytes.Buffer
+	obs.SetWarnOutput(&buf)
+	defer obs.SetWarnOutput(nil)
+	obs.ResetWarnings()
+	defer obs.ResetWarnings()
+
+	prev := traceCacheOn
+	SetTraceCache(true)
+	defer SetTraceCache(prev)
+
+	ctx := obs.WithJobID(context.Background(), "j-000042")
+	noteIneligible(ctx, "colorsweep", "cells vary the reference stream")
+	got := buf.String()
+	if !strings.Contains(got, "trace-cache: colorsweep: ineligible") {
+		t.Fatalf("advisory not emitted: %q", got)
+	}
+	if !strings.Contains(got, "[job j-000042]") {
+		t.Errorf("advisory lacks job attribution: %q", got)
+	}
+
+	// Same family again — even from another job — stays deduplicated.
+	noteIneligible(obs.WithJobID(context.Background(), "j-000043"), "colorsweep", "again")
+	if buf.String() != got {
+		t.Errorf("advisory repeated for the same family:\n%s", buf.String())
+	}
+
+	// With the cache off the advisory is pointless and must not fire.
+	SetTraceCache(false)
+	noteIneligible(ctx, "othersweep", "whatever")
+	if strings.Contains(buf.String(), "othersweep") {
+		t.Error("advisory fired with the trace cache disabled")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 
+	"impulse/internal/colres"
 	"impulse/internal/core"
 	"impulse/internal/stats"
 	"impulse/internal/workloads"
@@ -51,43 +52,11 @@ type Grid struct {
 	Cells    [][]Cell // [section][column]
 }
 
-// Render prints the grid in the paper's layout.
+// Render prints the grid in the paper's layout — the text view over the
+// columnar document (colres.RenderText), so CLI output and a view
+// rendered from an archived blob are byte-identical by construction.
 func (g *Grid) Render(w io.Writer) error {
-	t := stats.NewTable(g.Title, columnNames...)
-	for si, name := range g.Sections {
-		t.Section(name)
-		cells := g.Cells[si]
-		times := make([]interface{}, len(cells))
-		l1 := make([]float64, len(cells))
-		l2 := make([]float64, len(cells))
-		mem := make([]float64, len(cells))
-		avg := make([]interface{}, len(cells))
-		pct := make([]interface{}, len(cells))
-		sp := make([]interface{}, len(cells))
-		for i, c := range cells {
-			times[i] = stats.FormatCycles(c.Row.Cycles)
-			l1[i] = c.Row.L1Ratio
-			l2[i] = c.Row.L2Ratio
-			mem[i] = c.Row.MemRatio
-			avg[i] = c.Row.AvgLoad
-			h := &cells[i].Row.Stats.LoadLatency
-			pct[i] = fmt.Sprintf("%d/%d/%d", h.Percentile(50), h.Percentile(95), h.Percentile(99))
-			if si == 0 && i == 0 {
-				sp[i] = "—"
-			} else {
-				sp[i] = fmt.Sprintf("%.2f", c.Speedup)
-			}
-		}
-		t.AddRow("        Time", times...)
-		t.AddPercentRow("  L1 hit ratio", l1...)
-		t.AddPercentRow("  L2 hit ratio", l2...)
-		t.AddPercentRow(" mem hit ratio", mem...)
-		t.AddRow(" avg load time", avg...)
-		t.AddRow("p50/95/99 load", pct...)
-		t.AddRow("       speedup", sp...)
-	}
-	_, err := io.WriteString(w, t.Render())
-	return err
+	return colres.RenderText(g.Doc(), w)
 }
 
 // Baseline returns the conventional/no-prefetch cell.

@@ -1,59 +1,64 @@
 package harness
 
 import (
-	"encoding/json"
 	"io"
+
+	"impulse/internal/colres"
 )
 
-// JSONCell is the machine-readable form of one table cell.
-type JSONCell struct {
-	Section  string  `json:"section"`
-	Prefetch string  `json:"prefetch"`
-	Cycles   uint64  `json:"cycles"`
-	L1Ratio  float64 `json:"l1_hit_ratio"`
-	L2Ratio  float64 `json:"l2_hit_ratio"`
-	MemRatio float64 `json:"mem_hit_ratio"`
-	AvgLoad  float64 `json:"avg_load_time"`
-	P50Load  uint64  `json:"p50_load_time"`
-	P95Load  uint64  `json:"p95_load_time"`
-	P99Load  uint64  `json:"p99_load_time"`
-	Speedup  float64 `json:"speedup"`
-	Loads    uint64  `json:"loads"`
-	Stores   uint64  `json:"stores"`
-	BusBytes uint64  `json:"bus_bytes"`
-}
+// JSONCell and JSONGrid are the machine-readable grid forms. They live
+// in internal/colres now — the columnar schema is the single source of
+// truth for every rendering — and stay aliased here for the plotting
+// and test code that grew up against the harness names.
+type (
+	JSONCell = colres.JSONCell
+	JSONGrid = colres.JSONGrid
+)
 
-// JSONGrid is the machine-readable form of a whole table.
-type JSONGrid struct {
-	Title string     `json:"title"`
-	Cells []JSONCell `json:"cells"`
-}
-
-// WriteJSON emits the grid as indented JSON, for plotting pipelines and
-// regression comparisons (the text Render is for humans).
-func (g *Grid) WriteJSON(w io.Writer) error {
-	out := JSONGrid{Title: g.Title}
-	for si, name := range g.Sections {
-		for ci, cell := range g.Cells[si] {
-			out.Cells = append(out.Cells, JSONCell{
-				Section:  name,
-				Prefetch: columnNames[ci],
+// Doc lowers the grid into the columnar result schema: coordinates as
+// string-table indices, counters and derived stats (including the
+// latency percentiles every view shows) as fixed-width columns. Every
+// rendering of a grid — JSON, text, SVG, the service's archive blob —
+// is a view over this one document.
+func (g *Grid) Doc() *colres.Doc {
+	d := &colres.Doc{
+		Title:    g.Title,
+		Sections: g.Sections,
+		Columns:  columnNames,
+	}
+	for si := range g.Cells {
+		for ci := range g.Cells[si] {
+			cell := &g.Cells[si][ci]
+			h := &cell.Row.Stats.LoadLatency
+			d.Cells = append(d.Cells, colres.Cell{
+				Section:  uint32(si),
+				Column:   uint32(ci),
 				Cycles:   cell.Row.Cycles,
-				L1Ratio:  cell.Row.L1Ratio,
-				L2Ratio:  cell.Row.L2Ratio,
-				MemRatio: cell.Row.MemRatio,
-				AvgLoad:  cell.Row.AvgLoad,
-				P50Load:  cell.Row.Stats.LoadLatency.Percentile(50),
-				P95Load:  cell.Row.Stats.LoadLatency.Percentile(95),
-				P99Load:  cell.Row.Stats.LoadLatency.Percentile(99),
-				Speedup:  cell.Speedup,
 				Loads:    cell.Row.Stats.Loads,
 				Stores:   cell.Row.Stats.Stores,
 				BusBytes: cell.Row.Stats.BusBytes,
+				P50:      h.Percentile(50),
+				P95:      h.Percentile(95),
+				P99:      h.Percentile(99),
+				L1:       cell.Row.L1Ratio,
+				L2:       cell.Row.L2Ratio,
+				Mem:      cell.Row.MemRatio,
+				AvgLoad:  cell.Row.AvgLoad,
+				Speedup:  cell.Speedup,
 			})
 		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return d
+}
+
+// Columnar encodes the grid as a columnar result blob (the archive /
+// wire form; see docs/RESULTS.md).
+func (g *Grid) Columnar() []byte { return colres.Encode(g.Doc()) }
+
+// WriteJSON emits the grid as indented JSON, for plotting pipelines and
+// regression comparisons (the text Render is for humans). It is the
+// JSON view over the columnar document; the byte format is pinned by
+// testdata/grid_golden.json.
+func (g *Grid) WriteJSON(w io.Writer) error {
+	return colres.WriteGridJSON(g.Doc(), w)
 }

@@ -1,0 +1,130 @@
+// The on-disk result archive: one columnar blob per cached spec hash,
+// memory-mapped back into the daemon so a cache hit writes the mapped
+// bytes straight to the HTTP response — no deserialization, no
+// re-encode, no heap copy of the payload on the hot path. Blobs are
+// written via temp-file + rename (a crash never leaves a torn blob
+// visible) and unlinked on eviction; established mappings stay valid
+// until the last referencing Result is garbage collected, at which
+// point a finalizer releases the pages.
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+)
+
+// mappedBlob is one archived result blob. Data aliases the mapping when
+// mapped is true (read-only pages; writing through it faults), or a
+// private heap copy on platforms without mmap support.
+type mappedBlob struct {
+	data   []byte
+	mapped bool
+	path   string
+	unmap  func() // non-nil iff mapped
+}
+
+// blobArchive owns the archive directory and the live mappings.
+type blobArchive struct {
+	dir string
+	own bool // dir was created by us; Close removes it
+
+	mu    sync.Mutex
+	blobs map[string]*mappedBlob // spec hash -> current blob
+}
+
+// openBlobArchive opens (or creates) the archive at dir; an empty dir
+// gets a private temporary directory the archive removes on Close.
+func openBlobArchive(dir string) (*blobArchive, error) {
+	own := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "impulsed-archive-")
+		if err != nil {
+			return nil, err
+		}
+		dir, own = d, true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &blobArchive{dir: dir, own: own, blobs: make(map[string]*mappedBlob)}, nil
+}
+
+func (a *blobArchive) blobPath(hash string) string {
+	return filepath.Join(a.dir, hash+".impres")
+}
+
+// Put durably stores blob under hash and returns it mapped. An existing
+// blob for the hash is replaced (its mapping stays valid for readers
+// still holding it). On platforms without mmap the returned blob keeps
+// the caller's bytes in memory; serving still skips re-encoding.
+func (a *blobArchive) Put(hash string, blob []byte) (*mappedBlob, error) {
+	path := a.blobPath(hash)
+	tmp, err := os.CreateTemp(a.dir, hash+".tmp-")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	b := &mappedBlob{data: blob, path: path}
+	if data, unmap, err := mapFile(path, len(blob)); err == nil {
+		b.data, b.mapped, b.unmap = data, true, unmap
+		// Release the pages only when nothing can reach them anymore:
+		// every Result serving this blob holds the *mappedBlob, so the
+		// finalizer cannot fire under an in-flight response write.
+		runtime.SetFinalizer(b, func(b *mappedBlob) { b.unmap() })
+	}
+	a.mu.Lock()
+	a.blobs[hash] = b
+	a.mu.Unlock()
+	return b, nil
+}
+
+// Get returns the mapped blob for hash, or nil.
+func (a *blobArchive) Get(hash string) *mappedBlob {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.blobs[hash]
+}
+
+// Remove drops hash from the archive and unlinks its file. Existing
+// mappings of the removed blob survive the unlink (the kernel keeps the
+// pages until the mapping goes away), so evicting under a concurrent
+// reader is safe.
+func (a *blobArchive) Remove(hash string) {
+	a.mu.Lock()
+	delete(a.blobs, hash)
+	a.mu.Unlock()
+	os.Remove(a.blobPath(hash))
+}
+
+// Close unlinks every blob (and the directory, when owned). Mappings
+// are left to their finalizers for the same reason Remove leaves them.
+func (a *blobArchive) Close() {
+	a.mu.Lock()
+	blobs := a.blobs
+	a.blobs = make(map[string]*mappedBlob)
+	a.mu.Unlock()
+	for _, b := range blobs {
+		os.Remove(b.path)
+	}
+	if a.own {
+		os.RemoveAll(a.dir)
+	}
+}
+
+// errMmapUnsupported reports why mapFile is unavailable on this
+// platform (see archive_fallback.go).
+var errMmapUnsupported = fmt.Errorf("service: mmap unsupported on this platform")

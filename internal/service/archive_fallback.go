@@ -1,0 +1,9 @@
+//go:build !unix
+
+package service
+
+// mapFile is unavailable without mmap; Put keeps the encoded bytes in
+// memory instead, which still serves cache hits without re-encoding.
+func mapFile(path string, size int) ([]byte, func(), error) {
+	return nil, nil, errMmapUnsupported
+}

@@ -1,0 +1,29 @@
+//go:build unix
+
+package service
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of path read-only and shared, returning the
+// mapping and its release function. MAP_SHARED means a later in-place
+// rewrite of the file is visible through the mapping — the zero-copy
+// serving test exploits exactly that to prove responses come from the
+// mapped file, not a heap copy.
+func mapFile(path string, size int) ([]byte, func(), error) {
+	if size == 0 {
+		return nil, nil, errMmapUnsupported
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close() // the mapping keeps the pages; the fd is not needed
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

@@ -85,9 +85,14 @@ type Manifest struct {
 
 	// Result identity: SHA-256 digests of the rendered output and the
 	// counter dump, so two runs can be compared without shipping bytes.
+	// Grid results also record the columnar blob the archive stores —
+	// the digest covers the schema-level result, independent of which
+	// view a client fetched.
 	OutputBytes    int    `json:"output_bytes"`
 	ResultDigest   string `json:"result_digest,omitempty"`
 	CountersDigest string `json:"counters_digest,omitempty"`
+	ColumnarBytes  int    `json:"columnar_bytes,omitempty"`
+	ColumnarDigest string `json:"columnar_digest,omitempty"`
 
 	Build BuildInfo `json:"build"`
 }
@@ -145,6 +150,10 @@ func buildManifest(j *Job) *Manifest {
 		m.OutputBytes = len(j.result.Output)
 		m.ResultDigest = digest(j.result.Output)
 		m.CountersDigest = digest(j.result.Counters)
+		if len(j.result.Columnar) > 0 {
+			m.ColumnarBytes = len(j.result.Columnar)
+			m.ColumnarDigest = digest(j.result.Columnar)
+		}
 	}
 	return m
 }

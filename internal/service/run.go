@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"impulse/internal/colres"
 	"impulse/internal/core"
 	"impulse/internal/harness"
 	"impulse/internal/obs"
@@ -30,11 +31,52 @@ func jobTraceFrom(ctx context.Context) *obs.JobTrace {
 // Result is a finished job's payload: the experiment's rendered output
 // (byte-identical to the equivalent CLI invocation) plus the counter
 // registry dump for every row the run measured (byte-identical to the
-// CLIs' -counters output).
+// CLIs' -counters output). Grid kinds additionally carry Columnar, the
+// encoded columnar result blob the archive stores and every view is
+// rendered from; once archived, Columnar (and, for format "columnar",
+// Output) alias the memory-mapped blob file.
 type Result struct {
 	Output   []byte
 	Counters []byte
 	MIME     string
+	Columnar []byte
+
+	// blob pins the mapped archive blob backing Columnar/Output, so the
+	// pages cannot be reclaimed while any reader holds this Result.
+	blob *mappedBlob
+}
+
+// rowChunkKey carries the service's per-cell SSE emitter through
+// Execute: the harness row sink tees each finished row into it as an
+// encoded columnar row chunk. Nil outside a daemon job.
+type rowChunkKey struct{}
+
+func withRowChunkSink(ctx context.Context, emit func(label string, chunk []byte)) context.Context {
+	return context.WithValue(ctx, rowChunkKey{}, emit)
+}
+
+func rowChunkSinkFrom(ctx context.Context) func(label string, chunk []byte) {
+	f, _ := ctx.Value(rowChunkKey{}).(func(label string, chunk []byte))
+	return f
+}
+
+// chunkRow lowers one measured row to its columnar chunk form.
+func chunkRow(r core.Row) colres.Row {
+	h := &r.Stats.LoadLatency
+	return colres.Row{
+		Label:    r.Label,
+		Cycles:   r.Cycles,
+		Loads:    r.Stats.Loads,
+		Stores:   r.Stats.Stores,
+		BusBytes: r.Stats.BusBytes,
+		P50:      h.Percentile(50),
+		P95:      h.Percentile(95),
+		P99:      h.Percentile(99),
+		L1:       r.L1Ratio,
+		L2:       r.L2Ratio,
+		Mem:      r.MemRatio,
+		AvgLoad:  r.AvgLoad,
+	}
 }
 
 // Execute runs one normalized spec under ctx and returns its result.
@@ -45,7 +87,14 @@ type Result struct {
 func Execute(ctx context.Context, spec Spec, progress harness.Progress) (*Result, error) {
 	var reg obs.Registry
 	collect := core.CollectRows(&reg)
-	ctx = harness.WithRowSink(ctx, collect)
+	sink := collect
+	if emit := rowChunkSinkFrom(ctx); emit != nil {
+		sink = func(r core.Row) {
+			collect(r)
+			emit(r.Label, colres.EncodeRow(chunkRow(r)))
+		}
+	}
+	ctx = harness.WithRowSink(ctx, sink)
 
 	var out bytes.Buffer
 	mime := "text/plain; charset=utf-8"
@@ -64,13 +113,20 @@ func Execute(ctx context.Context, spec Spec, progress harness.Progress) (*Result
 	case "sweep":
 		err = harness.RunFamily(ctx, spec.Family, spec.Fast, &out)
 	case "sim":
-		err = runSim(ctx, spec, &out, collect)
+		err = runSim(ctx, spec, &out, sink)
 	default:
 		err = fmt.Errorf("unknown kind %q", spec.Kind)
 	}
+	var columnar []byte
 	if err == nil && grid != nil {
+		// Encode the columns once — the write-once moment of the result
+		// pipeline — then materialize the requested view *from the blob*,
+		// so the production path exercises exactly what a later lazy view
+		// of the archived bytes will run (the goldens pin both views
+		// byte-identical to the pre-columnar renderings).
 		renderStart := time.Now()
-		mime, err = writeGrid(&out, grid, spec.Format)
+		columnar = grid.Columnar()
+		mime, err = writeGridView(&out, columnar, spec.Format)
 		jobTraceFrom(ctx).Phase("render", renderStart, time.Now())
 	}
 	if err != nil {
@@ -80,14 +136,24 @@ func Execute(ctx context.Context, spec Spec, progress harness.Progress) (*Result
 	if err := reg.WriteText(&counters); err != nil {
 		return nil, err
 	}
-	return &Result{Output: out.Bytes(), Counters: counters.Bytes(), MIME: mime}, nil
+	return &Result{Output: out.Bytes(), Counters: counters.Bytes(), MIME: mime, Columnar: columnar}, nil
 }
 
-func writeGrid(out *bytes.Buffer, g *harness.Grid, format string) (string, error) {
-	if format == "json" {
-		return "application/json", g.WriteJSON(out)
+// writeGridView renders one view of an encoded columnar blob. Format
+// "columnar" is the blob itself — the zero-re-encode wire form.
+func writeGridView(out *bytes.Buffer, blob []byte, format string) (string, error) {
+	if format == "columnar" {
+		_, err := out.Write(blob)
+		return colres.ContentType, err
 	}
-	return "text/plain; charset=utf-8", g.Render(out)
+	doc, err := colres.Decode(blob)
+	if err != nil {
+		return "", fmt.Errorf("service: decoding freshly encoded result: %w", err)
+	}
+	if format == "json" {
+		return "application/json", colres.WriteGridJSON(doc, out)
+	}
+	return "text/plain; charset=utf-8", colres.RenderText(doc, out)
 }
 
 // runSim mirrors cmd/impulse-sim's single-configuration runs (the

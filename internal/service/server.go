@@ -9,6 +9,8 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"impulse/internal/colres"
+	"impulse/internal/harness"
 	"impulse/internal/obs"
 )
 
@@ -17,7 +19,8 @@ import (
 //	POST /v1/jobs                submit a spec (JSON body)
 //	GET  /v1/jobs                list tracked jobs
 //	GET  /v1/jobs/{id}           job status
-//	GET  /v1/jobs/{id}/result    result bytes (202 + Retry-After while pending; ?wait=30s long-polls)
+//	GET  /v1/jobs/{id}/result    result bytes (202 + Retry-After while pending; ?wait=30s long-polls;
+//	                             ?view=columnar|json|text|svg renders that view from the columnar blob)
 //	GET  /v1/jobs/{id}/counters  the job's counter-registry dump
 //	GET  /v1/jobs/{id}/trace     the job's Perfetto/Chrome timeline JSON
 //	GET  /v1/jobs/{id}/manifest  the job's provenance manifest (202 while pending; ?wait long-polls)
@@ -176,14 +179,56 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	switch st.State {
 	case StateDone:
 		res := j.Result()
-		w.Header().Set("Content-Type", res.MIME)
 		w.Header().Set("X-Impulse-Job", j.ID)
 		w.Header().Set("X-Impulse-Spec-Hash", j.Hash)
+		if view := r.URL.Query().Get("view"); view != "" {
+			s.writeResultView(w, res, view)
+			return
+		}
+		w.Header().Set("Content-Type", res.MIME)
+		// For columnar results Output aliases the memory-mapped archive
+		// blob: this write copies file-backed pages to the socket with no
+		// decode, no re-encode, and no intermediate heap buffer.
 		_, _ = w.Write(res.Output)
 	case StateFailed:
 		writeError(w, http.StatusInternalServerError, "job %s failed: %s", j.ID, st.Error)
 	case StateCancelled:
 		writeError(w, http.StatusGone, "job %s was cancelled", j.ID)
+	}
+}
+
+// writeResultView materializes one view of a finished job's columnar
+// result on demand: "columnar" writes the mapped blob bytes verbatim;
+// "json", "text", and "svg" decode the columns and render. Views exist
+// only for grid results (kinds table1/table2) — other kinds have no
+// columnar payload.
+func (s *Service) writeResultView(w http.ResponseWriter, res *Result, view string) {
+	if len(res.Columnar) == 0 {
+		writeError(w, http.StatusBadRequest, "result has no columnar payload (views need kind table1 or table2)")
+		return
+	}
+	if view == "columnar" {
+		w.Header().Set("Content-Type", colres.ContentType)
+		_, _ = w.Write(res.Columnar)
+		return
+	}
+	doc, err := colres.Decode(res.Columnar)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "decoding archived result: %v", err)
+		return
+	}
+	switch view {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = colres.WriteGridJSON(doc, w)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = colres.RenderText(doc, w)
+	case "svg":
+		w.Header().Set("Content-Type", "image/svg+xml")
+		_ = harness.SpeedupChartDoc(doc, w)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown view %q (columnar|json|text|svg)", view)
 	}
 }
 

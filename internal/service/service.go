@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"context"
+	"encoding/base64"
 	"errors"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"impulse/internal/colres"
 	"impulse/internal/harness"
 	"impulse/internal/obs"
 )
@@ -32,12 +34,18 @@ func (s State) Terminal() bool {
 }
 
 // Event is one entry of a job's progress stream (served over SSE).
+// "cell" events stream finished grid cells incrementally: Label names
+// the row and Chunk carries its metrics as a base64 columnar row record
+// (colres.DecodeRow), so a client can build the result column by column
+// while the job is still running.
 type Event struct {
 	Seq     int    `json:"seq"`
-	Type    string `json:"type"` // "state" or "progress"
+	Type    string `json:"type"` // "state", "progress", or "cell"
 	State   State  `json:"state,omitempty"`
 	Section string `json:"section,omitempty"`
 	Column  string `json:"column,omitempty"`
+	Label   string `json:"label,omitempty"`
+	Chunk   string `json:"chunk,omitempty"`
 }
 
 // Job is one tracked experiment execution. All fields behind mu; reads
@@ -67,6 +75,11 @@ type Job struct {
 	trace    *obs.JobTrace
 	cells    []harness.CellEvent
 	manifest *Manifest
+
+	// blobBytes is the size of this job's archived columnar blob, the
+	// unit the byte-budget eviction accounts in (0 when the job left no
+	// blob).
+	blobBytes int
 }
 
 // JobStatus is the wire form of a job's state.
@@ -232,6 +245,16 @@ type Config struct {
 	// CacheSize bounds the LRU of completed jobs kept for result reuse
 	// and status queries (default 128).
 	CacheSize int
+	// CacheBytes bounds the total size of archived columnar result
+	// blobs (default 256 MiB). The LRU accounts bytes, not entries: a
+	// handful of huge sweep results can evict many small ones. The most
+	// recent result always stays cached even if it alone exceeds the
+	// budget.
+	CacheBytes int64
+	// ArchiveDir is where result blobs are stored (and memory-mapped
+	// from). Empty means a private temporary directory removed on
+	// drain.
+	ArchiveDir string
 	// Logger receives structured job-lifecycle logs (started, finished,
 	// slow-job warnings). Nil discards them — library users and most
 	// tests; impulsed wires its process logger in.
@@ -250,6 +273,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 128
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
 	}
 	return c
 }
@@ -272,6 +298,12 @@ type Service struct {
 	baseCancel context.CancelFunc
 	execWG     sync.WaitGroup
 	start      time.Time
+
+	// arch is the on-disk columnar blob store; gCacheBytes tracks the
+	// bytes it holds on behalf of archived jobs (the byte-budget LRU's
+	// accounting, exported as service.result_cache_bytes).
+	arch        *blobArchive
+	gCacheBytes atomic.Uint64
 
 	// Counters, exported through Registry(). cExecuted counts actual
 	// harness executions — the single-flight tests pin it.
@@ -317,6 +349,14 @@ func New(cfg Config) *Service {
 	if s.logger == nil {
 		s.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	arch, err := openBlobArchive(cfg.ArchiveDir)
+	if err != nil {
+		// Results still flow (heap-backed); only the mmap fast path and
+		// on-disk persistence are lost.
+		s.logger.Warn("result archive unavailable", "dir", cfg.ArchiveDir, "err", err)
+	} else {
+		s.arch = arch
+	}
 	s.registerMetrics()
 	s.execWG.Add(cfg.Executors)
 	for i := 0; i < cfg.Executors; i++ {
@@ -338,6 +378,7 @@ func (s *Service) registerMetrics() {
 	s.reg.CounterFunc("service.jobs_rejected_queue_full", "Submissions rejected with 429 because the queue was full.", u(&s.cRejected))
 	s.reg.GaugeFunc("service.jobs_running", "Jobs currently executing.", u(&s.gRunning))
 	s.reg.GaugeFunc("service.http_in_flight", "HTTP requests currently being served.", u(&s.gHTTPInFlight))
+	s.reg.GaugeFunc("service.result_cache_bytes", "Bytes of archived columnar result blobs held by the byte-budget LRU.", s.gCacheBytes.Load)
 	s.reg.GaugeFunc("service.queue_depth", "Jobs waiting in the bounded queue.", func() uint64 { return uint64(len(s.queue)) })
 	s.reg.GaugeFunc("service.queue_capacity", "Configured queue bound.", func() uint64 { return uint64(s.cfg.QueueDepth) })
 	s.reg.GaugeFunc("service.executors", "Configured executor goroutines.", func() uint64 { return uint64(s.cfg.Executors) })
@@ -520,6 +561,12 @@ func (s *Service) runJob(j *Job) {
 		j.observeCell(ev)
 	})
 	ctx = withJobTrace(ctx, j.trace)
+	// Stream each finished grid cell to SSE subscribers as a columnar
+	// row chunk; the final result blob is the same columns, indexed.
+	ctx = withRowChunkSink(ctx, func(label string, chunk []byte) {
+		j.emit(Event{Type: "cell", Label: label,
+			Chunk: base64.StdEncoding.EncodeToString(chunk)})
+	})
 
 	s.gRunning.Add(1)
 	s.cExecuted.Add(1)
@@ -555,8 +602,25 @@ func (s *Service) runJob(j *Job) {
 
 // finishJob finalizes j and moves it from the in-flight table to the
 // archive LRU (successful results stay addressable by hash for reuse).
+// A successful job's columnar blob is written to the on-disk archive
+// and memory-mapped back in before finalize, so every reader —
+// including the first — sees the mapped bytes and cache hits serve
+// straight from the page cache with zero re-encoding.
 func (s *Service) finishJob(j *Job, state State, res *Result, errMsg string) {
 	now := time.Now()
+	if state == StateDone && res != nil && len(res.Columnar) > 0 && s.arch != nil {
+		if b, err := s.arch.Put(j.Hash, res.Columnar); err != nil {
+			s.logger.Warn("result archive write failed", "job", j.ID, "err", err)
+		} else {
+			res.Columnar = b.data
+			res.blob = b
+			if res.MIME == colres.ContentType {
+				res.Output = b.data
+			}
+			j.blobBytes = len(b.data)
+			s.gCacheBytes.Add(uint64(len(b.data)))
+		}
+	}
 	j.finalize(state, res, errMsg, now)
 	j.trace.Mark("archived", now)
 	m := buildManifest(j)
@@ -581,14 +645,37 @@ func (s *Service) finishJob(j *Job, state State, res *Result, errMsg string) {
 	}
 	s.archived[j.ID] = s.archive.PushFront(j)
 	for s.archive.Len() > s.cfg.CacheSize {
-		el := s.archive.Back()
-		old := el.Value.(*Job)
-		s.archive.Remove(el)
-		delete(s.archived, old.ID)
-		delete(s.jobs, old.ID)
-		if s.byHash[old.Hash] == old {
-			delete(s.byHash, old.Hash)
+		s.evictOldestLocked()
+	}
+	// Byte budget on top of the entry bound: blobs are accounted by
+	// length, so one giant sweep result evicts many small ones. The
+	// freshest entry is exempt — a result must be retrievable at least
+	// once.
+	for s.gCacheBytes.Load() > uint64(s.cfg.CacheBytes) && s.archive.Len() > 1 {
+		s.evictOldestLocked()
+	}
+}
+
+// evictOldestLocked drops the least-recently-used archived job: its
+// table entries, its byte accounting, and — when it still owns its
+// hash's blob — the on-disk blob. Caller holds s.mu.
+func (s *Service) evictOldestLocked() {
+	el := s.archive.Back()
+	if el == nil {
+		return
+	}
+	old := el.Value.(*Job)
+	s.archive.Remove(el)
+	delete(s.archived, old.ID)
+	delete(s.jobs, old.ID)
+	if s.byHash[old.Hash] == old {
+		delete(s.byHash, old.Hash)
+		if s.arch != nil && old.blobBytes > 0 {
+			s.arch.Remove(old.Hash)
 		}
+	}
+	if old.blobBytes > 0 {
+		s.gCacheBytes.Add(^uint64(old.blobBytes - 1)) // subtract
 	}
 }
 
@@ -625,12 +712,22 @@ func (s *Service) Drain(ctx context.Context) error {
 		s.execWG.Wait()
 		close(finished)
 	}()
+	// Blob files are only needed while the daemon serves; in-memory
+	// mappings survive the unlink, so results fetched after drain still
+	// read their (now anonymous) pages.
+	closeArch := func() {
+		if s.arch != nil && !already {
+			s.arch.Close()
+		}
+	}
 	select {
 	case <-finished:
+		closeArch()
 		return nil
 	case <-ctx.Done():
 		s.baseCancel() // cut in-flight jobs loose, then wait for unwind
 		<-finished
+		closeArch()
 		return fmt.Errorf("service: drain deadline passed; in-flight jobs cancelled: %w", ctx.Err())
 	}
 }

@@ -34,8 +34,10 @@ type Spec struct {
 	// Fast selects each family's reduced geometry (kind "sweep" only).
 	Fast bool `json:"fast,omitempty"`
 
-	// Format is "text" (default, the CLI table rendering) or "json"
-	// (Grid JSON); kinds "table1" and "table2" only.
+	// Format is "text" (default, the CLI table rendering), "json" (Grid
+	// JSON), or "columnar" (the raw columnar result blob, served
+	// zero-copy from the archive; see docs/RESULTS.md); kinds "table1"
+	// and "table2" only.
 	Format string `json:"format,omitempty"`
 
 	// CG / MMP / figure1 geometry (defaults match the CLI flags).
@@ -251,8 +253,8 @@ func normalizeFormat(n *Spec) error {
 	if n.Format == "" {
 		n.Format = "text"
 	}
-	if n.Format != "text" && n.Format != "json" {
-		return fmt.Errorf("format %q must be \"text\" or \"json\"", n.Format)
+	if n.Format != "text" && n.Format != "json" && n.Format != "columnar" {
+		return fmt.Errorf("format %q must be \"text\", \"json\", or \"columnar\"", n.Format)
 	}
 	return nil
 }

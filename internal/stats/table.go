@@ -127,6 +127,14 @@ func max(a, b int) int {
 	return b
 }
 
+// FormatPercentiles renders a p50/p95/p99 latency triple the way the
+// table rows print it ("1/100/100"). Shared by every text view of a
+// result (harness grids and columnar renderings must stay
+// byte-identical).
+func FormatPercentiles(p50, p95, p99 uint64) string {
+	return fmt.Sprintf("%d/%d/%d", p50, p95, p99)
+}
+
 // FormatCycles renders a cycle count the way the paper does ("Times are in
 // billions of cycles") but adaptively: raw counts below a million, then
 // millions/billions with two decimals.

@@ -276,15 +276,7 @@ func (d *v2decoder) errAt(format string, args ...any) error {
 }
 
 func (d *v2decoder) u() (uint64, error) {
-	// Single-byte fast path: most operands (tick batches, small deltas)
-	// fit in seven bits.
-	if d.pos < len(d.data) {
-		if b := d.data[d.pos]; b < 0x80 {
-			d.pos++
-			return uint64(b), nil
-		}
-	}
-	v, n := binary.Uvarint(d.data[d.pos:])
+	v, n := Uvarint(d.data, d.pos)
 	if n <= 0 {
 		return 0, d.errAt("truncated or oversized varint")
 	}
