@@ -294,7 +294,9 @@ func Decode(blob []byte) (*Doc, error) {
 			return nil, fmt.Errorf("colres: column %d length %d != %d cells × %d bytes",
 				id, length, n, colWidth(id))
 		}
-		if off < uint64(len(magic)) || off+length > uint64(footerEnd) {
+		// Subtraction form: off and length are unbounded uvarints, so
+		// off+length can wrap past footerEnd and a sum check would pass.
+		if off < uint64(len(magic)) || off > uint64(footerEnd) || length > uint64(footerEnd)-off {
 			return nil, fmt.Errorf("colres: column %d span [%d,+%d) out of bounds", id, off, length)
 		}
 		cols[id] = blob[off : off+length]
@@ -307,7 +309,7 @@ func Decode(blob []byte) (*Doc, error) {
 	if err != nil {
 		return nil, err
 	}
-	if strOff < uint64(len(magic)) || strOff+strLen > uint64(footerEnd) {
+	if strOff < uint64(len(magic)) || strOff > uint64(footerEnd) || strLen > uint64(footerEnd)-strOff {
 		return nil, fmt.Errorf("colres: string table [%d,+%d) out of bounds", strOff, strLen)
 	}
 

@@ -2,6 +2,8 @@ package colres
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"math"
 	"reflect"
 	"strings"
@@ -128,12 +130,124 @@ func TestDecodeCorrupt(t *testing.T) {
 	}
 }
 
+// patchFooterField rebuilds a valid blob with the i-th uvarint field of
+// its footer replaced by val, then fixes up the trailer (footer length
+// and CRC) so the result passes every pre-footer check and the decoder
+// actually reaches the patched field. Field numbering follows the
+// footer layout: 0 cellCount, 1 nSections, 2 nColumns, 3 colCount,
+// then per column its offset and length (column id bytes are not
+// fields), then stringsOffset, stringsLength.
+func patchFooterField(t testing.TB, blob []byte, field int, val uint64) []byte {
+	t.Helper()
+	footerEnd := len(blob) - trailerLen
+	footerOff := int(binary.LittleEndian.Uint32(blob[footerEnd:]))
+	f := blob[footerOff:footerEnd]
+
+	type span struct{ start, n int }
+	var fields []span
+	pos := 0
+	read := func() uint64 {
+		v, n := binary.Uvarint(f[pos:])
+		if n <= 0 {
+			t.Fatalf("malformed footer varint at offset %d", pos)
+		}
+		fields = append(fields, span{pos, n})
+		pos += n
+		return v
+	}
+	read() // cellCount
+	read() // nSections
+	read() // nColumns
+	colCount := read()
+	for i := uint64(0); i < colCount; i++ {
+		pos++  // column id byte
+		read() // offset
+		read() // length
+	}
+	read() // stringsOffset
+	read() // stringsLength
+
+	fs := fields[field]
+	footer := append([]byte(nil), f[:fs.start]...)
+	footer = binary.AppendUvarint(footer, val)
+	footer = append(footer, f[fs.start+fs.n:]...)
+
+	out := append([]byte(nil), blob[:footerOff]...)
+	out = append(out, footer...)
+	sum := crc32.ChecksumIEEE(out)
+	out = binary.LittleEndian.AppendUint32(out, uint32(footerOff))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(footer)))
+	out = binary.LittleEndian.AppendUint32(out, sum)
+	return append(out, trailerTail...)
+}
+
+// TestDecodeOverflowingFooterSpans pins the subtraction-form bounds
+// checks: a span offset near 2^64 wraps when added to its length, so a
+// sum-form check passes and the column/string slicing panics. The CRC
+// is fixed up so the footer parser actually runs — random fuzzing
+// alone almost never gets past the checksum gate.
+func TestDecodeOverflowingFooterSpans(t *testing.T) {
+	base := Encode(testDoc())
+	const (
+		firstColOffField = 4                  // column 1's offset
+		strOffField      = 4 + 2*numColumnIDs // stringsOffset
+	)
+	cases := []struct {
+		name string
+		blob []byte
+	}{
+		// Column 1 holds 4 cells × 4 bytes, so off+16 wraps to 0.
+		{"column span wraps", patchFooterField(t, base, firstColOffField, math.MaxUint64-15)},
+		// stringsOffset wraps past the blob and int(strOff) goes negative.
+		{"string table wraps", patchFooterField(t, base, strOffField, math.MaxUint64-3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(tc.blob)
+			if err == nil {
+				t.Fatal("Decode accepted a blob with a wrapping footer span")
+			}
+			if !strings.Contains(err.Error(), "out of bounds") {
+				t.Errorf("error %q does not mention the span bounds", err)
+			}
+		})
+	}
+}
+
 // TestDecodeRejectsForeignBytes: arbitrary non-blob inputs fail cleanly.
 func TestDecodeRejectsForeignBytes(t *testing.T) {
 	for _, b := range [][]byte{nil, []byte("IMPCOL01"), []byte(strings.Repeat("z", 64)), bytes.Repeat([]byte{0}, 128)} {
 		if _, err := Decode(b); err == nil {
 			t.Errorf("Decode accepted %d foreign bytes", len(b))
 		}
+	}
+}
+
+// TestRenderTextCoordinateKeyed: the text view places cells by their
+// (Section, Column) coordinates, so a valid blob whose cells arrive in
+// a different order renders byte-identically — Decode accepts any cell
+// order, only the renderer assigns table positions.
+func TestRenderTextCoordinateKeyed(t *testing.T) {
+	d := testDoc()
+	var want bytes.Buffer
+	if err := RenderText(d, &want); err != nil {
+		t.Fatal(err)
+	}
+	rev := *d
+	rev.Cells = append([]Cell(nil), d.Cells...)
+	for i, j := 0, len(rev.Cells)-1; i < j; i, j = i+1, j-1 {
+		rev.Cells[i], rev.Cells[j] = rev.Cells[j], rev.Cells[i]
+	}
+	got, err := Decode(Encode(&rev)) // reordered cells are still a valid blob
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := RenderText(got, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != want.String() {
+		t.Errorf("reordered blob renders differently\n--- got ---\n%s--- want ---\n%s", out.String(), want.String())
 	}
 }
 

@@ -2,6 +2,8 @@ package colres
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 )
 
@@ -26,8 +28,26 @@ func FuzzColumnarDecode(f *testing.F) {
 	corrupt[len(corrupt)-16] ^= 0x40 // footer offset
 	f.Add(corrupt)
 	f.Add(EncodeRow(Row{Label: "s/c", Cycles: 7, L1: 0.5})) // row chunk, not a blob
+	// Wrapping footer spans with a valid checksum (see
+	// TestDecodeOverflowingFooterSpans for the field numbering).
+	f.Add(patchFooterField(f, valid, 4, ^uint64(0)-15))
+	f.Add(patchFooterField(f, valid, 4+2*numColumnIDs, ^uint64(0)-3))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Drive the decoder a second time with the trailer checksum
+		// recomputed, so mutations reach the footer and string-table
+		// parsers: nearly all randomly mutated inputs otherwise die at
+		// the CRC gate and leave those paths unfuzzed.
+		if len(data) >= len(magic)+trailerLen {
+			fixed := append([]byte(nil), data...)
+			body := len(fixed) - trailerLen
+			binary.LittleEndian.PutUint32(fixed[body+8:], crc32.ChecksumIEEE(fixed[:body]))
+			if doc, err := Decode(fixed); err == nil {
+				if _, err := Decode(Encode(doc)); err != nil {
+					t.Fatalf("re-encode of CRC-fixed blob does not decode: %v", err)
+				}
+			}
+		}
 		doc, err := Decode(data)
 		if err != nil {
 			// Rejected input: also drive the row-chunk decoder, which

@@ -67,41 +67,53 @@ func WriteGridJSON(d *Doc, w io.Writer) error {
 	return enc.Encode(out)
 }
 
-// RenderText renders the paper-layout text table view.
+// RenderText renders the paper-layout text table view. Cells are placed
+// by their (Section, Column) coordinates, not encounter order: Decode
+// accepts blobs with cells in any order and any per-section count, so
+// positional placement would print values under the wrong prefetch
+// headers for an externally produced blob. A coordinate with no cell
+// renders blank; of duplicate coordinates the first wins.
 func RenderText(d *Doc, w io.Writer) error {
 	t := stats.NewTable(d.Title, d.Columns...)
 	for si, name := range d.Sections {
 		t.Section(name)
-		var cells []*Cell
+		cells := make([]*Cell, len(d.Columns))
 		for i := range d.Cells {
-			if d.Cells[i].Section == uint32(si) {
-				cells = append(cells, &d.Cells[i])
+			c := &d.Cells[i]
+			if c.Section == uint32(si) && int(c.Column) < len(cells) && cells[c.Column] == nil {
+				cells[c.Column] = c
 			}
 		}
 		times := make([]interface{}, len(cells))
-		l1 := make([]float64, len(cells))
-		l2 := make([]float64, len(cells))
-		mem := make([]float64, len(cells))
+		l1 := make([]interface{}, len(cells))
+		l2 := make([]interface{}, len(cells))
+		mem := make([]interface{}, len(cells))
 		avg := make([]interface{}, len(cells))
 		pct := make([]interface{}, len(cells))
 		sp := make([]interface{}, len(cells))
-		for i, c := range cells {
-			times[i] = stats.FormatCycles(c.Cycles)
-			l1[i] = c.L1
-			l2[i] = c.L2
-			mem[i] = c.Mem
-			avg[i] = c.AvgLoad
-			pct[i] = stats.FormatPercentiles(c.P50, c.P95, c.P99)
-			if si == 0 && i == 0 {
-				sp[i] = "—"
+		for ci, c := range cells {
+			if c == nil {
+				for _, row := range [][]interface{}{times, l1, l2, mem, avg, pct, sp} {
+					row[ci] = ""
+				}
+				continue
+			}
+			times[ci] = stats.FormatCycles(c.Cycles)
+			l1[ci] = stats.FormatPercent(c.L1)
+			l2[ci] = stats.FormatPercent(c.L2)
+			mem[ci] = stats.FormatPercent(c.Mem)
+			avg[ci] = c.AvgLoad
+			pct[ci] = stats.FormatPercentiles(c.P50, c.P95, c.P99)
+			if c.Section == 0 && c.Column == 0 {
+				sp[ci] = "—" // the grid's baseline cell has nothing to speed up
 			} else {
-				sp[i] = fmt.Sprintf("%.2f", c.Speedup)
+				sp[ci] = fmt.Sprintf("%.2f", c.Speedup)
 			}
 		}
 		t.AddRow("        Time", times...)
-		t.AddPercentRow("  L1 hit ratio", l1...)
-		t.AddPercentRow("  L2 hit ratio", l2...)
-		t.AddPercentRow(" mem hit ratio", mem...)
+		t.AddRow("  L1 hit ratio", l1...)
+		t.AddRow("  L2 hit ratio", l2...)
+		t.AddRow(" mem hit ratio", mem...)
 		t.AddRow(" avg load time", avg...)
 		t.AddRow("p50/95/99 load", pct...)
 		t.AddRow("       speedup", sp...)

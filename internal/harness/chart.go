@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"impulse/internal/colres"
 )
@@ -27,15 +28,25 @@ func SpeedupChartDoc(d *colres.Doc, w io.Writer) error {
 		baseY    = 340
 		leftPad  = 60
 	)
-	// Regroup the flat cell list by section (cells are section-major).
+	// Regroup the flat cell list by section. Cells outside the declared
+	// grid are skipped: Decode validates coordinates, but a hand-built
+	// document may not.
 	groups := make([][]*colres.Cell, len(d.Sections))
 	var maxSp float64 = 1
 	for i := range d.Cells {
 		c := &d.Cells[i]
+		if int(c.Section) >= len(groups) || int(c.Column) >= len(d.Columns) {
+			continue
+		}
 		groups[c.Section] = append(groups[c.Section], c)
 		if c.Speedup > maxSp {
 			maxSp = c.Speedup
 		}
+	}
+	// Emit bars in column order so the SVG bytes do not depend on the
+	// (arbitrary, per Decode) cell order inside the blob.
+	for _, row := range groups {
+		sort.SliceStable(row, func(i, j int) bool { return row[i].Column < row[j].Column })
 	}
 	scale := float64(chartH) / (maxSp * 1.1)
 
@@ -65,7 +76,12 @@ func SpeedupChartDoc(d *colres.Doc, w io.Writer) error {
 
 	for gi, row := range groups {
 		gx := leftPad + gi*groupW
-		for ci, c := range row {
+		for _, c := range row {
+			// Bar slot and color key off the cell's Column coordinate,
+			// not encounter order: Decode accepts cells in any order, so
+			// a reordered blob must still draw each bar in its policy's
+			// slot with its policy's legend color.
+			ci := int(c.Column)
 			h := c.Speedup * scale
 			x := gx + ci*(barW+barGap)
 			fmt.Fprintf(w, `<rect x="%d" y="%.1f" width="%d" height="%.1f" fill="%s"/>`+"\n",

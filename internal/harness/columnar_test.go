@@ -72,6 +72,22 @@ func TestColumnarViewsMatchDirectRenderings(t *testing.T) {
 	if !bytes.Equal(direct.Bytes(), viaBlob.Bytes()) {
 		t.Error("SVG chart from blob differs from direct render")
 	}
+
+	// The SVG view is coordinate-keyed: reversing the document's cell
+	// order (still a valid blob per Decode) must not change one byte —
+	// each bar stays in its policy's slot with its policy's color.
+	rev := *doc
+	rev.Cells = append([]colres.Cell(nil), doc.Cells...)
+	for i, j := 0, len(rev.Cells)-1; i < j; i, j = i+1, j-1 {
+		rev.Cells[i], rev.Cells[j] = rev.Cells[j], rev.Cells[i]
+	}
+	viaBlob.Reset()
+	if err := SpeedupChartDoc(&rev, &viaBlob); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), viaBlob.Bytes()) {
+		t.Error("SVG chart depends on cell encounter order, not coordinates")
+	}
 }
 
 // TestColumnarEncodeDeterministic: the same grid lowers to the same

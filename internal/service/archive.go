@@ -5,7 +5,9 @@
 // written via temp-file + rename (a crash never leaves a torn blob
 // visible) and unlinked on eviction; established mappings stay valid
 // until the last referencing Result is garbage collected, at which
-// point a finalizer releases the pages.
+// point a finalizer releases the pages. Because collection follows
+// precise liveness — not lexical scope — any code writing blob-backed
+// bytes must runtime.KeepAlive the Result after the write.
 package service
 
 import (
@@ -81,9 +83,14 @@ func (a *blobArchive) Put(hash string, blob []byte) (*mappedBlob, error) {
 	b := &mappedBlob{data: blob, path: path}
 	if data, unmap, err := mapFile(path, len(blob)); err == nil {
 		b.data, b.mapped, b.unmap = data, true, unmap
-		// Release the pages only when nothing can reach them anymore:
-		// every Result serving this blob holds the *mappedBlob, so the
-		// finalizer cannot fire under an in-flight response write.
+		// Release the pages once the *mappedBlob is unreachable. Note
+		// that under Go's precise liveness this can happen while a slice
+		// of the mapping is still being written: once a handler has
+		// loaded res.Output/res.Columnar, the *Result (and this blob)
+		// may be collected — the GC does not trace the mmap'd pages the
+		// slice points into. Every reader of blob-backed bytes must
+		// therefore pin the Result with runtime.KeepAlive after its last
+		// use of the bytes (see handleResult / writeResultView).
 		runtime.SetFinalizer(b, func(b *mappedBlob) { b.unmap() })
 	}
 	a.mu.Lock()

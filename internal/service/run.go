@@ -43,6 +43,10 @@ type Result struct {
 
 	// blob pins the mapped archive blob backing Columnar/Output, so the
 	// pages cannot be reclaimed while any reader holds this Result.
+	// Holding means *live*, not in scope: a reader that has loaded
+	// Columnar/Output and no longer touches the Result itself must
+	// runtime.KeepAlive it past the last use of those bytes, or the
+	// blob's munmap finalizer can run under the read.
 	blob *mappedBlob
 }
 

@@ -54,9 +54,16 @@ func (t *Table) AddRow(label string, cells ...interface{}) {
 func (t *Table) AddPercentRow(label string, ratios ...float64) {
 	cells := make([]interface{}, len(ratios))
 	for i, r := range ratios {
-		cells[i] = fmt.Sprintf("%.1f%%", r*100)
+		cells[i] = FormatPercent(r)
 	}
 	t.AddRow(label, cells...)
+}
+
+// FormatPercent renders a ratio the way the percent rows print it
+// ("64.6%"). Shared by every text view of a result (harness grids and
+// columnar renderings must stay byte-identical).
+func FormatPercent(r float64) string {
+	return fmt.Sprintf("%.1f%%", r*100)
 }
 
 // Render returns the formatted table.
