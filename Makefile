@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json bench-diff fuzz-short serve-smoke ci tables report sweeps examples fmt vet clean
+.PHONY: all build test test-short race bench bench-json bench-diff fuzz-short twin-validate serve-smoke ci tables report sweeps examples fmt vet clean
 
 all: build vet test race
 
@@ -24,7 +24,7 @@ bench:
 # bench-json runs the benchmark suite and writes the machine-readable
 # results committed with each PR (name, ns/op, B/op, allocs/op, and the
 # sim-cycles metric). Progress streams to stderr while it runs.
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
@@ -48,14 +48,23 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzVectorDecode -fuzztime 10s ./internal/tracefile
 	$(GO) test -run '^$$' -fuzz FuzzColumnarDecode -fuzztime 10s ./internal/colres
 
+# twin-validate runs every analytical twin against a full simulator
+# sweep at the fast geometry and fails when any family's median cycles
+# error exceeds its documented bound (docs/TWIN.md). The committed
+# goldens under internal/twin/validate/testdata pin the full reports.
+twin-validate:
+	$(GO) run ./cmd/sweep -twin-validate -fast
+
 # serve-smoke is the end-to-end check for the experiment service: boot
 # impulsed on an ephemeral port, submit a small Table 1 job through
 # impulsectl, diff the bytes against the direct cmd/table1 run, verify
 # the single-flight dedup path with a concurrent load burst, check that
 # the burst populated the Prometheus exposition (typed histograms with
 # bucket series), fetch the job's provenance manifest and Perfetto
-# timeline, render one `top` frame end-to-end, then shut the daemon
-# down gracefully (SIGTERM -> drain).
+# timeline, render one `top` frame end-to-end, exercise the analytical
+# twin tier (/v1/predict, a tier=twin load burst that must execute
+# nothing, the twin metrics, /readyz), then shut the daemon down
+# gracefully (SIGTERM -> drain).
 serve-smoke:
 	@set -e; dir=$$(mktemp -d); trap 'kill $$pid 2>/dev/null || true; rm -rf "$$dir"' EXIT; \
 	$(GO) build -o $$dir/impulsed ./cmd/impulsed; \
@@ -91,11 +100,32 @@ serve-smoke:
 	$$dir/impulsectl -addr $$addr top -once >$$dir/top.out; \
 	grep -q 'job run duration by kind' $$dir/top.out || \
 		{ echo "serve-smoke: top rendered nothing"; cat $$dir/top.out; exit 1; }; \
+	$$dir/impulsectl -addr $$addr predict -family sram -fast >$$dir/predict.out; \
+	for want in '"tier": "twin"' '"error_bound": 0.1' '"grid"'; do \
+		grep -qF "$$want" $$dir/predict.out || \
+			{ echo "serve-smoke: /v1/predict missing: $$want"; cat $$dir/predict.out; exit 1; }; \
+	done; \
+	$$dir/impulsectl -addr $$addr load -n 4 -tier twin >$$dir/twinload.out; \
+	grep -qF '0 execution(s)' $$dir/twinload.out || \
+		{ echo "serve-smoke: twin load burst ran the simulator"; cat $$dir/twinload.out; exit 1; }; \
+	$$dir/impulsectl -addr $$addr metrics >$$dir/metrics2.out; \
+	for want in \
+		'service_twin_requests 5' \
+		'service_twin_ineligible 0' \
+		'# TYPE service_twin_latency_us histogram'; do \
+		grep -qF "$$want" $$dir/metrics2.out || \
+			{ echo "serve-smoke: /metrics missing: $$want"; cat $$dir/metrics2.out; exit 1; }; \
+	done; \
+	curl -fsS http://$$addr/readyz >$$dir/readyz.out || \
+		{ echo "serve-smoke: /readyz not ready"; cat $$dir/readyz.out; exit 1; }; \
+	grep -qF '"status": "ready"' $$dir/readyz.out || \
+		{ echo "serve-smoke: bad /readyz body"; cat $$dir/readyz.out; exit 1; }; \
 	kill -TERM $$pid; wait $$pid || { echo "impulsed exited non-zero"; cat $$dir/impulsed.log; exit 1; }; \
 	echo "serve-smoke OK"
 
 # ci is the pre-PR gate: formatting, vet, build, full tests, the race
-# detector over the short suite, a short decoder fuzz, the service
+# detector over the short suite, a short decoder fuzz, the analytical
+# twin validation (fast geometry, hard error bounds), the service
 # smoke test, and a warn-only benchmark diff against the committed
 # baseline — including the vector-replay K-sweep
 # (BenchmarkVectorReplay/K=*) so a per-lane apply regression prints
@@ -110,6 +140,7 @@ ci:
 	$(GO) test ./...
 	$(GO) test -race -short ./...
 	$(MAKE) fuzz-short
+	$(MAKE) twin-validate
 	$(MAKE) serve-smoke
 	@$(MAKE) bench-diff BENCH_THRESHOLD=5 || \
 		echo "ci: WARNING: benchmarks regressed vs $(BENCH_JSON) (soft gate; see docs/PERF.md)"

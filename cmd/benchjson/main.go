@@ -15,6 +15,11 @@
 // per benchmark with the ns/op delta and the sim-cycles movement, and a
 // non-zero exit when any ns/op regression exceeds -threshold percent.
 //
+// When the input carries the analytical-twin pair (TwinPredict/F and
+// TwinSimBaseline/F, see internal/twin) a per-family twin-vs-sim
+// latency summary is appended: the speedup the instant tier buys over
+// the cache-miss simulation path.
+//
 // With -grid FILE.impres the command instead reads a columnar result
 // blob (the archive format impulsed stores and `impulsectl result
 // -format=columnar` fetches) straight off the columns and renders the
@@ -148,6 +153,34 @@ func diff(w io.Writer, baselinePath string, fresh []record, thresholdPct float64
 	return nil
 }
 
+// twinCompare prints the analytical-tier headline whenever the record
+// set carries both sides of a twin pair: the twin's full-prediction
+// latency (TwinPredict/family) against the cache-miss simulation of the
+// same family at the same geometry (TwinSimBaseline/family).
+func twinCompare(w io.Writer, recs []record) {
+	byName := make(map[string]record, len(recs))
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	printed := false
+	for _, r := range recs {
+		fam, ok := strings.CutPrefix(r.Name, "TwinPredict/")
+		if !ok || r.NsPerOp <= 0 {
+			continue
+		}
+		sim, ok := byName["TwinSimBaseline/"+fam]
+		if !ok {
+			continue
+		}
+		if !printed {
+			fmt.Fprintln(w, "twin vs sim latency (fast geometry, trace cache cold):")
+			printed = true
+		}
+		fmt.Fprintf(w, "  %-12s twin %12.0f ns/op   sim %14.0f ns/op   %.0fx\n",
+			fam, r.NsPerOp, sim.NsPerOp, sim.NsPerOp/r.NsPerOp)
+	}
+}
+
 // renderGrid decodes a columnar result blob and writes the requested
 // view to stdout.
 func renderGrid(path, format string) error {
@@ -219,11 +252,14 @@ func main() {
 		}
 	}
 	if *compare != "" {
-		if err := diff(os.Stdout, *compare, recs, *threshold); err != nil {
+		err := diff(os.Stdout, *compare, recs, *threshold)
+		twinCompare(os.Stdout, recs)
+		if err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
+	twinCompare(os.Stderr, recs)
 	if *out == "" {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -7,13 +7,14 @@
 // Usage:
 //
 //	impulsectl [-addr host:port] submit [-wait] [-counters] (-spec JSON | -f spec.json)
+//	impulsectl [-addr host:port] predict [-family NAME] [-fast] [-spec JSON | -f spec.json]
 //	impulsectl [-addr host:port] status <job-id>
 //	impulsectl [-addr host:port] result [-counters] [-format VIEW] <job-id>
 //	impulsectl [-addr host:port] manifest [-wait] <job-id>
 //	impulsectl [-addr host:port] trace [-o FILE] <job-id>
 //	impulsectl [-addr host:port] cancel <job-id>
 //	impulsectl [-addr host:port] watch  <job-id>
-//	impulsectl [-addr host:port] load [-n 8] [-spec JSON | -f spec.json]
+//	impulsectl [-addr host:port] load [-n 8] [-tier twin] [-spec JSON | -f spec.json]
 //	impulsectl [-addr host:port] metrics [-plain]
 //	impulsectl [-addr host:port] top [-interval 2s] [-once]
 package main
@@ -56,6 +57,8 @@ func main() {
 	switch args[0] {
 	case "submit":
 		err = cmdSubmit(args[1:])
+	case "predict":
+		err = cmdPredict(args[1:])
 	case "status":
 		err = cmdStatus(args[1:])
 	case "result":
@@ -88,6 +91,8 @@ func usage() {
 
 commands:
   submit   -spec JSON | -f FILE   submit a job (add -wait to block and print the result)
+  predict  -family NAME [-fast]   answer a sweep from its analytical twin (POST /v1/predict;
+                                  synchronous, microseconds; -spec/-f for a full spec)
   status   <job-id>               print job status JSON
   result   <job-id>               print result bytes (-counters for the counter dump;
                                   -format columnar|json|text|svg for a columnar view)
@@ -96,6 +101,7 @@ commands:
   cancel   <job-id>               cancel a queued or running job
   watch    <job-id>               stream progress events (SSE)
   load     -n N [-spec ...]       submit N identical specs concurrently; verify single-flight
+                                  (-tier twin bursts the analytical tier: zero executions)
   metrics                         dump /metrics (Prometheus format; -plain for name/value lines)
   top                             polling dashboard: queue, cache hit rate, latency quantiles
 `)
@@ -209,6 +215,38 @@ func cmdSubmit(args []string) error {
 	data, err := fetchResult(st.ID, path, true)
 	if err != nil {
 		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
+// cmdPredict asks the daemon's analytical-twin tier for an instant
+// sweep answer. Unlike submit, there is no job to poll: the response is
+// the prediction itself, with tier and error-bound provenance.
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	family := fs.String("family", "", "sweep family to predict (twin-eligible families only)")
+	fast := fs.Bool("fast", false, "predict the family's reduced geometry")
+	spec := fs.String("spec", "", "inline JSON spec (alternative to -family/-fast)")
+	file := fs.String("f", "", "spec file")
+	fs.Parse(args)
+	body := []byte(fmt.Sprintf(`{"kind":"sweep","family":%q,"fast":%t}`, *family, *fast))
+	if *spec != "" || *file != "" {
+		var err error
+		if body, err = specBytes(*spec, *file); err != nil {
+			return err
+		}
+	} else if *family == "" {
+		return fmt.Errorf("need -family NAME (or -spec/-f)")
+	}
+	resp, err := http.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp, data)
 	}
 	_, err = os.Stdout.Write(data)
 	return err
@@ -358,12 +396,31 @@ func metric(name string) (uint64, error) {
 func cmdLoad(args []string) error {
 	fs := flag.NewFlagSet("load", flag.ExitOnError)
 	n := fs.Int("n", 8, "concurrent identical submissions")
-	spec := fs.String("spec", `{"kind":"table1","n":240,"nonzer":4,"niter":1,"cgits":2}`, "inline JSON spec")
+	spec := fs.String("spec", "", "inline JSON spec")
 	file := fs.String("f", "", "spec file")
+	tier := fs.String("tier", "", `serving tier merged into the spec (e.g. "twin")`)
 	fs.Parse(args)
+	if *spec == "" && *file == "" {
+		// Defaults sized to finish fast: a small Table 1 grid, or a
+		// twin-eligible sweep when the burst targets the analytical tier.
+		*spec = `{"kind":"table1","n":240,"nonzer":4,"niter":1,"cgits":2}`
+		if *tier != "" {
+			*spec = `{"kind":"sweep","family":"sram","fast":true}`
+		}
+	}
 	body, err := specBytes(*spec, *file)
 	if err != nil {
 		return err
+	}
+	if *tier != "" {
+		var m map[string]any
+		if err := json.Unmarshal(body, &m); err != nil {
+			return fmt.Errorf("bad spec for -tier merge: %v", err)
+		}
+		m["tier"] = *tier
+		if body, err = json.Marshal(m); err != nil {
+			return err
+		}
 	}
 	before, err := metric("service.jobs_executed")
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 	"impulse/internal/harness"
 	"impulse/internal/obs"
 	"impulse/internal/profiling"
+	"impulse/internal/twin/validate"
 )
 
 func main() {
@@ -40,6 +41,8 @@ func main() {
 	traceReplay := flag.String("trace-replay", "", "load previously persisted traces from this directory")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	twinValidate := flag.Bool("twin-validate", false, "validate the analytical twins against full simulation and exit (honors -fast, -j)")
+	twinJSON := flag.String("twin-json", "", "with -twin-validate, also write the JSON report to this file (\"-\" for stdout)")
 	flag.Parse()
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -71,6 +74,34 @@ func main() {
 	// ^C stops between experiment cells instead of mid-table garbage.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *twinValidate {
+		rep, err := validate.Run(ctx, *fast)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if *twinJSON != "" {
+			w := io.Writer(os.Stdout)
+			if *twinJSON != "-" {
+				f, err := os.Create(*twinJSON)
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := rep.WriteJSON(w); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := rep.Check(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	for _, f := range harness.Families() {
 		if *exp != "all" && *exp != f.Name {

@@ -9,6 +9,21 @@ import (
 	"impulse/internal/workloads"
 )
 
+// Eligibility records, per family, which acceleration tiers apply. An
+// empty string means eligible; a non-empty string is the human-readable
+// reason the tier does not apply, surfaced verbatim by the stderr
+// advisories (trace cache) and the service's twin tier. This is the one
+// source of truth — there are deliberately no per-tier switch statements
+// elsewhere.
+type Eligibility struct {
+	// TraceCache is why recorded cell traces cannot be replayed across
+	// the family's cells ("" = replayable).
+	TraceCache string
+	// Twin is why no closed-form analytical twin exists for the family
+	// ("" = the twin tier can predict it).
+	Twin string
+}
+
 // Family is one named extension/ablation experiment with canned
 // geometries: the default geometry cmd/sweep has always run, plus a
 // reduced "fast" geometry (mirroring cmd/report -fast) for smoke tests
@@ -20,6 +35,7 @@ import (
 type Family struct {
 	Name string
 	Desc string
+	Elig Eligibility
 	Run  func(ctx context.Context, fast bool, w io.Writer) error
 }
 
@@ -32,21 +48,63 @@ func sweepCG(fast bool) workloads.CGParams {
 	return par
 }
 
+// SuperpageGeometry returns the page count and sweep count the
+// "superpage" family runs at. Exported so the analytical twin models
+// the exact geometry the simulator executes.
+func SuperpageGeometry(fast bool) (pages, sweeps int) {
+	if fast {
+		return 512, 2
+	}
+	return 2048, 4
+}
+
+// SRAMGeometry returns the prefetch-buffer sizes the "sram" family
+// sweeps over.
+func SRAMGeometry(fast bool) []uint64 {
+	if fast {
+		return []uint64{256, 1024, 4096}
+	}
+	return []uint64{128, 256, 512, 1024, 2048, 4096, 8192}
+}
+
+// SRAMWorkload returns the workload shape of the "sram" family: how
+// many sequential streams interleave and how many bytes each walks.
+func SRAMWorkload() (streams int, perStream uint64) {
+	return 12, 128 << 10
+}
+
+// StrideGeometry returns the indirection strides and element count the
+// "stride" family sweeps over.
+func StrideGeometry(fast bool) (strides []int, elems int) {
+	if fast {
+		return []int{1, 4, 16}, 4096
+	}
+	return []int{1, 2, 4, 8, 16, 32}, 16384
+}
+
+// noClosedForm is the twin-ineligibility reason shared by every family
+// whose reference stream is CG's sparse matrix walk.
+const noClosedForm = "CG's sparse access stream is data-dependent; no closed form"
+
 // Families returns the sweep families in canonical run order.
 func Families() []Family {
 	return []Family{
 		{"scheduler", "DRAM scheduler ablation (in-order vs row-major)",
+			Eligibility{Twin: noClosedForm},
 			func(ctx context.Context, fast bool, w io.Writer) error {
 				return SchedulerAblation(ctx, sweepCG(fast), w)
 			}},
 		{"superpage", "superpage TLB experiment ([21])",
+			Eligibility{TraceCache: "cells issue different remap syscalls"},
 			func(ctx context.Context, fast bool, w io.Writer) error {
-				if fast {
-					return SuperpageExperiment(ctx, 512, 2, w)
-				}
-				return SuperpageExperiment(ctx, 2048, 4, w)
+				pages, sweeps := SuperpageGeometry(fast)
+				return SuperpageExperiment(ctx, pages, sweeps, w)
 			}},
 		{"ipc", "IPC message gather (§6)",
+			Eligibility{
+				TraceCache: "each cell runs a different workload variant",
+				Twin:       "pointer-linked message buffers make the walk data-dependent",
+			},
 			func(ctx context.Context, fast bool, w io.Writer) error {
 				if fast {
 					return IPCExperiment(ctx, 8, 128, 2, w)
@@ -54,24 +112,23 @@ func Families() []Family {
 				return IPCExperiment(ctx, 32, 1024, 4, w)
 			}},
 		{"sram", "controller prefetch SRAM sweep",
+			Eligibility{},
 			func(ctx context.Context, fast bool, w io.Writer) error {
-				if fast {
-					return PrefetchBufferSweep(ctx, []uint64{256, 1024, 4096}, w)
-				}
-				return PrefetchBufferSweep(ctx, []uint64{128, 256, 512, 1024, 2048, 4096, 8192}, w)
+				return PrefetchBufferSweep(ctx, SRAMGeometry(fast), w)
 			}},
 		{"stride", "gather cost vs indirection stride",
+			Eligibility{},
 			func(ctx context.Context, fast bool, w io.Writer) error {
-				if fast {
-					return GatherStrideSweep(ctx, []int{1, 4, 16}, 4096, w)
-				}
-				return GatherStrideSweep(ctx, []int{1, 2, 4, 8, 16, 32}, 16384, w)
+				strides, elems := StrideGeometry(fast)
+				return GatherStrideSweep(ctx, strides, elems, w)
 			}},
 		{"policy", "DRAM page-policy ablation (open vs closed)",
+			Eligibility{Twin: noClosedForm},
 			func(ctx context.Context, fast bool, w io.Writer) error {
 				return PagePolicyAblation(ctx, sweepCG(fast), w)
 			}},
 		{"geometry", "L2-capacity sensitivity (trace-driven)",
+			Eligibility{Twin: noClosedForm},
 			func(ctx context.Context, fast bool, w io.Writer) error {
 				sizes := []uint64{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20}
 				if fast {
@@ -80,6 +137,10 @@ func Families() []Family {
 				return CacheGeometrySweep(ctx, sweepCG(fast), sizes, w)
 			}},
 		{"cholesky", "tiled Cholesky factorization (§3.2 extension)",
+			Eligibility{
+				TraceCache: "each cell runs a different workload variant",
+				Twin:       "data-dependent tiled factorization",
+			},
 			func(ctx context.Context, fast bool, w io.Writer) error {
 				if fast {
 					return CholeskyExperiment(ctx, 128, 32, w)
@@ -87,6 +148,7 @@ func Families() []Family {
 				return CholeskyExperiment(ctx, 256, 32, w)
 			}},
 		{"spark", "Spark98-style symmetric SMVP (§3.1 [17])",
+			Eligibility{Twin: "mesh-dependent gather stream"},
 			func(ctx context.Context, fast bool, w io.Writer) error {
 				if fast {
 					return SparkExperiment(ctx, 120, 120, 1, w)
@@ -94,6 +156,10 @@ func Families() []Family {
 				return SparkExperiment(ctx, 300, 300, 1, w)
 			}},
 		{"db", "database projection and index scans",
+			Eligibility{
+				TraceCache: "each cell runs a different workload variant",
+				Twin:       "selectivity-dependent scan stream",
+			},
 			func(ctx context.Context, fast bool, w io.Writer) error {
 				p := workloads.DBDefault()
 				if fast {
@@ -102,6 +168,7 @@ func Families() []Family {
 				return DBExperiment(ctx, p, 16, w)
 			}},
 		{"superscalar", "speedup vs issue width (§6 prediction)",
+			Eligibility{Twin: noClosedForm},
 			func(ctx context.Context, fast bool, w io.Writer) error {
 				if fast {
 					return SuperscalarExperiment(ctx, sweepCG(true), []uint64{1, 2, 4}, w)
@@ -110,6 +177,25 @@ func Families() []Family {
 				return SuperscalarExperiment(ctx, par, []uint64{1, 2, 4, 8}, w)
 			}},
 	}
+}
+
+// extraElig covers named runs that are not sweep families but still
+// emit trace-cache advisories.
+var extraElig = map[string]Eligibility{
+	"figure1": {TraceCache: "each cell runs a different workload variant"},
+}
+
+// FamilyEligibility returns the eligibility record for a family (or
+// advisory-only name like "figure1"); ok reports whether the name is
+// known.
+func FamilyEligibility(name string) (Eligibility, bool) {
+	for _, f := range Families() {
+		if f.Name == name {
+			return f.Elig, true
+		}
+	}
+	e, ok := extraElig[name]
+	return e, ok
 }
 
 // FamilyNames returns the valid family names in run order.

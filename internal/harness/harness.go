@@ -203,7 +203,7 @@ func Table2(ctx context.Context, par workloads.MMPParams, progress Progress) (*G
 // bus traffic, and hit ratios for a diagonal traversal, conventional vs
 // Impulse strided remapping.
 func Figure1(ctx context.Context, dim, sweeps int, w io.Writer) error {
-	noteIneligible(ctx, "figure1", "each cell runs a different workload variant")
+	noteIneligible(ctx, "figure1")
 	want := workloads.RefDiagonal(dim)
 	kinds := []core.ControllerKind{core.Conventional, core.Impulse}
 	rows, err := RunCtx(ctx, len(kinds), func(i int, tc *TaskCtx) (workloads.DiagResult, error) {

@@ -176,15 +176,22 @@ func runCellInner(tc *TaskCtx, spec cellSpec) (core.Row, string, error) {
 
 // noteIneligible reports (once per process per family, via the shared
 // obs.WarnOnce helper) that a sweep family executes every cell because
-// its cells vary the reference stream, not just timing. A daemon
-// serving many jobs logs each note once, not once per job — attributed
-// to the job that first triggered it when ctx carries a job id.
-func noteIneligible(ctx context.Context, family, reason string) {
+// its cells vary the reference stream, not just timing. The reason
+// comes from the family registry's Eligibility record — the same source
+// the service's twin tier reads — so advisory text cannot drift from
+// the registry. A daemon serving many jobs logs each note once, not
+// once per job — attributed to the job that first triggered it when ctx
+// carries a job id.
+func noteIneligible(ctx context.Context, family string) {
 	if !traceCacheOn {
 		return
 	}
+	elig, ok := FamilyEligibility(family)
+	if !ok || elig.TraceCache == "" {
+		return
+	}
 	obs.WarnOnceCtx(ctx, "trace-cache-ineligible:"+family,
-		"trace-cache: %s: ineligible (%s); executing every cell", family, reason)
+		"trace-cache: %s: ineligible (%s); executing every cell", family, elig.TraceCache)
 }
 
 // streamSig captures the configuration knobs that change the *reference

@@ -57,6 +57,20 @@ func (a *blobArchive) blobPath(hash string) string {
 	return filepath.Join(a.dir, hash+".impres")
 }
 
+// Writable probes that the archive directory still accepts writes (the
+// readiness check: a full or read-only disk should pull the daemon out
+// of rotation before jobs start failing to persist results).
+func (a *blobArchive) Writable() error {
+	f, err := os.CreateTemp(a.dir, ".readyz-probe-")
+	if err != nil {
+		return fmt.Errorf("archive not writable: %v", err)
+	}
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+	return nil
+}
+
 // Put durably stores blob under hash and returns it mapped. An existing
 // blob for the hash is replaced (its mapping stays valid for readers
 // still holding it). On platforms without mmap the returned blob keeps

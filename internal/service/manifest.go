@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"impulse/internal/harness"
+	"impulse/internal/twin/validate"
 )
 
 // CellManifest records one grid cell's passage through the trace cache.
@@ -69,11 +70,17 @@ type Manifest struct {
 	QueueWaitUS int64     `json:"queue_wait_us"`
 	RunUS       int64     `json:"run_us"`
 
-	// Harness configuration the job ran under.
-	Workers      int  `json:"workers"`
-	FastPath     bool `json:"fast_path"`
-	TraceCache   bool `json:"trace_cache"`
-	VectorReplay bool `json:"vector_replay"`
+	// Harness configuration the job ran under. Tier is "twin" for jobs
+	// answered by the analytical twin (no simulation ran), in which case
+	// TwinErrorBound is the family's validated median-cycles error bound
+	// (internal/twin/validate, docs/TWIN.md) — the accuracy contract the
+	// instant answer comes with.
+	Workers        int     `json:"workers"`
+	FastPath       bool    `json:"fast_path"`
+	TraceCache     bool    `json:"trace_cache"`
+	VectorReplay   bool    `json:"vector_replay"`
+	Tier           string  `json:"tier,omitempty"`
+	TwinErrorBound float64 `json:"twin_error_bound,omitempty"`
 
 	// Trace-cache outcome per grid cell, sorted by start time (ties by
 	// key), plus per-mode totals. Empty for kinds that run no cells
@@ -117,6 +124,12 @@ func buildManifest(j *Job) *Manifest {
 		TraceCache:   harness.TraceCacheEnabled(),
 		VectorReplay: harness.VectorReplayEnabled(),
 		Build:        buildInfo(),
+	}
+	if j.tier != "" {
+		m.Tier = j.tier
+		if b, ok := validate.Bound(j.Spec.Family); ok {
+			m.TwinErrorBound = b
+		}
 	}
 	if !j.started.IsZero() {
 		m.QueueWaitUS = j.started.Sub(j.submitted).Microseconds()

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,11 +14,15 @@ import (
 	"impulse/internal/colres"
 	"impulse/internal/harness"
 	"impulse/internal/obs"
+	"impulse/internal/twin"
+	"impulse/internal/twin/validate"
 )
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/jobs                submit a spec (JSON body)
+//	POST /v1/jobs                submit a spec (JSON body; tier=twin answers eligible sweeps instantly)
+//	POST /v1/predict             answer a sweep spec from its analytical twin, synchronously
+//	                             (422 + registry reason when the family has no twin; docs/TWIN.md)
 //	GET  /v1/jobs                list tracked jobs
 //	GET  /v1/jobs/{id}           job status
 //	GET  /v1/jobs/{id}/result    result bytes (202 + Retry-After while pending; ?wait=30s long-polls;
@@ -28,6 +33,7 @@ import (
 //	POST /v1/jobs/{id}/cancel    cancel a queued or running job
 //	GET  /v1/jobs/{id}/events    live progress (Server-Sent Events)
 //	GET  /healthz                liveness + drain state
+//	GET  /readyz                 readiness: not draining, queue accepting work, archive writable
 //	GET  /metrics                Prometheus text exposition (?format=plain for "name value" lines)
 //	GET  /debug/pprof/           Go runtime profiles (see docs/PERF.md)
 //
@@ -49,6 +55,7 @@ func (s *Service) Handler() http.Handler {
 		})
 	}
 	route("POST /v1/jobs", "submit", s.handleSubmit)
+	route("POST /v1/predict", "predict", s.handlePredict)
 	route("GET /v1/jobs", "list", s.handleList)
 	route("GET /v1/jobs/{id}", "status", s.handleStatus)
 	route("GET /v1/jobs/{id}/result", "result", s.handleResult)
@@ -58,6 +65,7 @@ func (s *Service) Handler() http.Handler {
 	route("POST /v1/jobs/{id}/cancel", "cancel", s.handleCancel)
 	route("GET /v1/jobs/{id}/events", "events", s.handleEvents)
 	route("GET /healthz", "healthz", s.handleHealthz)
+	route("GET /readyz", "readyz", s.handleReadyz)
 	route("GET /metrics", "metrics", obs.MetricsHandler(&s.reg).ServeHTTP)
 	// Profiling endpoints: the daemon is where long sweeps run, so being
 	// able to grab a CPU or heap profile from a live instance is how the
@@ -344,6 +352,102 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handlePredict answers a sweep spec from its analytical twin,
+// synchronously, without creating a job: the instant tier's stateless
+// endpoint. The response carries the prediction as grid JSON plus the
+// tier and validated error-bound provenance; families without a twin get
+// 422 with the eligibility registry's documented reason.
+func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	if spec.Kind == "" {
+		spec.Kind = "sweep"
+	}
+	spec.Tier = TierTwin
+	norm, err := spec.Normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.cTwinRequests.Add(1)
+	if reason, ok := twin.Eligible(norm.Family); !ok {
+		s.cTwinIneligible.Add(1)
+		writeError(w, http.StatusUnprocessableEntity,
+			"family %q has no analytical twin: %s (submit without tier to simulate)", norm.Family, reason)
+		return
+	}
+	start := time.Now()
+	pred, err := twin.Predict(norm.Family, norm.Fast)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	elapsed := time.Since(start)
+	s.hTwinLat.Observe(uint64(elapsed.Microseconds()))
+
+	var grid bytes.Buffer
+	if err := colres.WriteGridJSON(pred.Doc(), &grid); err != nil {
+		writeError(w, http.StatusInternalServerError, "rendering prediction: %v", err)
+		return
+	}
+	bound, _ := validate.Bound(norm.Family)
+	w.Header().Set("X-Impulse-Tier", TierTwin)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"family":      norm.Family,
+		"fast":        norm.Fast,
+		"tier":        TierTwin,
+		"error_bound": bound,
+		"elapsed_us":  elapsed.Microseconds(),
+		"grid":        json.RawMessage(bytes.TrimSpace(grid.Bytes())),
+	})
+}
+
+// handleReadyz is the readiness probe: liveness (/healthz) says the
+// process is up, readiness says it can actually take and persist work —
+// not draining, bounded queue has room, and the result archive accepts
+// writes. Load balancers should gate traffic on this one.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	checks := map[string]string{}
+	ready := true
+	fail := func(name, why string) { checks[name] = why; ready = false }
+
+	switch {
+	case s.Draining():
+		fail("queue", "draining")
+	case len(s.queue) >= s.cfg.QueueDepth:
+		fail("queue", "full")
+	default:
+		checks["queue"] = "ok"
+	}
+	switch {
+	case s.arch == nil:
+		fail("archive", "unavailable (results would not persist)")
+	default:
+		if err := s.arch.Writable(); err != nil {
+			fail("archive", err.Error())
+		} else {
+			checks["archive"] = "ok"
+		}
+	}
+	code := http.StatusOK
+	status := "ready"
+	if !ready {
+		code = http.StatusServiceUnavailable
+		status = "not ready"
+	}
+	writeJSON(w, code, map[string]any{"status": status, "checks": checks})
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {

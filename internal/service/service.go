@@ -15,6 +15,7 @@ import (
 	"impulse/internal/colres"
 	"impulse/internal/harness"
 	"impulse/internal/obs"
+	"impulse/internal/twin"
 )
 
 // State is a job's lifecycle state.
@@ -80,6 +81,12 @@ type Job struct {
 	// unit the byte-budget eviction accounts in (0 when the job left no
 	// blob).
 	blobBytes int
+
+	// tier is the serving tier that answered the job: TierTwin for jobs
+	// computed by the analytical twin, empty for simulated jobs. It
+	// lands in the manifest together with the twin's documented error
+	// bound.
+	tier string
 }
 
 // JobStatus is the wire form of a job's state.
@@ -306,9 +313,12 @@ type Service struct {
 	gCacheBytes atomic.Uint64
 
 	// Counters, exported through Registry(). cExecuted counts actual
-	// harness executions — the single-flight tests pin it.
+	// harness executions — the single-flight tests pin it. The twin
+	// counters track the analytical tier: requests (Submit tier=twin and
+	// /v1/predict), and how many of those named a family with no twin.
 	cSubmitted, cDeduped, cCacheHit, cCacheMiss, cExecuted atomic.Uint64
 	cDone, cFailed, cCancelled, cRejected                  atomic.Uint64
+	cTwinRequests, cTwinIneligible                         atomic.Uint64
 	gRunning, gHTTPInFlight                                atomic.Uint64
 	reg                                                    obs.Registry
 
@@ -320,6 +330,10 @@ type Service struct {
 	// hBatchSize distributes vectorized replay batch sizes (cells that
 	// shared one decoded trace), observed once per batch.
 	hBatchSize *obs.Histogram
+
+	// hTwinLat distributes analytical-twin answer latencies — the tier's
+	// whole point is that these sit in microseconds, not seconds.
+	hTwinLat *obs.Histogram
 
 	logger *slog.Logger
 
@@ -396,6 +410,9 @@ func (s *Service) registerMetrics() {
 		}
 		return 0
 	})
+	s.reg.CounterFunc("service.twin_requests", "Analytical-twin tier requests (submits with tier=twin plus /v1/predict calls).", u(&s.cTwinRequests))
+	s.reg.CounterFunc("service.twin_ineligible", "Twin-tier requests naming a family with no analytical twin (submits fall through to simulation).", u(&s.cTwinIneligible))
+	s.hTwinLat = s.reg.Histogram("service.twin_latency_us", "Microseconds spent computing analytical-twin predictions.")
 	s.hBatchSize = s.reg.Histogram("service.vector_replay_batch_size", "Cells per vectorized replay batch (cells sharing one decoded trace).")
 	s.hQueueWait = s.reg.HistogramVec("service.job_queue_wait_us", "Microseconds jobs spent queued before an executor picked them up.", "kind")
 	s.hRunDur = s.reg.HistogramVec("service.job_run_duration_us", "Microseconds jobs spent executing on the harness.", "kind")
@@ -410,13 +427,43 @@ func (s *Service) Registry() *obs.Registry { return &s.reg }
 // job is returned with deduped=true and nothing new executes — that is
 // the single-flight guarantee. If an identical spec already completed
 // successfully and is still cached, its job is returned likewise.
+//
+// A spec requesting the analytical twin tier (tier=twin, kind sweep) is
+// answered synchronously: the job is admitted, computed by the twin in
+// microseconds, and returned already terminal — it never touches the
+// queue or an executor. If the family has no twin, the tier is cleared
+// and the spec falls through to an ordinary simulation job, sharing the
+// simulation tier's cache key.
 func (s *Service) Submit(spec Spec) (job *Job, deduped bool, err error) {
 	norm, err := spec.Normalize()
 	if err != nil {
 		return nil, false, err
 	}
-	hash := norm.Hash()
+	instant := false
+	if norm.Tier == TierTwin {
+		s.cTwinRequests.Add(1)
+		if _, ok := twin.Eligible(norm.Family); ok {
+			instant = true
+		} else {
+			s.cTwinIneligible.Add(1)
+			norm.Tier = ""
+		}
+	}
 
+	j, deduped, err := s.admit(norm, norm.Hash(), instant)
+	if err != nil || deduped {
+		return j, deduped, err
+	}
+	if instant {
+		s.runTwinJob(j)
+	}
+	return j, false, nil
+}
+
+// admit is Submit's locked half: dedup checks and job registration. An
+// instant (twin-tier) job is registered in-flight but not queued — the
+// caller runs it synchronously right after.
+func (s *Service) admit(norm Spec, hash string, instant bool) (job *Job, deduped bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -447,12 +494,17 @@ func (s *Service) Submit(spec Spec) (job *Job, deduped bool, err error) {
 		submitted: now,
 		trace:     obs.NewJobTrace(now),
 	}
+	if instant {
+		j.tier = TierTwin
+	}
 	j.trace.Mark("submitted", now)
-	select {
-	case s.queue <- j:
-	default:
-		s.cRejected.Add(1)
-		return nil, false, ErrQueueFull
+	if !instant {
+		select {
+		case s.queue <- j:
+		default:
+			s.cRejected.Add(1)
+			return nil, false, ErrQueueFull
+		}
 	}
 	s.jobs[j.ID] = j
 	s.inflight[hash] = j

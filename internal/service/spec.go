@@ -56,7 +56,17 @@ type Spec struct {
 	Workload string `json:"workload,omitempty"`
 	Mode     string `json:"mode,omitempty"`
 	Prefetch string `json:"prefetch,omitempty"`
+
+	// Tier requests a serving tier for kind "sweep": "twin" asks for the
+	// analytical twin (internal/twin), answered synchronously in
+	// microseconds for eligible families; ineligible families fall
+	// through to full simulation with the tier cleared, so they share
+	// the simulation tier's result cache. Empty means simulate.
+	Tier string `json:"tier,omitempty"`
 }
+
+// TierTwin is the analytical-twin serving tier (docs/TWIN.md).
+const TierTwin = "twin"
 
 // specLimit bounds accepted geometries: the service answers interactive
 // capacity-planning queries, not day-long batch runs, and a shared
@@ -84,6 +94,12 @@ func contains(xs []string, x string) bool {
 // byte-identical.
 func (s Spec) Normalize() (Spec, error) {
 	n := s
+	if n.Tier != "" && n.Tier != TierTwin {
+		return n, fmt.Errorf("unknown tier %q (only %q)", n.Tier, TierTwin)
+	}
+	if n.Tier != "" && n.Kind != "sweep" {
+		return n, fmt.Errorf("tier %q: only sweep jobs have an analytical twin tier", n.Tier)
+	}
 	switch n.Kind {
 	case "table1":
 		def := workloads.CGPaperGeometry()
@@ -264,10 +280,16 @@ func normalizeFormat(n *Spec) error {
 // and formatting are frozen: changing them invalidates every cached
 // result keyed on the hash, so treat this like a wire format.
 func (s Spec) Canonical() string {
-	return fmt.Sprintf(
+	c := fmt.Sprintf(
 		"kind=%s&family=%s&fast=%t&format=%s&n=%d&nonzer=%d&niter=%d&cgits=%d&shift=%g&rcond=%g&tile=%d&dim=%d&sweeps=%d&workload=%s&mode=%s&prefetch=%s",
 		s.Kind, s.Family, s.Fast, s.Format, s.N, s.Nonzer, s.Niter, s.CGIts,
 		s.Shift, s.RCond, s.Tile, s.Dim, s.Sweeps, s.Workload, s.Mode, s.Prefetch)
+	// Appended only when set, so every pre-tier spec's canonical encoding
+	// (and cached hash) is unchanged.
+	if s.Tier != "" {
+		c += "&tier=" + s.Tier
+	}
+	return c
 }
 
 // Hash is the single-flight / result-cache key: a short hex digest of

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTwinTierSubmit: a tier=twin sweep on an eligible family completes
+// synchronously — done by the time Submit returns, no executor involved
+// — and its manifest carries the tier plus the validated error bound.
+func TestTwinTierSubmit(t *testing.T) {
+	stub := newStub()
+	s := New(Config{QueueDepth: 4, Executors: 1})
+	s.executeFn = stub.fn
+	defer s.Close()
+
+	j, deduped, err := s.Submit(Spec{Kind: "sweep", Family: "superpage", Fast: true, Tier: TierTwin})
+	if err != nil || deduped {
+		t.Fatalf("submit: err=%v deduped=%v", err, deduped)
+	}
+	st := j.Status()
+	if st.State != StateDone {
+		t.Fatalf("twin job state %s immediately after submit, want %s", st.State, StateDone)
+	}
+	if stub.callCount() != 0 {
+		t.Fatalf("twin job reached the executor (%d calls)", stub.callCount())
+	}
+	res := j.Result()
+	if res == nil || len(res.Columnar) == 0 {
+		t.Fatal("twin job has no columnar result")
+	}
+	if !strings.Contains(string(res.Output), "tier=twin") {
+		t.Errorf("twin output missing tier banner:\n%s", res.Output)
+	}
+
+	m := buildManifest(j)
+	if m.Tier != TierTwin {
+		t.Errorf("manifest tier = %q, want %q", m.Tier, TierTwin)
+	}
+	if m.TwinErrorBound <= 0 || m.TwinErrorBound > 1 {
+		t.Errorf("manifest twin error bound = %v, want (0,1]", m.TwinErrorBound)
+	}
+
+	// An identical twin submit dedups onto the finished job via the
+	// result cache or in-flight map rather than recomputing a new ID.
+	j2, deduped2, err := s.Submit(Spec{Kind: "sweep", Family: "superpage", Fast: true, Tier: TierTwin})
+	if err != nil || !deduped2 || j2.ID != j.ID {
+		t.Fatalf("resubmit: err=%v deduped=%v id=%s (want dedup onto %s)", err, deduped2, j2.ID, j.ID)
+	}
+}
+
+// TestTwinTierFallthrough: tier=twin on a family without a twin clears
+// the tier and queues a normal simulation — same hash as a plain sim
+// submit, so the two share cache entries — and counts the ineligible
+// request in the metrics.
+func TestTwinTierFallthrough(t *testing.T) {
+	stub := newStub()
+	s := New(Config{QueueDepth: 4, Executors: 1})
+	s.executeFn = stub.fn
+	defer s.Close()
+
+	j, _, err := s.Submit(Spec{Kind: "sweep", Family: "scheduler", Fast: true, Tier: TierTwin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (Spec{Kind: "sweep", Family: "scheduler", Fast: true}).Hash(); j.Hash != want {
+		t.Errorf("fallthrough hash %s, want tierless hash %s", j.Hash, want)
+	}
+	<-stub.started // it reached the executor: simulation path
+	close(stub.release)
+	if got := s.cTwinIneligible.Load(); got != 1 {
+		t.Errorf("twin_ineligible = %d, want 1", got)
+	}
+	if got := s.cTwinRequests.Load(); got != 1 {
+		t.Errorf("twin_requests = %d, want 1", got)
+	}
+
+	// Tier on a non-sweep kind is a spec error, not a silent fallthrough.
+	if _, _, err := s.Submit(Spec{Kind: "table1", Tier: TierTwin}); err == nil {
+		t.Error("tier=twin on kind table1 accepted, want error")
+	}
+}
+
+// TestPredictEndpoint drives POST /v1/predict through the mux: 200 with
+// tier/error-bound/grid for an eligible family, 422 with the registry
+// reason for an ineligible one.
+func TestPredictEndpoint(t *testing.T) {
+	s := New(Config{QueueDepth: 4, Executors: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+		strings.NewReader(`{"family":"sram","fast":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %s %s", resp.Status, body)
+	}
+	if h := resp.Header.Get("X-Impulse-Tier"); h != TierTwin {
+		t.Errorf("X-Impulse-Tier = %q, want %q", h, TierTwin)
+	}
+	var out struct {
+		Family     string          `json:"family"`
+		Tier       string          `json:"tier"`
+		ErrorBound float64         `json:"error_bound"`
+		ElapsedUS  int64           `json:"elapsed_us"`
+		Grid       json.RawMessage `json:"grid"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("parse predict response: %v\n%s", err, body)
+	}
+	if out.Family != "sram" || out.Tier != TierTwin || out.ErrorBound <= 0 || len(out.Grid) == 0 {
+		t.Errorf("predict response fields wrong: %+v", out)
+	}
+
+	resp2, err := http.Post(ts.URL+"/v1/predict", "application/json",
+		strings.NewReader(`{"family":"cholesky"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("ineligible predict: %s %s", resp2.Status, body2)
+	}
+	if !strings.Contains(string(body2), "no analytical twin") {
+		t.Errorf("ineligible predict error lacks reason: %s", body2)
+	}
+	if got := s.cTwinRequests.Load(); got != 2 {
+		t.Errorf("twin_requests = %d, want 2", got)
+	}
+	if got := s.cTwinIneligible.Load(); got != 1 {
+		t.Errorf("twin_ineligible = %d, want 1", got)
+	}
+}
+
+// TestReadyz: ready while idle with a writable archive, not ready once
+// draining begins.
+func TestReadyz(t *testing.T) {
+	stub := newStub()
+	s := New(Config{QueueDepth: 2, Executors: 1})
+	s.executeFn = stub.fn
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func() (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	code, out := get()
+	if code != http.StatusOK || out["status"] != "ready" {
+		t.Fatalf("idle readyz: %d %v", code, out)
+	}
+
+	// Drain in the background (Close blocks until jobs finish; none are
+	// running, but serialize with the probe loop anyway).
+	done := make(chan struct{})
+	go func() { s.Close(); close(done) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, out = get()
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz stayed %d after Close began: %v", code, out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	<-done
+	close(stub.release)
+}

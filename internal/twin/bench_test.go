@@ -1,0 +1,48 @@
+package twin
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"impulse/internal/harness"
+)
+
+// BenchmarkTwinPredict measures the analytical tier's answer latency:
+// one full prediction (all cells, columnar-ready) per iteration, per
+// eligible family at the fast geometry. cmd/benchjson pairs these with
+// BenchmarkTwinSimBaseline below and prints the twin-vs-sim speedup.
+func BenchmarkTwinPredict(b *testing.B) {
+	for _, fam := range Families() {
+		b.Run(fam, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Predict(fam, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTwinSimBaseline is the path a twin answer replaces: the same
+// family simulated at the same fast geometry with the trace cache off
+// (the cache-miss cost — a warm cache would be the service's result
+// cache anyway, which the twin tier also sits in front of).
+func BenchmarkTwinSimBaseline(b *testing.B) {
+	was := harness.TraceCacheEnabled()
+	harness.SetTraceCache(false)
+	defer func() {
+		harness.SetTraceCache(was)
+		harness.ResetTraceCache()
+	}()
+	for _, fam := range Families() {
+		b.Run(fam, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := harness.RunFamily(context.Background(), fam, true, io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

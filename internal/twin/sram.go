@@ -1,0 +1,170 @@
+package twin
+
+import (
+	"fmt"
+
+	"impulse/internal/addr"
+	"impulse/internal/harness"
+	"impulse/internal/kernel"
+	"impulse/internal/sim"
+)
+
+// predictSRAM is the closed form for the "sram" family: streams
+// interleaved sequential 8-byte walks of perStream bytes each, under the
+// Impulse controller with prefetch on, sweeping the prefetch-SRAM
+// capacity. Capacity is pure timing, so every cell shares one load
+// structure and differs only in whether a prefetched line survives the
+// SRAM's FIFO until its demand arrives.
+//
+// Structure per 128-byte line and stream: the first (boundary) access
+// goes to memory, the other lineBytes/8−1 hit the L2 (the streams alias
+// to one L1 set, so the L1 never hits). Each boundary access prefetches
+// the next line; between that insert and the line's own demand one
+// boundary round later sit exactly streams−1 further inserts, so the
+// entry survives iff the SRAM holds at least `streams` lines:
+//
+//	hit  ⇒ lat = memLead + xfer
+//	miss ⇒ lat = memLead + issue + rowMiss + xfer
+//
+// Two structural wrinkles:
+//
+//   - Page crossings. The controller prefetches the *physical* next
+//     line, and at a page boundary that line sits in the previous
+//     frame's neighbour, not the next page's frame — so the first
+//     boundary of every page misses the SRAM (and pays the TLB walk)
+//     at any capacity.
+//
+//   - L2 page coloring. Each (stream, page) pair draws a frame color
+//     from the kernel's pseudo-random free list, and the 2-way L2
+//     thrashes wherever three or more streams draw one color: those
+//     streams lose all their would-be L2 hits for that page window and
+//     go to memory instead, where the surviving-SRAM case turns them
+//     into prefetch hits (except on the page's first line, missed for
+//     the reason above). The kernel's color draw is a deterministic
+//     xorshift, so the twin replays the allocation sequence against the
+//     real allocator (sramOverflowWindows) and counts the realized
+//     collisions exactly rather than estimating their expectation.
+func predictSRAM(g geom, fast bool) *Prediction {
+	sizes := harness.SRAMGeometry(fast)
+	streams64, perStream := harness.SRAMWorkload()
+	streams := uint64(streams64)
+
+	n := streams * perStream / 8
+	boundaryRounds := perStream / g.lineBytes
+	walkRounds := perStream / g.pageBytes
+	linesPerPage := g.pageBytes / g.lineBytes
+	perLine := g.lineBytes / 8
+
+	// Realized L2-overflow (stream, page) windows from the kernel's
+	// deterministic color draw. Each overflow window turns a page's worth
+	// of would-be L2 hits into memory loads: perLine−1 accesses on each
+	// of the page's lines, minus the boundary access already counted.
+	overflowSW := sramOverflowWindows(streams, perStream/g.pageBytes)
+	perStreamWindow := (g.pageBytes / 8) - linesPerPage
+	extra := overflowSW * perStreamWindow
+	// The page's first line was never correctly prefetched, so its
+	// thrash accesses miss the SRAM even when everything else survives.
+	extraMissSurvive := overflowSW * (perLine - 1)
+
+	latHit := g.memLead + g.xfer
+	latMiss := g.memLead + g.issue + g.rowMiss + g.xfer
+
+	secs := make([]string, len(sizes))
+	cells := make([][]Cell, len(sizes))
+	for i, size := range sizes {
+		secs[i] = fmt.Sprintf("%dB", size)
+		survive := size/g.lineBytes >= streams
+
+		latB, extraMiss := latMiss, extra
+		if survive {
+			latB, extraMiss = latHit, extraMissSurvive
+		}
+		var c classes
+		c.add(g.l2Hit, n-streams*boundaryRounds-extra) // in-line L2 hits
+		c.add(latHit, extra-extraMiss)                 // color-overflow SRAM hits
+		c.add(latMiss, extraMiss)                      // color-overflow SRAM misses
+		c.add(g.walk+latMiss, streams*walkRounds)      // page-start boundaries: wrong-frame prefetch
+		c.add(latB, streams*(boundaryRounds-walkRounds))
+
+		memLoads := streams*boundaryRounds + extra
+		prefetches := streams * boundaryRounds // one per boundary demand
+		demandDRAM := streams*walkRounds + extraMiss
+		if !survive {
+			demandDRAM = memLoads
+		}
+		cell := Cell{
+			Label:         secs[i],
+			Loads:         n,
+			BusBytes:      memLoads * g.lineBytes,
+			L2:            float64(n-memLoads) / float64(n),
+			Mem:           float64(memLoads) / float64(n),
+			TLBMisses:     streams * walkRounds,
+			TLBWalkCost:   streams * walkRounds * g.walk,
+			Cycles:        c.h.Total + n, // + Tick(1) per load
+			DRAMRowMisses: prefetches + demandDRAM,
+		}
+		if survive {
+			cell.MCPrefetchHits = streams*(boundaryRounds-walkRounds) + (extra - extraMiss)
+		}
+		c.fill(&cell)
+		cells[i] = []Cell{cell}
+	}
+
+	return &Prediction{
+		Family: "sram", Fast: fast,
+		Title:    fmt.Sprintf("Controller prefetch SRAM sweep (%d interleaved streams, analytical twin)", streams),
+		Sections: secs,
+		Columns:  []string{"twin"},
+		Cells:    cells,
+	}
+}
+
+// sramOverflowWindows replays the workload's frame allocations against
+// the real kernel allocator — the color draw is a deterministic xorshift,
+// so the sweep's recording and every twin call see the same sequence —
+// and returns the number of (stream, page) windows whose color is shared
+// by three or more streams, overflowing the 2-way L2.
+func sramOverflowWindows(streams, pagesPerStream uint64) uint64 {
+	cfg := sim.DefaultConfig()
+	k, err := kernel.New(cfg.Kernel)
+	if err != nil {
+		return 0
+	}
+	defer k.Release()
+	// Mirror machine setup: the controller page table's frames are
+	// reserved before any process allocation.
+	ptLo := uint64(cfg.MC.PgTblBase) >> addr.PageShift
+	ptHi := (uint64(cfg.MC.PgTblBase) + cfg.MC.PgTblBytes) >> addr.PageShift
+	if err := k.ReserveFrameRange(ptLo, ptHi); err != nil {
+		return 0
+	}
+
+	colors := make([][]uint64, streams)
+	for j := range colors {
+		colors[j] = make([]uint64, pagesPerStream)
+		for p := range colors[j] {
+			f, err := k.AllocFrame()
+			if err != nil {
+				return 0
+			}
+			colors[j][p] = k.FrameColor(f)
+		}
+	}
+
+	var overflow uint64
+	occupancy := make([]uint64, k.NumColors())
+	for p := uint64(0); p < pagesPerStream; p++ {
+		for i := range occupancy {
+			occupancy[i] = 0
+		}
+		for j := uint64(0); j < streams; j++ {
+			occupancy[colors[j][p]]++
+		}
+		for _, occ := range occupancy {
+			if occ >= 3 {
+				overflow += occ
+			}
+		}
+	}
+	return overflow
+}

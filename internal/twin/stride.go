@@ -1,0 +1,234 @@
+package twin
+
+import (
+	"fmt"
+	"math"
+
+	"impulse/internal/harness"
+)
+
+// predictStride is the analytical twin for the "stride" family: a dense
+// scatter/gather alias over elems 8-byte elements drawn from a strided
+// array, walked sequentially with Tick(1), with and without controller
+// (descriptor-buffer) prefetch.
+//
+// Per 128-byte alias line the CPU issues lineBytes/8 loads: one gather
+// (memory), lineBytes/l1Line−1 L2 hits, the rest L1 hits — so the hit
+// ratios are pure geometry. The gather cost Γ is where the paper's
+// bank-parallelism argument lives, and it is *not* one closed formula
+// but a short deterministic recurrence over the descriptor's access
+// stream: each gather reads one indirection-vector line per two gathers
+// (the controller's 2-entry vector cache), a PgTbl PTE per new
+// pseudo-virtual page (compulsory only — the walk never revisits), and
+// min(stride, lineBytes/8) distinct element lines spread
+// round-robin over the banks. The recurrence tracks per-bank open rows
+// and busy times exactly like the DRAM model (row tags are
+// pseudo-virtual pages: frames are distinct, so distinct pages never
+// share a row), which reproduces row-buffer locality and bank
+// serialization without simulating loads.
+//
+// With prefetch on, the demand stream is unchanged but each gather is
+// issued when the previous demand's data is ready, so only
+// max(0, Γ − slack) is exposed, where slack is the fixed CPU-side work
+// between consecutive gathers (transfer, ticks, the in-line L1/L2
+// hits, and the next miss's lead-in).
+func predictStride(g geom, fast bool) *Prediction {
+	strides, elems := harness.StrideGeometry(fast)
+	perLine := int(g.lineBytes / 8)        // loads per alias line
+	l2HitLoads := g.lineBytes/g.l1Line - 1 // L1 misses per line that hit L2
+	l1HitLoads := uint64(perLine) - l2HitLoads - 1
+	gathers := elems / perLine
+	walkEvery := int(g.pageBytes / g.lineBytes) // gathers per alias page
+	walks := uint64((gathers + walkEvery - 1) / walkEvery)
+
+	// Expected dirty-vector writebacks: the setup loop stores the
+	// indirection vector through the write-allocate L2; alias fills
+	// evict one line from each full set they land in. A set is full iff
+	// two vector pages drew its color.
+	vecPages := float64(uint64(elems) * 4 / g.pageBytes)
+	colors := float64(g.l2Sets / (g.pageBytes / g.lineBytes))
+	p := 1 / colors
+	aliasSets := uint64(gathers)
+	if aliasSets > g.l2Sets {
+		aliasSets = g.l2Sets
+	}
+	pFull := 1 - math.Pow(1-p, vecPages) - vecPages*p*math.Pow(1-p, vecPages-1)
+	wb := uint64(math.Round(float64(aliasSets) * pFull))
+
+	slackBase := g.xfer + 1 + l1HitLoads*(g.l1Hit+1) + l2HitLoads*(g.l2Hit+1) + g.memLead
+
+	secs := make([]string, len(strides))
+	cells := make([][]Cell, len(strides))
+	for i, stride := range strides {
+		secs[i] = fmt.Sprintf("stride %d", stride)
+		run := runStrideGathers(g, stride, elems)
+
+		base := Cell{
+			Label:           secs[i],
+			Loads:           uint64(elems),
+			BusBytes:        (uint64(gathers) + wb) * g.lineBytes,
+			L1:              float64(l1HitLoads) / float64(perLine),
+			L2:              float64(l2HitLoads) / float64(perLine),
+			Mem:             1 / float64(perLine),
+			TLBMisses:       walks,
+			TLBWalkCost:     walks * g.walk,
+			MCTLBMisses:     run.mctlb,
+			ShadowReads:     uint64(gathers),
+			ShadowDRAMReads: run.sdr,
+			DRAMRowHits:     run.rowHits,
+			DRAMRowMisses:   run.rowMisses,
+		}
+
+		compose := func(pf bool) Cell {
+			cell := base
+			var c classes
+			c.add(g.l1Hit, l1HitLoads*uint64(gathers))
+			c.add(g.l2Hit, l2HitLoads*uint64(gathers))
+			var cycles uint64
+			for gi, gamma := range run.gammas {
+				var walk uint64
+				if gi%walkEvery == 0 {
+					walk = g.walk
+				}
+				exposed := gamma
+				if pf && gi > 0 {
+					exposed = 0
+					if slack := slackBase + walk; gamma > slack {
+						exposed = gamma - slack
+					}
+				}
+				lat := walk + g.memLead + exposed + g.xfer
+				c.add(lat, 1)
+				cycles += lat + 1 + l1HitLoads*(g.l1Hit+1) + l2HitLoads*(g.l2Hit+1)
+			}
+			cell.Cycles = cycles
+			c.fill(&cell)
+			return cell
+		}
+		cells[i] = []Cell{compose(false), compose(true)}
+	}
+
+	return &Prediction{
+		Family: "stride", Fast: fast,
+		Title:    fmt.Sprintf("Gather avg load time vs indirection stride (%d elements, analytical twin)", elems),
+		Sections: secs,
+		Columns:  []string{"no prefetch", "controller prefetch"},
+		Cells:    cells,
+	}
+}
+
+// strideRun is the output of the gather recurrence: per-gather durations
+// (issue to assembled line, Γ) plus the controller counters the stream
+// implies. Both prefetch cells share one run — prefetch changes when
+// gathers issue, not what they access.
+type strideRun struct {
+	gammas             []uint64
+	mctlb, sdr         uint64
+	rowHits, rowMisses uint64
+}
+
+// bankState models the DRAM banks for the recurrence: open-row tags and
+// busy times. Row tags are pseudo-virtual pages (distinct pages sit in
+// distinct frames, hence distinct rows); the controller page table
+// shares a single row.
+type bankState struct {
+	g                  geom
+	rowTag             []uint64
+	busy               []uint64
+	rowHits, rowMisses uint64
+}
+
+const tagPT = 1 // the whole PgTbl row
+
+func tagOf(pvPage uint64) uint64 { return pvPage + 2 }
+
+// read models one line read whose command issues at `at` (the caller
+// accounts the global issue gap): row check, then bank occupancy.
+func (b *bankState) read(at, bank, tag uint64) uint64 {
+	lat := b.g.rowMiss
+	if b.rowTag[bank] == tag {
+		lat = b.g.rowHit
+		b.rowHits++
+	} else {
+		b.rowMisses++
+		b.rowTag[bank] = tag
+	}
+	if b.busy[bank] > at {
+		at = b.busy[bank]
+	}
+	done := at + lat
+	b.busy[bank] = done
+	return done
+}
+
+func runStrideGathers(g geom, stride, elems int) *strideRun {
+	perLine := int(g.lineBytes / 8)
+	gathers := elems / perLine
+	pageLines := g.pageBytes / g.lineBytes
+	ptePerLine := g.lineBytes / 8 // 8-byte PTEs per line
+	xPages := (uint64(elems*stride)*8 + g.pageBytes - 1) / g.pageBytes
+	vecBase := xPages + 2 // allocPV leaves guard pages between regions
+
+	b := &bankState{g: g, rowTag: make([]uint64, g.banks), busy: make([]uint64, g.banks)}
+	seen := make(map[uint64]bool) // PgTbl TLB: the walk never revisits, so compulsory only
+	r := &strideRun{}
+	vecFetched := uint64(math.MaxUint64)
+	slack := g.xfer + 1 + (uint64(perLine)-g.lineBytes/g.l1Line)*(g.l1Hit+1) +
+		(g.lineBytes/g.l1Line-1)*(g.l2Hit+1) + g.memLead
+
+	clock := uint64(0)
+	for gi := 0; gi < gathers; gi++ {
+		t0 := clock
+		start := t0 + uint64(perLine)*g.addrCalc
+
+		// Indirection-vector line (one per two gathers survives the
+		// controller's 2-entry vector cache).
+		if v := uint64(gi / 2); vecFetched != v {
+			vecFetched = v
+			vq := vecBase + v/pageLines
+			at := start
+			if !seen[vq] {
+				seen[vq] = true
+				r.mctlb++
+				at = b.read(at+g.issue, (g.ptLine0+vq/ptePerLine)%g.banks, tagPT)
+			}
+			start = b.read(at+g.issue, v%pageLines%g.banks, tagOf(vq))
+			r.sdr++
+		}
+
+		// Per-piece PTE fetches and the distinct element lines.
+		issueAt := start
+		type lineRef struct{ bank, tag uint64 }
+		lines := make([]lineRef, 0, perLine)
+		lastLine := uint64(math.MaxUint64)
+		for k := 0; k < perLine; k++ {
+			off := uint64(stride) * uint64(gi*perLine+k) * 8
+			q := off / g.pageBytes
+			if !seen[q] {
+				seen[q] = true
+				r.mctlb++
+				if tr := b.read(start+g.issue, (g.ptLine0+q/ptePerLine)%g.banks, tagPT); tr > issueAt {
+					issueAt = tr
+				}
+			}
+			if ln := off / g.lineBytes; ln != lastLine {
+				lastLine = ln
+				lines = append(lines, lineRef{bank: off % g.pageBytes / g.lineBytes % g.banks, tag: tagOf(q)})
+			}
+		}
+		done := issueAt
+		for i, ln := range lines {
+			if d := b.read(issueAt+uint64(i+1)*g.issue, ln.bank, ln.tag); d > done {
+				done = d
+			}
+		}
+		r.sdr += uint64(len(lines))
+		ready := done + g.assemble
+		r.gammas = append(r.gammas, ready-t0)
+		// Advance like the demand stream does, so bank-busy carryover
+		// between adjacent gathers stays realistic.
+		clock = ready + slack
+	}
+	r.rowHits, r.rowMisses = b.rowHits, b.rowMisses
+	return r
+}

@@ -1,0 +1,82 @@
+package twin
+
+import (
+	"fmt"
+
+	"impulse/internal/harness"
+)
+
+// predictSuperpage is the closed form for the "superpage" family: a
+// page-strided walk over pages random 4K frames, sweeps times, 8 bytes
+// per page, Tick(2) between loads.
+//
+// Every load touches a new page and a new line, so both cells are 100%
+// memory loads. The cells differ only in translation:
+//
+//   - "4K pages": the walk cycles pages > tlbEntries pages through the
+//     fully-associative NRU TLB, so every load pays the software walk.
+//     Element frames are page-aligned (bank 0) with effectively random
+//     rows, so every DRAM read reopens a row:
+//     lat = walk + memLead + issue + rowMiss + xfer.
+//
+//   - "superpage": MapSuperpage installs a block TLB entry (processor
+//     translation is free) but routes every load through a Direct
+//     shadow descriptor: one address calc, a controller PgTbl lookup
+//     (pages > pgTblSlots ⇒ every load misses and reads a PTE from
+//     DRAM), the element read, line assembly, and the bus transfer.
+//     All PTEs live in one DRAM row; PTE reads land on bank
+//     (pvpage/16) mod banks, so the 1/banks of loads whose PTE shares
+//     bank 0 with the elements reopen the PgTbl row and the rest hit
+//     it: lat = memLead + addrCalc + (issue + latPTE) +
+//     (issue + rowMiss) + assemble + xfer.
+func predictSuperpage(g geom, fast bool) *Prediction {
+	pages, sweeps := harness.SuperpageGeometry(fast)
+	n := uint64(pages) * uint64(sweeps)
+
+	// Baseline cell: conventional 4K translation.
+	miss4 := n
+	if pages <= g.tlbEntries {
+		miss4 = uint64(pages) // compulsory only
+	}
+	lat4 := g.memLead + g.issue + g.rowMiss + g.xfer
+	var c4 classes
+	c4.add(g.walk+lat4, miss4)
+	c4.add(lat4, n-miss4)
+	cell4 := Cell{
+		Label: "4K pages", Loads: n, BusBytes: n * g.lineBytes, Mem: 1,
+		TLBMisses: miss4, TLBWalkCost: miss4 * g.walk,
+		DRAMRowMisses: n,
+		Cycles:        c4.h.Total + 2*n,
+	}
+	c4.fill(&cell4)
+
+	// Superpage cell: free processor translation, per-load controller
+	// PgTbl lookup.
+	pteReads := n
+	if pages <= g.pgTblSlots {
+		pteReads = uint64(pages)
+	}
+	pteMiss := pteReads / g.banks // PTE reads sharing the element bank
+	pteHit := pteReads - pteMiss
+	base := g.memLead + g.addrCalc + (g.issue + g.rowMiss) + g.assemble + g.xfer
+	var cs classes
+	cs.add(base+g.issue+g.rowHit, pteHit)
+	cs.add(base+g.issue+g.rowMiss, pteMiss)
+	cs.add(base, n-pteReads)
+	cellS := Cell{
+		Label: "superpage", Loads: n, BusBytes: n * g.lineBytes, Mem: 1,
+		MCTLBMisses: pteReads, ShadowReads: n, ShadowDRAMReads: n,
+		DRAMRowHits: pteHit, DRAMRowMisses: n + pteMiss,
+		Cycles: cs.h.Total + 2*n,
+	}
+	cs.fill(&cellS)
+
+	return &Prediction{
+		Family: "superpage", Fast: fast,
+		Title: fmt.Sprintf("Superpages from non-contiguous pages ([21]): %d-page strided walk, %d sweeps (analytical twin)",
+			pages, sweeps),
+		Sections: []string{"4K pages", "superpage"},
+		Columns:  []string{"twin"},
+		Cells:    [][]Cell{{cell4}, {cellS}},
+	}
+}

@@ -1,0 +1,256 @@
+package twin
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"impulse/internal/harness"
+	"impulse/internal/stats"
+)
+
+// TestFamiliesMatchRegistry pins the eligibility contract: Families()
+// is exactly the set of registry families without a documented
+// ineligibility reason, every one of them predicts, and every other
+// family refuses with the registry's reason in the error.
+func TestFamiliesMatchRegistry(t *testing.T) {
+	eligible := make(map[string]bool)
+	for _, name := range Families() {
+		eligible[name] = true
+	}
+	for _, f := range harness.Families() {
+		if f.Elig.Twin == "" != eligible[f.Name] {
+			t.Errorf("%s: registry twin reason %q but Families() eligible=%v",
+				f.Name, f.Elig.Twin, eligible[f.Name])
+		}
+		if f.Elig.Twin == "" {
+			for _, fast := range []bool{true, false} {
+				if _, err := Predict(f.Name, fast); err != nil {
+					t.Errorf("Predict(%s, fast=%v): %v", f.Name, fast, err)
+				}
+			}
+			if reason, ok := Eligible(f.Name); !ok || reason != "" {
+				t.Errorf("Eligible(%s) = (%q, %v), want (\"\", true)", f.Name, reason, ok)
+			}
+			continue
+		}
+		if reason, ok := Eligible(f.Name); ok || reason != f.Elig.Twin {
+			t.Errorf("Eligible(%s) = (%q, %v), want registry reason %q",
+				f.Name, reason, ok, f.Elig.Twin)
+		}
+		if _, err := Predict(f.Name, true); err == nil {
+			t.Errorf("Predict(%s) succeeded for an ineligible family", f.Name)
+		} else if !strings.Contains(err.Error(), f.Elig.Twin) {
+			t.Errorf("Predict(%s) error %q does not carry registry reason %q",
+				f.Name, err, f.Elig.Twin)
+		}
+	}
+	if _, ok := Eligible("no-such-family"); ok {
+		t.Error("Eligible accepted an unknown family")
+	}
+	if _, err := Predict("no-such-family", true); err == nil {
+		t.Error("Predict accepted an unknown family")
+	}
+}
+
+// forEachCell runs f over every predicted cell of every eligible family
+// at both geometries.
+func forEachCell(t *testing.T, f func(fam string, fast bool, c Cell)) {
+	t.Helper()
+	for _, fam := range Families() {
+		for _, fast := range []bool{true, false} {
+			p, err := Predict(fam, fast)
+			if err != nil {
+				t.Fatalf("Predict(%s, fast=%v): %v", fam, fast, err)
+			}
+			for _, c := range p.Flat() {
+				f(fam, fast, c)
+			}
+		}
+	}
+}
+
+// TestCellInvariants checks the structural sanity every cell must
+// satisfy regardless of family: positive work, ordered percentiles,
+// hit ratios that are probabilities and partition the loads.
+func TestCellInvariants(t *testing.T) {
+	forEachCell(t, func(fam string, fast bool, c Cell) {
+		id := fmt.Sprintf("%s/fast=%v/%s", fam, fast, c.Label)
+		if c.Loads == 0 || c.Cycles < c.Loads {
+			t.Errorf("%s: loads=%d cycles=%d (want loads>0, cycles>=loads)", id, c.Loads, c.Cycles)
+		}
+		if c.AvgLoad <= 0 {
+			t.Errorf("%s: avg load %v <= 0", id, c.AvgLoad)
+		}
+		if !(c.P50 <= c.P95 && c.P95 <= c.P99) {
+			t.Errorf("%s: percentiles not ordered: p50=%d p95=%d p99=%d", id, c.P50, c.P95, c.P99)
+		}
+		for _, r := range []float64{c.L1, c.L2, c.Mem} {
+			if r < 0 || r > 1 {
+				t.Errorf("%s: hit ratio %v outside [0,1]", id, r)
+			}
+		}
+		if sum := c.L1 + c.L2 + c.Mem; sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: L1+L2+Mem = %v, want 1", id, sum)
+		}
+	})
+}
+
+// TestSRAMMonotoneInCapacity is the sram twin's driving-parameter
+// property: growing the prefetch SRAM can only help. Cycles and average
+// load latency are non-increasing in capacity, the traffic structure
+// (loads, bus bytes) is capacity-independent, and prefetch hits appear
+// exactly at the FIFO-survival threshold of one line per stream.
+func TestSRAMMonotoneInCapacity(t *testing.T) {
+	streams64, _ := harness.SRAMWorkload()
+	streams := uint64(streams64)
+	g := defaultGeom()
+	for _, fast := range []bool{true, false} {
+		p, err := Predict("sram", fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes := harness.SRAMGeometry(fast)
+		prev := p.Cells[0][0]
+		for i, row := range p.Cells {
+			c := row[0]
+			if c.Cycles > prev.Cycles {
+				t.Errorf("fast=%v: cycles increased with capacity: %s=%d after %s=%d",
+					fast, c.Label, c.Cycles, prev.Label, prev.Cycles)
+			}
+			if c.AvgLoad > prev.AvgLoad {
+				t.Errorf("fast=%v: avg load increased with capacity at %s", fast, c.Label)
+			}
+			if c.Loads != prev.Loads || c.BusBytes != prev.BusBytes {
+				t.Errorf("fast=%v: %s: traffic structure moved with capacity", fast, c.Label)
+			}
+			survives := sizes[i]/g.lineBytes >= streams
+			if survives != (c.MCPrefetchHits > 0) {
+				t.Errorf("fast=%v: %s: prefetch hits %d, want >0 iff capacity >= %d lines",
+					fast, c.Label, c.MCPrefetchHits, streams)
+			}
+			prev = c
+		}
+	}
+}
+
+// TestSuperpageSpeedup: replacing per-load software TLB walks with the
+// controller's shadow descriptor must win, and the translation costs
+// must sit in the right cell (TLB walks in the 4K baseline, controller
+// PgTbl misses in the superpage cell).
+func TestSuperpageSpeedup(t *testing.T) {
+	for _, fast := range []bool{true, false} {
+		p, err := Predict("superpage", fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c4, cs := p.Cells[0][0], p.Cells[1][0]
+		if cs.Cycles >= c4.Cycles {
+			t.Errorf("fast=%v: superpage %d cycles not faster than 4K %d", fast, cs.Cycles, c4.Cycles)
+		}
+		if c4.TLBMisses == 0 || c4.TLBWalkCost == 0 {
+			t.Errorf("fast=%v: 4K cell misses its TLB walk cost", fast)
+		}
+		if cs.TLBMisses != 0 || cs.MCTLBMisses == 0 || cs.ShadowReads == 0 {
+			t.Errorf("fast=%v: superpage cell translation counters wrong: tlb=%d mctlb=%d shadow=%d",
+				fast, cs.TLBMisses, cs.MCTLBMisses, cs.ShadowReads)
+		}
+		d := p.Doc()
+		if d.Cells[0].Speedup != 1 {
+			t.Errorf("fast=%v: base cell speedup %v, want 1", fast, d.Cells[0].Speedup)
+		}
+		if d.Cells[1].Speedup <= 1 {
+			t.Errorf("fast=%v: superpage speedup %v, want > 1", fast, d.Cells[1].Speedup)
+		}
+	}
+}
+
+// TestStrideProperties: controller prefetch can only hide gather
+// latency, never add it, and the exposed no-prefetch gather cost grows
+// with the number of distinct element lines per gather — monotone in
+// the stride from 2 up (stride 1 packs several elements per line and
+// sits off that curve).
+func TestStrideProperties(t *testing.T) {
+	for _, fast := range []bool{true, false} {
+		p, err := Predict("stride", fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		strides, _ := harness.StrideGeometry(fast)
+		var prev Cell
+		for i, row := range p.Cells {
+			noPF, pf := row[0], row[1]
+			if pf.Cycles >= noPF.Cycles {
+				t.Errorf("fast=%v stride %d: prefetch %d cycles not faster than demand %d",
+					fast, strides[i], pf.Cycles, noPF.Cycles)
+			}
+			if pf.AvgLoad >= noPF.AvgLoad {
+				t.Errorf("fast=%v stride %d: prefetch avg load %v not below demand %v",
+					fast, strides[i], pf.AvgLoad, noPF.AvgLoad)
+			}
+			// The demand stream is identical; only issue timing moves.
+			if pf.BusBytes != noPF.BusBytes || pf.Loads != noPF.Loads {
+				t.Errorf("fast=%v stride %d: prefetch changed the traffic structure", fast, strides[i])
+			}
+			if i > 0 && strides[i-1] >= 2 && noPF.Cycles < prev.Cycles {
+				t.Errorf("fast=%v: no-prefetch cycles fell from stride %d (%d) to stride %d (%d)",
+					fast, strides[i-1], prev.Cycles, strides[i], noPF.Cycles)
+			}
+			prev = noPF
+		}
+		first, last := p.Cells[0][0], p.Cells[len(p.Cells)-1][0]
+		if last.Cycles <= first.Cycles {
+			t.Errorf("fast=%v: widest stride (%d cycles) not costlier than stride %d (%d)",
+				fast, last.Cycles, strides[0], first.Cycles)
+		}
+	}
+}
+
+// TestClassesMatchObserve is the differential check for the percentile
+// shortcut: accumulating (latency, count) classes must be
+// indistinguishable from observing every load individually.
+func TestClassesMatchObserve(t *testing.T) {
+	cases := []struct{ lat, n uint64 }{
+		{1, 7}, {8, 1000}, {25, 3}, {46, 0}, {76, 129}, {1 << 20, 2},
+	}
+	var c classes
+	var want stats.LatencyHist
+	for _, cs := range cases {
+		c.add(cs.lat, cs.n)
+		for i := uint64(0); i < cs.n; i++ {
+			want.Observe(cs.lat)
+		}
+	}
+	if c.h != want {
+		t.Fatalf("classes histogram diverged from per-load Observe:\n got %+v\nwant %+v", c.h, want)
+	}
+	for _, p := range []float64{50, 90, 95, 99} {
+		if got, wantP := c.h.Percentile(p), want.Percentile(p); got != wantP {
+			t.Errorf("p%v = %d, want %d", p, got, wantP)
+		}
+	}
+}
+
+// TestDocLowering: the columnar lowering preserves cell order, carries
+// the metrics through unchanged, and computes speedups against cell
+// [0][0] exactly as harness.Grid does.
+func TestDocLowering(t *testing.T) {
+	for _, fam := range Families() {
+		p, err := Predict(fam, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := p.Doc()
+		flat := p.Flat()
+		if len(d.Cells) != len(flat) || len(d.Cells) != len(p.Sections)*len(p.Columns) {
+			t.Fatalf("%s: doc has %d cells, flat %d, grid %dx%d",
+				fam, len(d.Cells), len(flat), len(p.Sections), len(p.Columns))
+		}
+		for i, dc := range d.Cells {
+			if dc.Cycles != flat[i].Cycles || dc.Loads != flat[i].Loads ||
+				dc.BusBytes != flat[i].BusBytes || dc.AvgLoad != flat[i].AvgLoad {
+				t.Errorf("%s cell %d: doc metrics diverge from prediction", fam, i)
+			}
+		}
+	}
+}

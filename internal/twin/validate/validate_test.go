@@ -1,0 +1,103 @@
+package validate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"impulse/internal/twin"
+)
+
+func readGolden(t *testing.T, name string) (*Report, []byte) {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		t.Fatalf("parse golden %s: %v", name, err)
+	}
+	return &r, raw
+}
+
+// TestGoldenReports pins the committed validation reports: every
+// twin-eligible family is present with its achieved error under the
+// documented bound, every ineligible family carries its registry
+// reason, and the bounds map covers exactly the eligible set.
+func TestGoldenReports(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fast bool
+	}{
+		{"report_fast.json", true},
+		{"report_full.json", false},
+	} {
+		r, _ := readGolden(t, tc.name)
+		if r.Fast != tc.fast {
+			t.Errorf("%s: fast=%v, want %v", tc.name, r.Fast, tc.fast)
+		}
+		if err := r.Check(); err != nil {
+			t.Errorf("%s: committed report violates bounds: %v", tc.name, err)
+		}
+		want := twin.Families()
+		if len(r.Families) != len(want) {
+			t.Fatalf("%s: report covers %d families, twin registry has %d", tc.name, len(r.Families), len(want))
+		}
+		for i, f := range r.Families {
+			if f.Family != want[i] {
+				t.Errorf("%s: family[%d] = %s, want %s", tc.name, i, f.Family, want[i])
+			}
+			if f.Cells == 0 || len(f.Cycles) != f.Cells {
+				t.Errorf("%s: %s: %d cells but %d cycle rows", tc.name, f.Family, f.Cells, len(f.Cycles))
+			}
+			if _, ok := Bound(f.Family); !ok {
+				t.Errorf("%s: %s: eligible family without a documented bound", tc.name, f.Family)
+			}
+			if _, dup := r.Ineligible[f.Family]; dup {
+				t.Errorf("%s: %s is both eligible and ineligible", tc.name, f.Family)
+			}
+		}
+		if len(r.Ineligible) == 0 {
+			t.Errorf("%s: no ineligible families recorded — the registry documents several", tc.name)
+		}
+		for fam, reason := range r.Ineligible {
+			if reason == "" {
+				t.Errorf("%s: ineligible family %s has no reason", tc.name, fam)
+			}
+		}
+	}
+	for fam := range Bounds {
+		if _, err := twin.Predict(fam, true); err != nil {
+			t.Errorf("bound documented for %s but the twin cannot predict it: %v", fam, err)
+		}
+	}
+}
+
+// TestGoldenMatchesFreshRun is the differential gate: a fresh fast
+// validation run must reproduce the committed golden byte for byte —
+// both sides (simulator and twins) are deterministic, so any drift
+// means a model or the simulator moved without the golden (run
+// `go run ./cmd/sweep -twin-validate -fast -twin-json
+// internal/twin/validate/testdata/report_fast.json` to regenerate,
+// then justify the error movement in docs/TWIN.md).
+func TestGoldenMatchesFreshRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulator sweep; skipped with -short")
+	}
+	_, raw := readGolden(t, "report_fast.json")
+	fresh, err := Run(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fresh.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(buf.Bytes()), bytes.TrimSpace(raw)) {
+		t.Errorf("fresh validation run diverges from testdata/report_fast.json:\n%s", buf.String())
+	}
+}
