@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json bench-diff fuzz-short twin-validate serve-smoke ci tables report sweeps examples fmt vet clean
+.PHONY: all build test test-short race bench bench-json bench-diff fuzz-short twin-validate serve-smoke saturate-smoke ci tables report sweeps examples fmt vet clean
 
 all: build vet test race
 
@@ -24,7 +24,7 @@ bench:
 # bench-json runs the benchmark suite and writes the machine-readable
 # results committed with each PR (name, ns/op, B/op, allocs/op, and the
 # sim-cycles metric). Progress streams to stderr while it runs.
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_JSON)
 
@@ -123,10 +123,83 @@ serve-smoke:
 	kill -TERM $$pid; wait $$pid || { echo "impulsed exited non-zero"; cat $$dir/impulsed.log; exit 1; }; \
 	echo "serve-smoke OK"
 
+# saturate-smoke is the end-to-end check for the sharded fleet
+# (docs/FLEET.md): boot three worker impulsed shards on persistent
+# archive dirs plus a shared trace dir, front them with a router
+# (impulsed -route), drive a concurrent identical-spec burst through
+# the router and assert fleet-wide single-flight by summing
+# service_jobs_executed across the shards (exactly one execution),
+# run a short `impulsectl saturate` sweep against the warmed router,
+# SIGTERM one shard and assert the router reroutes the next
+# submission (fleet_submits_rerouted rises, the request still lands),
+# then restart the killed shard on its archive dir and assert the
+# daemon recovered its archived results from disk.
+saturate-smoke:
+	@set -e; dir=$$(mktemp -d); trap 'kill $$p0 $$p1 $$p2 $$pf $$p0b 2>/dev/null || true; rm -rf "$$dir"' EXIT; \
+	$(GO) build -o $$dir/impulsed ./cmd/impulsed; \
+	$(GO) build -o $$dir/impulsectl ./cmd/impulsectl; \
+	for i in 0 1 2; do \
+		$$dir/impulsed -addr 127.0.0.1:0 -addr-file $$dir/addr$$i -exec 2 \
+			-archive-dir $$dir/arch$$i -trace-dir $$dir/traces \
+			2>$$dir/shard$$i.log & eval p$$i=$$!; \
+	done; \
+	for i in 0 1 2; do \
+		for t in $$(seq 1 100); do [ -s $$dir/addr$$i ] && break; sleep 0.1; done; \
+		[ -s $$dir/addr$$i ] || { echo "shard $$i never bound"; cat $$dir/shard$$i.log; exit 1; }; \
+	done; \
+	a0=$$(cat $$dir/addr0); a1=$$(cat $$dir/addr1); a2=$$(cat $$dir/addr2); \
+	$$dir/impulsed -addr 127.0.0.1:0 -addr-file $$dir/addrF \
+		-route "s0=http://$$a0,s1=http://$$a1,s2=http://$$a2" \
+		2>$$dir/router.log & pf=$$!; \
+	for t in $$(seq 1 100); do [ -s $$dir/addrF ] && break; sleep 0.1; done; \
+	[ -s $$dir/addrF ] || { echo "router never bound"; cat $$dir/router.log; exit 1; }; \
+	af=$$(cat $$dir/addrF); echo "fleet up: router $$af over $$a0 $$a1 $$a2"; \
+	for t in $$(seq 1 50); do curl -fsS http://$$af/readyz >/dev/null 2>&1 && break; sleep 0.1; done; \
+	$$dir/impulsectl -addr $$af load -n 24 \
+		-spec '{"kind":"table1","n":240,"nonzer":4,"niter":1,"cgits":2}' >$$dir/load.out; \
+	cat $$dir/load.out; \
+	grep -qF 'load ok: 24/24' $$dir/load.out || { echo "saturate-smoke: burst failed"; exit 1; }; \
+	total=0; for i in 0 1 2; do \
+		n=$$(curl -fsS "http://$$(cat $$dir/addr$$i)/metrics?format=plain" | \
+			awk '$$1=="service.jobs_executed"{print $$2}'); \
+		total=$$((total + n)); \
+	done; \
+	[ "$$total" = 1 ] || { echo "saturate-smoke: fleet-wide single-flight violated: $$total executions"; exit 1; }; \
+	echo "fleet single-flight OK: 1 execution across 3 shards"; \
+	$$dir/impulsectl -addr $$af saturate -rates 200,500 -duration 1s \
+		-spec '{"kind":"table1","n":240,"nonzer":4,"niter":1,"cgits":2}' >$$dir/sat.out; \
+	cat $$dir/sat.out; \
+	grep -q 'saturation' $$dir/sat.out || { echo "saturate-smoke: no saturation summary"; exit 1; }; \
+	owner=$$(curl -fsS -X POST -d '{"kind":"table1","n":240,"nonzer":4,"niter":1,"cgits":2}' \
+		http://$$af/v1/jobs | tr -d ' ",' | awk -F: '/^shard:/{print $$2; exit}'); \
+	echo "owner shard: $$owner"; \
+	case $$owner in s0) opid=$$p0;; s1) opid=$$p1;; s2) opid=$$p2;; \
+		*) echo "saturate-smoke: unroutable owner $$owner"; exit 1;; esac; \
+	kill -TERM $$opid; wait $$opid 2>/dev/null || true; \
+	code=$$(curl -s -o $$dir/re.out -w '%{http_code}' -X POST \
+		-d '{"kind":"table1","n":240,"nonzer":4,"niter":1,"cgits":2}' http://$$af/v1/jobs); \
+	case $$code in 2*) ;; *) echo "saturate-smoke: reroute submit got $$code"; cat $$dir/re.out; exit 1;; esac; \
+	rerouted=$$(curl -fsS "http://$$af/metrics?format=plain" | \
+		awk '$$1=="fleet.submits_rerouted"{print $$2}'); \
+	[ "$$rerouted" -ge 1 ] 2>/dev/null || \
+		{ echo "saturate-smoke: router never rerouted (fleet.submits_rerouted=$$rerouted)"; exit 1; }; \
+	echo "reroute OK after losing $$owner"; \
+	case $$owner in s0) archdir=$$dir/arch0;; s1) archdir=$$dir/arch1;; s2) archdir=$$dir/arch2;; esac; \
+	$$dir/impulsed -addr 127.0.0.1:0 -addr-file $$dir/addrR -archive-dir $$archdir \
+		2>$$dir/restart.log & p0b=$$!; \
+	for t in $$(seq 1 100); do [ -s $$dir/addrR ] && break; sleep 0.1; done; \
+	recovered=$$(curl -fsS "http://$$(cat $$dir/addrR)/metrics?format=plain" | \
+		awk '$$1=="service.jobs_recovered"{print $$2}'); \
+	[ "$$recovered" -ge 1 ] 2>/dev/null || \
+		{ echo "saturate-smoke: restarted shard recovered nothing"; cat $$dir/restart.log; exit 1; }; \
+	echo "restart durability OK: $$recovered result(s) recovered from $$archdir"; \
+	kill -TERM $$p0 $$p1 $$p2 $$pf $$p0b 2>/dev/null || true; \
+	echo "saturate-smoke OK"
+
 # ci is the pre-PR gate: formatting, vet, build, full tests, the race
 # detector over the short suite, a short decoder fuzz, the analytical
-# twin validation (fast geometry, hard error bounds), the service
-# smoke test, and a warn-only benchmark diff against the committed
+# twin validation (fast geometry, hard error bounds), the service and
+# fleet smoke tests, and a warn-only benchmark diff against the committed
 # baseline — including the vector-replay K-sweep
 # (BenchmarkVectorReplay/K=*) so a per-lane apply regression prints
 # loudly. Benchmarks on shared CI hosts are too noisy to be a hard
@@ -142,6 +215,7 @@ ci:
 	$(MAKE) fuzz-short
 	$(MAKE) twin-validate
 	$(MAKE) serve-smoke
+	$(MAKE) saturate-smoke
 	@$(MAKE) bench-diff BENCH_THRESHOLD=5 || \
 		echo "ci: WARNING: benchmarks regressed vs $(BENCH_JSON) (soft gate; see docs/PERF.md)"
 

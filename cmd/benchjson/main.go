@@ -141,6 +141,12 @@ func diff(w io.Writer, baselinePath string, fresh []record, thresholdPct float64
 	}
 	removed := make([]string, 0, len(byName))
 	for name := range byName {
+		// Saturate/ points come from `impulsectl saturate -o`, not from
+		// `go test -bench`, so a bench-only rerun never reproduces them;
+		// their absence is not a removed benchmark.
+		if strings.HasPrefix(name, "Saturate/") {
+			continue
+		}
 		removed = append(removed, name)
 	}
 	sort.Strings(removed)

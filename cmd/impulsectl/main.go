@@ -15,6 +15,7 @@
 //	impulsectl [-addr host:port] cancel <job-id>
 //	impulsectl [-addr host:port] watch  <job-id>
 //	impulsectl [-addr host:port] load [-n 8] [-tier twin] [-spec JSON | -f spec.json]
+//	impulsectl [-addr host:port] saturate [-rates 500,1000,...] [-duration 3s] [-o FILE]
 //	impulsectl [-addr host:port] metrics [-plain]
 //	impulsectl [-addr host:port] top [-interval 2s] [-once]
 package main
@@ -30,6 +31,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -69,6 +71,8 @@ func main() {
 		err = cmdWatch(args[1:])
 	case "load":
 		err = cmdLoad(args[1:])
+	case "saturate":
+		err = cmdSaturate(args[1:])
 	case "manifest":
 		err = cmdManifest(args[1:])
 	case "trace":
@@ -102,6 +106,9 @@ commands:
   watch    <job-id>               stream progress events (SSE)
   load     -n N [-spec ...]       submit N identical specs concurrently; verify single-flight
                                   (-tier twin bursts the analytical tier: zero executions)
+  saturate -rates R1,R2,...       sweep open-loop arrival rates against a warmed daemon or
+                                  fleet; report served req/s, p50/p99, and the saturation knee
+                                  (-o FILE merges benchjson Saturate/ records for committing)
   metrics                         dump /metrics (Prometheus format; -plain for name/value lines)
   top                             polling dashboard: queue, cache hit rate, latency quantiles
 `)
@@ -155,6 +162,27 @@ func postJob(body []byte) (jobStatus, error) {
 		return jobStatus{}, fmt.Errorf("bad response: %v", err)
 	}
 	return st, nil
+}
+
+// postJobStatus submits without folding HTTP rejections into the error:
+// err covers transport and decode failures only, and the status code is
+// returned so load generators can account 429s separately from the
+// latency percentiles of accepted requests.
+func postJobStatus(body []byte) (jobStatus, int, error) {
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return jobStatus{}, 0, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return jobStatus{}, resp.StatusCode, nil
+	}
+	var st jobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return jobStatus{}, resp.StatusCode, fmt.Errorf("bad response: %v", err)
+	}
+	return st, resp.StatusCode, nil
 }
 
 // fetchResult retrieves a terminal job's payload, long-polling until it
@@ -422,19 +450,23 @@ func cmdLoad(args []string) error {
 			return err
 		}
 	}
-	before, err := metric("service.jobs_executed")
-	if err != nil {
-		return err
-	}
+	// A fleet router's /metrics has no service.jobs_executed (executions
+	// happen on the shards); the execution-count check is skipped there
+	// and the smoke tests sum the shard-side counters instead.
+	before, execErr := metric("service.jobs_executed")
 
 	// Per-request latency of this client's own stream (submits and
 	// result fetches), bucketed the same way the daemon buckets its
 	// histograms so the p50/p95/p99 summary matches what a scrape of
-	// service.http_request_duration_us would show for this burst.
+	// service.http_request_duration_us would show for this burst. Only
+	// accepted (2xx) requests are observed: a router's 429 returns in
+	// microseconds and would drag the percentiles toward zero, so
+	// rejections are reported as their own error-rate line instead.
 	var lat obs.Histogram
 	observe := func(start time.Time) { lat.Observe(uint64(time.Since(start).Microseconds())) }
 
 	ids := make([]string, *n)
+	codes := make([]int, *n)
 	errs := make([]error, *n)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -443,9 +475,11 @@ func cmdLoad(args []string) error {
 		go func(i int) {
 			defer wg.Done()
 			t0 := time.Now()
-			st, err := postJob(body)
-			observe(t0)
-			ids[i], errs[i] = st.ID, err
+			st, code, err := postJobStatus(body)
+			if code/100 == 2 && err == nil {
+				observe(t0)
+			}
+			ids[i], codes[i], errs[i] = st.ID, code, err
 		}(i)
 	}
 	wg.Wait()
@@ -454,48 +488,87 @@ func cmdLoad(args []string) error {
 			return err
 		}
 	}
-	for _, id := range ids[1:] {
-		if id != ids[0] {
-			return fmt.Errorf("single-flight violated: got distinct jobs %s and %s", ids[0], id)
+	var okIdx []int
+	rejected := map[int]int{} // status -> count
+	for i, code := range codes {
+		if code/100 == 2 {
+			okIdx = append(okIdx, i)
+		} else {
+			rejected[code]++
+		}
+	}
+	if len(okIdx) == 0 {
+		return fmt.Errorf("all %d submissions rejected: %s", *n, fmtStatuses(rejected))
+	}
+	first := ids[okIdx[0]]
+	for _, i := range okIdx[1:] {
+		if ids[i] != first {
+			return fmt.Errorf("single-flight violated: got distinct jobs %s and %s", first, ids[i])
 		}
 	}
 
-	results := make([][]byte, *n)
-	for i := 0; i < *n; i++ {
+	results := make([][]byte, len(okIdx))
+	ferrs := make([]error, len(okIdx))
+	for k := range okIdx {
 		wg.Add(1)
-		go func(i int) {
+		go func(k int) {
 			defer wg.Done()
 			t0 := time.Now()
-			results[i], errs[i] = fetchResult(ids[i], "/result", true)
-			observe(t0)
-		}(i)
+			results[k], ferrs[k] = fetchResult(first, "/result", true)
+			if ferrs[k] == nil {
+				observe(t0)
+			}
+		}(k)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for _, err := range ferrs {
 		if err != nil {
 			return err
 		}
 	}
-	for i, r := range results[1:] {
+	for k, r := range results[1:] {
 		if !bytes.Equal(r, results[0]) {
-			return fmt.Errorf("result divergence: submission %d differs from submission 0", i+1)
+			return fmt.Errorf("result divergence: fetch %d differs from fetch 0", k+1)
 		}
 	}
 
-	after, err := metric("service.jobs_executed")
-	if err != nil {
-		return err
+	execs := "executions n/a (routed)"
+	if execErr == nil {
+		after, err := metric("service.jobs_executed")
+		if err != nil {
+			return err
+		}
+		delta := after - before
+		if delta > 1 {
+			return fmt.Errorf("single-flight violated: %d submissions caused %d executions", len(okIdx), delta)
+		}
+		execs = fmt.Sprintf("%d execution(s)", delta)
 	}
-	delta := after - before
-	if delta > 1 {
-		return fmt.Errorf("single-flight violated: %d submissions caused %d executions", *n, delta)
+	fmt.Printf("load ok: %d/%d submissions accepted -> job %s, %s, %d identical bytes each, %.2fs\n",
+		len(okIdx), *n, first, execs, len(results[0]), time.Since(start).Seconds())
+	if len(rejected) > 0 {
+		errRate := float64(*n-len(okIdx)) / float64(*n) * 100
+		fmt.Printf("errors: %d/%d non-2xx (%.1f%%): %s — excluded from latency percentiles\n",
+			*n-len(okIdx), *n, errRate, fmtStatuses(rejected))
 	}
-	fmt.Printf("load ok: %d submissions -> job %s, %d execution(s), %d identical bytes each, %.2fs\n",
-		*n, ids[0], delta, len(results[0]), time.Since(start).Seconds())
 	snap := lat.Snapshot()
-	fmt.Printf("request latency (%d requests): p50<=%s p95<=%s p99<=%s\n",
+	fmt.Printf("request latency (%d accepted requests): p50<=%s p95<=%s p99<=%s\n",
 		snap.Count, fmtUS(snap.Quantile(50)), fmtUS(snap.Quantile(95)), fmtUS(snap.Quantile(99)))
 	return nil
+}
+
+// fmtStatuses renders a status->count map as "429 x3, 503 x1".
+func fmtStatuses(m map[int]int) string {
+	codes := make([]int, 0, len(m))
+	for c := range m {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	parts := make([]string, 0, len(codes))
+	for _, c := range codes {
+		parts = append(parts, fmt.Sprintf("%d x%d", c, m[c]))
+	}
+	return strings.Join(parts, ", ")
 }
 
 // fmtUS renders a microsecond quantity with a human unit.

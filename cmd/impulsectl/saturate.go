@@ -1,0 +1,371 @@
+// The saturation harness: `impulsectl saturate` sweeps open-loop
+// arrival rates against a warmed daemon (or fleet router) and reports
+// the cache-hit serving capacity — client-side 2xx latency quantiles,
+// server-side quantiles recovered from /metrics histogram bucket
+// deltas, and the knee where the target rate stops being met. Records
+// land in the benchjson schema so the measured curve can be committed
+// next to `go test -bench` numbers and diffed across PRs.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"impulse/internal/obs"
+)
+
+// satStep is one rate step's measurement.
+type satStep struct {
+	target   int
+	sent     uint64
+	ok2xx    uint64
+	http429  uint64
+	otherErr uint64
+	shed     uint64 // generator shed load: in-flight cap reached
+	elapsed  time.Duration
+	lat      *obs.Histogram // 2xx client latency, µs
+	retryMax float64        // largest Retry-After seen (seconds)
+	srvP50   float64        // server-side µs from bucket deltas
+	srvP99   float64
+}
+
+func (s *satStep) achieved() float64 {
+	if s.elapsed <= 0 {
+		return 0
+	}
+	return float64(s.ok2xx) / s.elapsed.Seconds()
+}
+
+// errRate counts every request that was not served 2xx — rejections,
+// transport failures, and generator shed — against everything offered.
+func (s *satStep) errRate() float64 {
+	offered := s.sent + s.shed
+	if offered == 0 {
+		return 0
+	}
+	return float64(s.http429+s.otherErr+s.shed) / float64(offered)
+}
+
+// cmdSaturate drives the sweep. The daemon is warmed first (one
+// submission, waited to completion) so the steady state under load is
+// the archived cache-hit path, which is the capacity the fleet story
+// claims; -no-warm measures the miss storm instead.
+func cmdSaturate(args []string) error {
+	fs := flag.NewFlagSet("saturate", flag.ExitOnError)
+	rates := fs.String("rates", "500,1000,2000,4000,8000,12000,16000",
+		"comma-separated target arrival rates (req/s)")
+	dur := fs.Duration("duration", 3*time.Second, "time spent at each rate step")
+	spec := fs.String("spec", "", "inline JSON spec")
+	file := fs.String("f", "", "spec file")
+	inflight := fs.Int("inflight", 2048, "in-flight cap before the generator sheds load")
+	out := fs.String("o", "", "merge benchjson-schema Saturate/ records into this JSON file")
+	noWarm := fs.Bool("no-warm", false, "skip the warming submission (measures the miss path)")
+	fs.Parse(args)
+
+	if *spec == "" && *file == "" {
+		*spec = `{"kind":"table1","n":240,"nonzer":4,"niter":1,"cgits":2}`
+	}
+	body, err := specBytes(*spec, *file)
+	if err != nil {
+		return err
+	}
+	var targets []int
+	for _, f := range strings.Split(*rates, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || r <= 0 {
+			return fmt.Errorf("bad rate %q in -rates", f)
+		}
+		targets = append(targets, r)
+	}
+	sort.Ints(targets)
+
+	// A dedicated client: the default transport keeps 2 idle conns per
+	// host, which exhausts ephemeral ports long before 10k req/s.
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 512,
+			IdleConnTimeout:     90 * time.Second,
+		},
+		Timeout: 30 * time.Second,
+	}
+
+	if !*noWarm {
+		st, err := postJob(body)
+		if err != nil {
+			return fmt.Errorf("warming submission: %w", err)
+		}
+		if _, err := fetchResult(st.ID, "/result", true); err != nil {
+			return fmt.Errorf("warming result: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "impulsectl: warmed %s (hash=%s); sweeping %v at %s per step\n",
+			st.ID, st.Hash, targets, *dur)
+	}
+
+	var steps []*satStep
+	for _, rate := range targets {
+		before, _ := scrapeProm() // tolerate a daemon without /metrics
+		step := runRateStep(client, body, rate, *dur, *inflight)
+		after, _ := scrapeProm()
+		if h := serverHistDelta(before, after); h != nil && h.count > 0 {
+			step.srvP50, step.srvP99 = h.quantile(50), h.quantile(99)
+		}
+		steps = append(steps, step)
+		printStep(step)
+	}
+	printKnee(steps)
+
+	if *out != "" {
+		if err := writeSatRecords(*out, steps); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "impulsectl: merged %d Saturate/ records into %s\n", len(steps), *out)
+	}
+	return nil
+}
+
+// runRateStep fires requests open-loop at the target rate for the step
+// duration: each request has a deadline on the ideal arrival grid, the
+// generator sleeps only when ahead, and an in-flight cap converts
+// server collapse into counted shed instead of unbounded goroutines.
+func runRateStep(client *http.Client, body []byte, rate int, dur time.Duration, inflight int) *satStep {
+	step := &satStep{target: rate, lat: &obs.Histogram{}}
+	total := int(float64(rate) * dur.Seconds())
+	interval := time.Second / time.Duration(rate)
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	var retryMaxMilli atomic.Uint64 // Retry-After max, milliseconds
+
+	url := base + "/v1/jobs"
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			atomic.AddUint64(&step.shed, 1)
+			continue
+		}
+		atomic.AddUint64(&step.sent, 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				atomic.AddUint64(&step.otherErr, 1)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			us := uint64(time.Since(t0).Microseconds())
+			switch {
+			case resp.StatusCode/100 == 2:
+				atomic.AddUint64(&step.ok2xx, 1)
+				step.lat.Observe(us)
+			case resp.StatusCode == http.StatusTooManyRequests:
+				atomic.AddUint64(&step.http429, 1)
+				if ra, err := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64); err == nil {
+					milli := uint64(ra * 1000)
+					for {
+						cur := retryMaxMilli.Load()
+						if milli <= cur || retryMaxMilli.CompareAndSwap(cur, milli) {
+							break
+						}
+					}
+				}
+			default:
+				atomic.AddUint64(&step.otherErr, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	step.elapsed = time.Since(start)
+	step.retryMax = float64(retryMaxMilli.Load()) / 1000
+	return step
+}
+
+// serverHistDelta subtracts two /metrics scrapes and returns the
+// request-duration histogram covering just the step, merged across
+// label values (endpoints). It prefers the service histogram and falls
+// back to the fleet router's submit histogram, so the same sweep works
+// against a single daemon or a frontend.
+func serverHistDelta(before, after *promSnapshot) *promHist {
+	if after == nil {
+		return nil
+	}
+	for _, family := range []string{"service_http_request_duration_us", "fleet_submit_duration_us"} {
+		if h := mergeFamily(after, family); h != nil {
+			if b := mergeFamily(before, family); b != nil {
+				subtractHist(h, b)
+			}
+			return h
+		}
+	}
+	return nil
+}
+
+// mergeFamily sums a family's children into one histogram (identical
+// power-of-two le grids make cumulative counts additive).
+func mergeFamily(snap *promSnapshot, family string) *promHist {
+	if snap == nil {
+		return nil
+	}
+	var merged *promHist
+	byLE := map[float64]uint64{}
+	for _, h := range snap.hists {
+		if h.family != family {
+			continue
+		}
+		if merged == nil {
+			merged = &promHist{family: family}
+		}
+		merged.count += h.count
+		merged.sum += h.sum
+		for i, le := range h.les {
+			byLE[le] += h.cums[i]
+		}
+	}
+	if merged == nil {
+		return nil
+	}
+	for le := range byLE {
+		merged.les = append(merged.les, le)
+	}
+	sort.Float64s(merged.les)
+	for _, le := range merged.les {
+		merged.cums = append(merged.cums, byLE[le])
+	}
+	return merged
+}
+
+// subtractHist removes the baseline scrape from a cumulative histogram
+// in place (bounds matched by le; counters are monotonic so the delta
+// is the step's own traffic).
+func subtractHist(h, base *promHist) {
+	baseAt := map[float64]uint64{}
+	for i, le := range base.les {
+		baseAt[le] = base.cums[i]
+	}
+	for i, le := range h.les {
+		h.cums[i] -= baseAt[le]
+	}
+	h.count -= base.count
+	h.sum -= base.sum
+}
+
+func printStep(s *satStep) {
+	snap := s.lat.Snapshot()
+	srv := ""
+	if s.srvP99 > 0 {
+		srv = fmt.Sprintf("   server p50<=%s p99<=%s", fmtUSf(s.srvP50), fmtUSf(s.srvP99))
+	}
+	ra := ""
+	if s.retryMax > 0 {
+		ra = fmt.Sprintf("   retry-after<=%.0fs", s.retryMax)
+	}
+	fmt.Printf("rate %6d: served %7.0f req/s   2xx %-7d 429 %-5d err %-4d shed %-5d p50<=%s p99<=%s%s%s\n",
+		s.target, s.achieved(), s.ok2xx, s.http429, s.otherErr, s.shed,
+		fmtUS(snap.Quantile(50)), fmtUS(snap.Quantile(99)), srv, ra)
+}
+
+// printKnee names the highest rate still served cleanly (>=95% of
+// target at <1% errors) and summarizes how the steps beyond it degrade.
+func printKnee(steps []*satStep) {
+	var knee *satStep
+	for _, s := range steps {
+		if s.achieved() >= 0.95*float64(s.target) && s.errRate() < 0.01 {
+			knee = s
+		}
+	}
+	if knee == nil {
+		fmt.Println("saturation: no step met 95% of target at <1% errors")
+		return
+	}
+	fmt.Printf("saturation knee: %d req/s target -> %.0f req/s served (%.2f%% errors)\n",
+		knee.target, knee.achieved(), knee.errRate()*100)
+	for _, s := range steps {
+		if s.target > knee.target {
+			fmt.Printf("  beyond knee at %d: %.0f req/s served, %.1f%% 429/err/shed\n",
+				s.target, s.achieved(), s.errRate()*100)
+		}
+	}
+}
+
+// satRecord mirrors cmd/benchjson's record schema so saturation points
+// sit next to go-test benchmarks in the committed BENCH_*.json files.
+type satRecord struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// writeSatRecords merges this sweep into path: existing non-Saturate
+// records are kept, previous Saturate/ points are replaced, and the
+// file stays one sorted JSON array.
+func writeSatRecords(path string, steps []*satStep) error {
+	var recs []satRecord
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &recs); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+	}
+	kept := recs[:0]
+	for _, r := range recs {
+		if !strings.HasPrefix(r.Name, "Saturate/") {
+			kept = append(kept, r)
+		}
+	}
+	recs = kept
+	for _, s := range steps {
+		snap := s.lat.Snapshot()
+		ns := 0.0
+		if snap.Count > 0 {
+			ns = float64(snap.Sum) / float64(snap.Count) * 1e3 // µs -> ns
+		}
+		recs = append(recs, satRecord{
+			Name:       fmt.Sprintf("Saturate/rate=%d", s.target),
+			Iterations: int64(s.ok2xx),
+			NsPerOp:    ns,
+			Metrics: map[string]float64{
+				"target_rps":    float64(s.target),
+				"achieved_rps":  s.achieved(),
+				"err_rate_pct":  s.errRate() * 100,
+				"http_429":      float64(s.http429),
+				"shed":          float64(s.shed),
+				"p50_us":        float64(snap.Quantile(50)),
+				"p99_us":        float64(snap.Quantile(99)),
+				"server_p99_us": s.srvP99,
+			},
+		})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

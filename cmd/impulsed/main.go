@@ -2,9 +2,13 @@
 // daemon that accepts experiment specs over HTTP/JSON, runs them on a
 // bounded job queue over the shared simulation harness, deduplicates
 // identical in-flight submissions single-flight style, caches results
-// by canonical spec hash, and streams live progress over SSE. See
-// docs/SERVICE.md for the API, docs/OBSERVABILITY.md for metrics,
-// timelines, and manifests, and cmd/impulsectl for a client.
+// by canonical spec hash, and streams live progress over SSE. Results
+// persist in a content-addressed store under -archive-dir, so a
+// restarted daemon serves yesterday's cache hits from disk. With
+// -route it instead fronts a fleet of worker daemons, routing every
+// submission by spec hash (docs/FLEET.md). See docs/SERVICE.md for the
+// API, docs/OBSERVABILITY.md for metrics, timelines, and manifests,
+// and cmd/impulsectl for a client.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"flag"
 
 	"impulse"
+	"impulse/internal/fleet"
 	"impulse/internal/obs"
 	"impulse/internal/service"
 )
@@ -50,6 +55,9 @@ func main() {
 	vectorReplay := flag.Bool("vector-replay", true, "replay each cell family through one shared trace decode (needs -trace-cache)")
 	traceRecord := flag.String("trace-record", "", "persist recorded traces to this directory")
 	traceReplay := flag.String("trace-replay", "", "load previously persisted traces from this directory")
+	traceDir := flag.String("trace-dir", "", "shorthand for -trace-record and -trace-replay on one directory (the fleet's shared trace cache)")
+	route := flag.String("route", "", "comma-separated shard URLs (name=url or bare url): serve as a fleet router over these backends instead of executing locally")
+	cyclesPerSec := flag.Float64("fleet-cycles-per-sec", 0, "with -route: simulated cycles one shard executor burns per wall second (Retry-After calibration; 0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long graceful shutdown waits for in-flight jobs")
 	slowJob := flag.Duration("slow-job", time.Minute, "warn about jobs whose execution exceeds this (0 disables)")
 	logFormat := flag.String("log-format", "json", "log output format: json or text")
@@ -75,6 +83,14 @@ func main() {
 	log := slog.New(handler)
 	slog.SetDefault(log)
 
+	if *traceDir != "" {
+		if *traceRecord == "" {
+			*traceRecord = *traceDir
+		}
+		if *traceReplay == "" {
+			*traceReplay = *traceDir
+		}
+	}
 	impulse.SetWorkers(*jobs)
 	impulse.SetTraceCache(*traceCache)
 	impulse.SetVectorReplay(*vectorReplay)
@@ -95,6 +111,37 @@ func main() {
 		SlowJobThreshold: *slowJob,
 	})
 
+	// Router mode: the daemon fronts N worker impulsed backends, routing
+	// submissions by spec hash; its own service stays for the twin tier.
+	var rt *fleet.Router
+	httpHandler := svc.Handler()
+	if *route != "" {
+		var shards []fleet.ShardConfig
+		for i, f := range strings.Split(*route, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			sc := fleet.ShardConfig{Name: fmt.Sprintf("s%d", i), URL: f}
+			if name, u, ok := strings.Cut(f, "="); ok && !strings.Contains(name, "/") {
+				sc.Name, sc.URL = name, u
+			}
+			shards = append(shards, sc)
+		}
+		var err error
+		rt, err = fleet.New(fleet.Config{
+			Shards:          shards,
+			Local:           svc,
+			CyclesPerSecond: *cyclesPerSec,
+			Logger:          log,
+		})
+		if err != nil {
+			log.Error("fleet setup", "err", err)
+			os.Exit(1)
+		}
+		httpHandler = rt.Handler()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Error("listen failed", "addr", *addr, "err", err)
@@ -107,11 +154,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if rt != nil {
+		log.Info("routing", "url", "http://"+actual, "shards", *route)
+	}
 	log.Info("listening", "url", "http://"+actual, "queue", *queueDepth, "exec", *executors,
 		"cache", *cacheSize, "archive_bytes", *archiveBytes, "workers", *jobs,
 		"trace_cache", *traceCache, "slow_job", slowJob.String())
 
-	srv := &http.Server{Handler: svc.Handler()}
+	srv := &http.Server{Handler: httpHandler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -125,6 +175,9 @@ func main() {
 	}
 
 	log.Info("shutting down", "drain_timeout", drainTimeout.String())
+	if rt != nil {
+		rt.Close()
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := svc.Drain(drainCtx); err != nil {

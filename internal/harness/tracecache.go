@@ -235,6 +235,12 @@ func loadPersistedTrace(key string) []byte {
 	return data
 }
 
+// persistTrace writes via temp-file-plus-rename so a persisted trace is
+// either complete or absent: fleet shards share one record dir, and a
+// shard replaying concurrently with another shard's recording (or a
+// daemon killed mid-write) must never see a torn .imptrc —
+// loadPersistedTrace would reject it and fall back, but a same-name
+// partial would shadow the good file a slower writer was producing.
 func persistTrace(ctx context.Context, key string, data []byte) {
 	if traceRecordDir == "" {
 		return
@@ -243,7 +249,22 @@ func persistTrace(ctx context.Context, key string, data []byte) {
 		obs.WarnOnceCtx(ctx, "trace-record-dir:"+traceRecordDir, "trace-cache: record dir: %v", err)
 		return
 	}
-	if err := os.WriteFile(tracePath(traceRecordDir, key), data, 0o644); err != nil {
+	dst := tracePath(traceRecordDir, key)
+	tmp, err := os.CreateTemp(traceRecordDir, filepath.Base(dst)+".tmp-*")
+	if err != nil {
+		obs.WarnOnceCtx(ctx, "trace-persist:"+traceRecordDir, "trace-cache: persist %s: %v", key, err)
+		return
+	}
+	if _, err = tmp.Write(data); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), dst)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
 		obs.WarnOnceCtx(ctx, "trace-persist:"+traceRecordDir, "trace-cache: persist %s: %v", key, err)
 	}
 }

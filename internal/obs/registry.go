@@ -102,6 +102,39 @@ func (r *Registry) GaugeFunc(name, help string, fn func() uint64) {
 	r.register(entry{name: name, help: help, kind: kindGauge, fn: fn})
 }
 
+// LabeledCounterFunc registers a computed monotonic counter carrying
+// one label pair — per-shard fleet counters and the like. Series are
+// keyed by (name, labelVal): the same name may be registered once per
+// label value and renders as one Prometheus family.
+func (r *Registry) LabeledCounterFunc(name, help, labelKey, labelVal string, fn func() uint64) {
+	r.register(entry{name: name, help: help, kind: kindCounter,
+		labelKey: labelKey, labelVal: labelVal, fn: fn})
+}
+
+// LabeledGaugeFunc registers a computed gauge carrying one label pair.
+func (r *Registry) LabeledGaugeFunc(name, help, labelKey, labelVal string, fn func() uint64) {
+	r.register(entry{name: name, help: help, kind: kindGauge,
+		labelKey: labelKey, labelVal: labelVal, fn: fn})
+}
+
+// LabeledValue reads one labeled scalar series.
+func (r *Registry) LabeledValue(name, labelVal string) (uint64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	i, ok := r.index[name+"\xff"+labelVal]
+	var fn func() uint64
+	if ok {
+		fn = r.entries[i].fn
+	}
+	r.mu.Unlock()
+	if fn == nil {
+		return 0, false
+	}
+	return fn(), true
+}
+
 // Histogram creates and registers an unlabeled histogram. A nil
 // Registry returns nil (whose Observe is a no-op).
 func (r *Registry) Histogram(name, help string) *Histogram {

@@ -9,11 +9,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"impulse/internal/colres"
 	"impulse/internal/harness"
+	"impulse/internal/store"
 	"impulse/internal/workloads"
 )
 
@@ -105,12 +107,12 @@ func TestResultServedFromMappedBlob(t *testing.T) {
 	if res.blob == nil {
 		t.Fatal("done job has no archived blob")
 	}
-	if !res.blob.mapped {
+	if !res.blob.Mapped {
 		t.Skip("archive blob not memory-mapped on this platform; heap fallback already verified above")
 	}
 	// Rewrite one byte of the archived file. MAP_SHARED mappings see
 	// file writes, so the next response must carry the mutation.
-	f, err := os.OpenFile(res.blob.path, os.O_RDWR, 0)
+	f, err := os.OpenFile(res.blob.Path(), os.O_RDWR, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,10 +251,13 @@ func TestByteBudgetEviction(t *testing.T) {
 	if has1 || !has2 || !has3 {
 		t.Errorf("LRU kept the wrong results: j1=%v j2=%v j3=%v, want only j2+j3", has1, has2, has3)
 	}
-	if _, err := os.Stat(s.arch.blobPath(j1.Hash)); !os.IsNotExist(err) {
+	blobPath := func(hash string) string {
+		return filepath.Join(s.arch.Dir(), hash+store.BlobExt)
+	}
+	if _, err := os.Stat(blobPath(j1.Hash)); !os.IsNotExist(err) {
 		t.Errorf("evicted blob file still on disk: %v", err)
 	}
-	if _, err := os.Stat(s.arch.blobPath(j3.Hash)); err != nil {
+	if _, err := os.Stat(blobPath(j3.Hash)); err != nil {
 		t.Errorf("fresh blob file missing: %v", err)
 	}
 

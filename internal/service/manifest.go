@@ -102,6 +102,13 @@ type Manifest struct {
 	ColumnarDigest string `json:"columnar_digest,omitempty"`
 
 	Build BuildInfo `json:"build"`
+
+	// Recovered marks a job restored from the on-disk result store at
+	// daemon startup: the result bytes are yesterday's, served without
+	// re-execution, and the timing fields all collapse to the original
+	// archive time. (Appended after Build — the frozen wire order above
+	// predates restart durability.)
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // buildManifest assembles j's manifest. Called once, from finishJob,

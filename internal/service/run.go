@@ -10,6 +10,7 @@ import (
 	"impulse/internal/core"
 	"impulse/internal/harness"
 	"impulse/internal/obs"
+	"impulse/internal/store"
 	"impulse/internal/workloads"
 )
 
@@ -41,13 +42,14 @@ type Result struct {
 	MIME     string
 	Columnar []byte
 
-	// blob pins the mapped archive blob backing Columnar/Output, so the
+	// blob pins the mapped store blob backing Columnar/Output, so the
 	// pages cannot be reclaimed while any reader holds this Result.
 	// Holding means *live*, not in scope: a reader that has loaded
 	// Columnar/Output and no longer touches the Result itself must
 	// runtime.KeepAlive it past the last use of those bytes, or the
-	// blob's munmap finalizer can run under the read.
-	blob *mappedBlob
+	// blob's munmap finalizer can run under the read (see
+	// internal/store's package comment).
+	blob *store.Blob
 }
 
 // rowChunkKey carries the service's per-cell SSE emitter through

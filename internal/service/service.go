@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"encoding/base64"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 	"impulse/internal/colres"
 	"impulse/internal/harness"
 	"impulse/internal/obs"
+	"impulse/internal/store"
 	"impulse/internal/twin"
 )
 
@@ -306,10 +308,12 @@ type Service struct {
 	execWG     sync.WaitGroup
 	start      time.Time
 
-	// arch is the on-disk columnar blob store; gCacheBytes tracks the
-	// bytes it holds on behalf of archived jobs (the byte-budget LRU's
-	// accounting, exported as service.result_cache_bytes).
-	arch        *blobArchive
+	// arch is the persistent content-addressed result store (blob +
+	// manifest sidecar per spec hash; internal/store); gCacheBytes
+	// tracks the bytes it holds on behalf of archived jobs (the
+	// byte-budget LRU's accounting, exported as
+	// service.result_cache_bytes).
+	arch        *store.Store
 	gCacheBytes atomic.Uint64
 
 	// Counters, exported through Registry(). cExecuted counts actual
@@ -319,6 +323,7 @@ type Service struct {
 	cSubmitted, cDeduped, cCacheHit, cCacheMiss, cExecuted atomic.Uint64
 	cDone, cFailed, cCancelled, cRejected                  atomic.Uint64
 	cTwinRequests, cTwinIneligible                         atomic.Uint64
+	cRecovered                                             atomic.Uint64
 	gRunning, gHTTPInFlight                                atomic.Uint64
 	reg                                                    obs.Registry
 
@@ -363,15 +368,26 @@ func New(cfg Config) *Service {
 	if s.logger == nil {
 		s.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	arch, err := openBlobArchive(cfg.ArchiveDir)
+	arch, err := store.Open(cfg.ArchiveDir)
 	if err != nil {
 		// Results still flow (heap-backed); only the mmap fast path and
 		// on-disk persistence are lost.
-		s.logger.Warn("result archive unavailable", "dir", cfg.ArchiveDir, "err", err)
+		s.logger.Warn("result store unavailable", "dir", cfg.ArchiveDir, "err", err)
 	} else {
 		s.arch = arch
 	}
 	s.registerMetrics()
+	if s.arch != nil {
+		// Startup GC first (unlinks crashed-write orphans and trims the
+		// store to the byte budget), then rebuild the result cache from
+		// whatever survived — a rebooted daemon serves yesterday's cache
+		// hits from disk without re-executing anything.
+		if st := s.arch.GC(cfg.CacheBytes); st.Orphans > 0 || st.Evicted > 0 {
+			s.logger.Info("result store GC", "dir", s.arch.Dir(), "orphans", st.Orphans,
+				"evicted", st.Evicted, "freed_bytes", st.FreedBytes, "live_bytes", st.LiveBytes)
+		}
+		s.recoverArchived()
+	}
 	s.execWG.Add(cfg.Executors)
 	for i := 0; i < cfg.Executors; i++ {
 		go s.executor()
@@ -410,6 +426,7 @@ func (s *Service) registerMetrics() {
 		}
 		return 0
 	})
+	s.reg.CounterFunc("service.jobs_recovered", "Completed results recovered from the on-disk store at startup and served without re-execution.", u(&s.cRecovered))
 	s.reg.CounterFunc("service.twin_requests", "Analytical-twin tier requests (submits with tier=twin plus /v1/predict calls).", u(&s.cTwinRequests))
 	s.reg.CounterFunc("service.twin_ineligible", "Twin-tier requests naming a family with no analytical twin (submits fall through to simulation).", u(&s.cTwinIneligible))
 	s.hTwinLat = s.reg.Histogram("service.twin_latency_us", "Microseconds spent computing analytical-twin predictions.")
@@ -421,6 +438,74 @@ func (s *Service) registerMetrics() {
 
 // Registry exposes the service's live counters (mounted at /metrics).
 func (s *Service) Registry() *obs.Registry { return &s.reg }
+
+// recoverArchived rebuilds the completed-result cache from the on-disk
+// store: every complete entry becomes a terminal recovered job ("r-"
+// IDs), registered in the archive LRU oldest-first so eviction order
+// survives the restart. Entries whose sidecar spec no longer hashes to
+// its own key (schema drift, tampering) are dropped rather than served
+// under the wrong identity. Runs once, from New, before the executors
+// start.
+func (s *Service) recoverArchived() {
+	for _, hash := range s.arch.Hashes() { // oldest SavedAt first
+		b, m, ok := s.arch.Get(hash)
+		if !ok {
+			continue // torn or corrupt; the store already dropped it
+		}
+		norm, err := ParseSpec(m.Spec)
+		if err != nil || norm.Hash() != hash {
+			s.logger.Warn("recovered entry spec does not match its hash; dropping",
+				"hash", hash, "err", err)
+			s.arch.Remove(hash)
+			continue
+		}
+		res := &Result{Counters: m.Counters, MIME: m.MIME, Output: m.Output, blob: b}
+		if m.ColumnarBlob {
+			res.Columnar = b.Data
+		}
+		if m.OutputIsBlob {
+			res.Output = b.Data
+		}
+		at := m.SavedAt
+		if at.IsZero() {
+			at = s.start
+		}
+		s.mu.Lock()
+		s.seq++
+		j := &Job{
+			ID:   fmt.Sprintf("r-%06d", s.seq),
+			Spec: norm, Hash: hash,
+			state: StateDone, result: res,
+			done:      make(chan struct{}),
+			submitted: at, started: at, finished: at,
+			trace:     obs.NewJobTrace(at),
+			blobBytes: len(b.Data),
+			tier:      m.Tier,
+		}
+		close(j.done)
+		j.events = []Event{{Type: "state", State: StateDone}}
+		s.mu.Unlock()
+		man := buildManifest(j)
+		man.Recovered = true
+		j.mu.Lock()
+		j.manifest = man
+		j.mu.Unlock()
+		s.mu.Lock()
+		s.jobs[j.ID] = j
+		s.byHash[hash] = j
+		s.archived[j.ID] = s.archive.PushFront(j)
+		s.gCacheBytes.Add(uint64(len(b.Data)))
+		for s.archive.Len() > s.cfg.CacheSize {
+			s.evictOldestLocked()
+		}
+		s.mu.Unlock()
+		s.cRecovered.Add(1)
+	}
+	if n := s.cRecovered.Load(); n > 0 {
+		s.logger.Info("recovered archived results", "dir", s.arch.Dir(), "entries", n,
+			"bytes", s.gCacheBytes.Load())
+	}
+}
 
 // Submit validates, canonicalizes, and enqueues spec. If an identical
 // spec (by canonical hash) is already queued or running, the existing
@@ -654,23 +739,49 @@ func (s *Service) runJob(j *Job) {
 
 // finishJob finalizes j and moves it from the in-flight table to the
 // archive LRU (successful results stay addressable by hash for reuse).
-// A successful job's columnar blob is written to the on-disk archive
-// and memory-mapped back in before finalize, so every reader —
-// including the first — sees the mapped bytes and cache hits serve
-// straight from the page cache with zero re-encoding.
+// A successful job's result is written durably to the on-disk store —
+// blob plus manifest sidecar, enough to rebuild the wire-visible result
+// byte-identically after a restart — and memory-mapped back in before
+// finalize, so every reader — including the first — sees the mapped
+// bytes and cache hits serve straight from the page cache with zero
+// re-encoding.
 func (s *Service) finishJob(j *Job, state State, res *Result, errMsg string) {
 	now := time.Now()
-	if state == StateDone && res != nil && len(res.Columnar) > 0 && s.arch != nil {
-		if b, err := s.arch.Put(j.Hash, res.Columnar); err != nil {
+	if state == StateDone && res != nil && s.arch != nil {
+		meta := store.Meta{
+			Hash: j.Hash, Kind: j.Spec.Kind, Canonical: j.Spec.Canonical(),
+			MIME: res.MIME, Tier: j.tier, Counters: res.Counters,
+		}
+		if raw, err := json.Marshal(j.Spec); err == nil {
+			meta.Spec = raw
+		}
+		// The blob is the big payload: the columnar document for grid
+		// results, the rendered output for everything else. Rendered
+		// text/json views of grid results are small and ride in the
+		// sidecar.
+		blob := res.Columnar
+		switch {
+		case len(blob) > 0 && res.MIME == colres.ContentType:
+			meta.ColumnarBlob, meta.OutputIsBlob = true, true
+		case len(blob) > 0:
+			meta.ColumnarBlob = true
+			meta.Output = res.Output
+		default:
+			blob = res.Output
+			meta.OutputIsBlob = true
+		}
+		if b, err := s.arch.Put(blob, meta); err != nil {
 			s.logger.Warn("result archive write failed", "job", j.ID, "err", err)
 		} else {
-			res.Columnar = b.data
-			res.blob = b
-			if res.MIME == colres.ContentType {
-				res.Output = b.data
+			if meta.ColumnarBlob {
+				res.Columnar = b.Data
 			}
-			j.blobBytes = len(b.data)
-			s.gCacheBytes.Add(uint64(len(b.data)))
+			if meta.OutputIsBlob {
+				res.Output = b.Data
+			}
+			res.blob = b
+			j.blobBytes = len(b.Data)
+			s.gCacheBytes.Add(uint64(len(b.Data)))
 		}
 	}
 	j.finalize(state, res, errMsg, now)
@@ -764,9 +875,10 @@ func (s *Service) Drain(ctx context.Context) error {
 		s.execWG.Wait()
 		close(finished)
 	}()
-	// Blob files are only needed while the daemon serves; in-memory
-	// mappings survive the unlink, so results fetched after drain still
-	// read their (now anonymous) pages.
+	// The store keeps its files on a caller-provided directory — restart
+	// durability is the point; only a private temp-dir store removes
+	// everything. Established mappings survive either way, so results
+	// fetched after drain still read their pages.
 	closeArch := func() {
 		if s.arch != nil && !already {
 			s.arch.Close()

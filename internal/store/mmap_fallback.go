@@ -1,8 +1,8 @@
 //go:build !unix
 
-package service
+package store
 
-// mapFile is unavailable without mmap; Put keeps the encoded bytes in
+// mapFile is unavailable without mmap; Put and Get keep the bytes in
 // memory instead, which still serves cache hits without re-encoding.
 func mapFile(path string, size int) ([]byte, func(), error) {
 	return nil, nil, errMmapUnsupported

@@ -1,6 +1,6 @@
 //go:build unix
 
-package service
+package store
 
 import (
 	"os"
@@ -10,8 +10,8 @@ import (
 // mapFile maps size bytes of path read-only and shared, returning the
 // mapping and its release function. MAP_SHARED means a later in-place
 // rewrite of the file is visible through the mapping — the zero-copy
-// serving test exploits exactly that to prove responses come from the
-// mapped file, not a heap copy.
+// serving test in internal/service exploits exactly that to prove
+// responses come from the mapped file, not a heap copy.
 func mapFile(path string, size int) ([]byte, func(), error) {
 	if size == 0 {
 		return nil, nil, errMmapUnsupported
